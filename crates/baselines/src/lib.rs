@@ -1,0 +1,22 @@
+//! # `tree-dp-baselines` — comparison baselines
+//!
+//! * [`bateni`] — a simplified re-implementation of the `O(log n)`-round *randomized*
+//!   MPC tree-contraction DP of Bateni, Behnezhad, Derakhshan, Hajiaghayi and Mirrokni
+//!   (ICALP'18 / arXiv:1809.03685), the algorithm the paper improves upon. It solves
+//!   MaxIS-style problems by alternating randomized rake (leaf removal) and compress
+//!   (path halving) steps; every iteration costs `O(1)` MPC rounds and the number of
+//!   iterations is `Θ(log n)` regardless of the diameter.
+//! * [`rake_compress`] — a deterministic rake-and-compress subtree-size computation,
+//!   used as the ablation partner of the `O(log D)`-round capped descendant-set
+//!   doubling (see DESIGN.md, experiment E12).
+//!
+//! The sequential oracle lives in `tree-dp-core::solve_sequential`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bateni;
+pub mod rake_compress;
+
+pub use bateni::{bateni_max_is, BateniResult};
+pub use rake_compress::rake_compress_subtree_sizes;

@@ -1,0 +1,110 @@
+//! Deterministic rake-and-compress subtree sizes: an `O(log n)`-round alternative to the
+//! `O(log D)`-round capped descendant-set doubling of `tree-clustering::subroutines`
+//! (ablation experiment E12 in DESIGN.md).
+
+use mpc_engine::{DistVec, MpcContext, Words};
+use tree_repr::{DirectedEdge, NodeId};
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    id: NodeId,
+    parent: NodeId,
+    pending_children: u64,
+    accumulated: u64,
+    done: bool,
+}
+
+impl Words for Node {
+    fn words(&self) -> usize {
+        5
+    }
+}
+
+/// Compute the exact subtree size of every node by repeatedly raking completed leaves
+/// into their parents. The number of iterations is the tree height (≤ `n`), each costing
+/// `O(1)` rounds; returned together with the iteration count for the ablation bench.
+pub fn rake_compress_subtree_sizes(
+    ctx: &mut MpcContext,
+    edges: &DistVec<DirectedEdge>,
+    root: NodeId,
+    num_nodes: usize,
+) -> (Vec<(NodeId, u64)>, u64) {
+    let mut child_count = vec![0u64; num_nodes];
+    let mut parent = vec![u64::MAX; num_nodes];
+    for e in edges.iter() {
+        child_count[e.parent as usize] += 1;
+        parent[e.child as usize] = e.parent;
+    }
+    let nodes: Vec<Node> = (0..num_nodes as u64)
+        .map(|v| Node {
+            id: v,
+            parent: if v == root { u64::MAX } else { parent[v as usize] },
+            pending_children: child_count[v as usize],
+            accumulated: 1,
+            done: false,
+        })
+        .collect();
+    let mut state = ctx.from_vec(nodes);
+    let mut sizes: Vec<(NodeId, u64)> = Vec::new();
+    let mut iterations = 0u64;
+    loop {
+        let remaining = ctx.all_reduce(&state, 0u64, |a, n| a + u64::from(!n.done), |a, b| a + b);
+        if remaining == 0 {
+            break;
+        }
+        iterations += 1;
+        // Nodes whose children are all accounted for publish their size to their parent.
+        let ready: Vec<(NodeId, u64)> = state
+            .iter()
+            .filter(|n| !n.done && n.pending_children == 0)
+            .map(|n| (n.parent, n.accumulated))
+            .collect();
+        for n in state.iter().filter(|n| !n.done && n.pending_children == 0) {
+            sizes.push((n.id, n.accumulated));
+        }
+        let ready_dv: DistVec<(NodeId, u64)> = ctx.from_vec(ready);
+        let grouped = ctx.gather_groups(ready_dv, |r| r.0);
+        let joined = ctx.join_lookup(state, |n| n.id, &grouped, |g| g.0);
+        state = joined.map_local(|(n, upd)| {
+            let mut n = *n;
+            if n.pending_children == 0 && !n.done {
+                n.done = true;
+            }
+            if let Some((_, contributions)) = upd {
+                for (_, size) in contributions {
+                    n.accumulated += size;
+                    n.pending_children = n.pending_children.saturating_sub(1);
+                }
+            }
+            n
+        });
+        if iterations > num_nodes as u64 + 2 {
+            break;
+        }
+    }
+    (sizes, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_engine::MpcConfig;
+    use tree_gen::shapes;
+
+    #[test]
+    fn sizes_match_host_computation() {
+        for tree in [shapes::path(30), shapes::balanced_kary(31, 2), shapes::spider(3, 5)] {
+            let mut ctx = MpcContext::new(
+                MpcConfig::new(tree.len().max(16), 0.5).with_memory_slack(512.0).with_bandwidth_slack(512.0),
+            );
+            let edges = ctx.from_vec(tree.edges());
+            let (sizes, iters) = rake_compress_subtree_sizes(&mut ctx, &edges, tree.root() as u64, tree.len());
+            let expected = tree.subtree_sizes();
+            assert_eq!(sizes.len(), tree.len());
+            for (v, s) in sizes {
+                assert_eq!(s as usize, expected[v as usize], "node {v}");
+            }
+            assert!(iters as usize >= tree.height());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion benchmarks B2: hierarchical clustering construction across tree shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, TreeInput};
+use mpc_tree_dp::gen::shapes;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    let n = 4096;
+    for (name, tree) in [
+        ("path", shapes::path(n)),
+        ("balanced-binary", shapes::balanced_kary(n, 2)),
+        ("shallow-wide", shapes::depth_capped_random(n, 6, 1)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, n), &tree, |b, tree| {
+            b.iter(|| {
+                let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+                prepare(
+                    &mut ctx,
+                    TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+                    None,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

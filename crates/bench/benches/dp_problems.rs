@@ -1,0 +1,36 @@
+//! Criterion benchmarks B3: solving individual Table-1 problems on a prepared clustering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpc_tree_dp::problems::{MaxWeightIndependentSet, MinWeightDominatingSet, SubtreeAggregate};
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
+use mpc_tree_dp::gen::shapes;
+
+fn bench_problems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp-problems");
+    group.sample_size(10);
+    let tree = shapes::random_recursive(4096, 1);
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        None,
+    )
+    .unwrap();
+    let inputs = ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    group.bench_function("max-is", |b| {
+        let engine = StateEngine::new(MaxWeightIndependentSet);
+        b.iter(|| prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges));
+    });
+    group.bench_function("min-dominating-set", |b| {
+        let engine = StateEngine::new(MinWeightDominatingSet);
+        b.iter(|| prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges));
+    });
+    group.bench_function("subtree-sum", |b| {
+        b.iter(|| prepared.solve(&mut ctx, &SubtreeAggregate::sum(), &inputs, 0, &no_edges));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_problems);
+criterion_main!(benches);

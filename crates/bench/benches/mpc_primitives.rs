@@ -1,0 +1,29 @@
+//! Criterion benchmarks B1: wall-clock cost of the MPC primitives in the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_tree_dp::{MpcConfig, MpcContext};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc-primitives");
+    group.sample_size(20);
+    for n in [1usize << 12, 1 << 14] {
+        group.bench_with_input(BenchmarkId::new("sort", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ctx = MpcContext::new(MpcConfig::new(n, 0.5));
+                let dv = ctx.from_vec((0..n as u64).rev().collect::<Vec<_>>());
+                ctx.sort_by_key(dv, |x| *x)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("prefix-sums", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ctx = MpcContext::new(MpcConfig::new(n, 0.5));
+                let dv = ctx.from_vec((0..n as u64).collect::<Vec<_>>());
+                ctx.prefix_sums(dv, |x| *x)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

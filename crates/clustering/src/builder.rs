@@ -1,0 +1,523 @@
+//! Construction of the hierarchical clustering (Section 4.2 of the paper).
+//!
+//! The builder alternates two kinds of contraction steps on the *active* tree (whose
+//! vertices are original nodes, colored indegree-0 cluster elements, and uncolored
+//! indegree-1 cluster elements):
+//!
+//! 1. **Indegree-zero step** (Section 4.2.2): `CountSubtreeSizes` classifies uncolored
+//!    elements as *heavy* (more than `n^{δ/2}` uncolored elements in their subtree) or
+//!    *light*; every light element whose parent is heavy has its entire remaining
+//!    subtree — including attached colored elements — contracted into an indegree-0
+//!    cluster, which stays in the tree as a *colored* leaf.
+//! 2. **Indegree-one step** (Section 4.2.3): maximal paths of degree-2 elements in the
+//!    uncolored subgraph are located with `CountDistances`, split into fragments of at
+//!    most `n^{δ/2}` elements, and every fragment together with its attached colored
+//!    elements becomes an indegree-1 (caterpillar) cluster, contracted into a single
+//!    uncolored degree-2 element.
+//!
+//! When at most `n^{δ/2}` uncolored elements remain, everything left is gathered into
+//! the single top cluster. Lemma 4 of the paper bounds the number of iterations by a
+//! constant (≈ `2/δ`); the builder enforces a generous safety cap and reports an error
+//! if it is ever exceeded.
+
+use crate::clustering::Clustering;
+use crate::element::{
+    make_cluster_id, Element, ElementId, ElementKind, VIRTUAL_NODE,
+};
+use crate::subroutines::{count_subtree_sizes, path_distances, PathNode, PathPosition};
+use mpc_engine::{DistVec, MpcContext, Words};
+use std::fmt;
+use tree_repr::{DirectedEdge, NodeId};
+
+/// Error produced when the clustering cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterError(pub String);
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clustering construction failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// One element of the *active* (partially contracted) tree during construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Active {
+    id: ElementId,
+    kind: ElementKind,
+    colored: bool,
+    parent: ElementId,
+    out_edge: DirectedEdge,
+    in_edge: Option<DirectedEdge>,
+    formed_at: u32,
+}
+
+impl Words for Active {
+    fn words(&self) -> usize {
+        12
+    }
+}
+
+/// Build the hierarchical clustering of a rooted tree given as a distributed list of
+/// child→parent edges.
+///
+/// `threshold` overrides the cluster-size / degree threshold `n^{δ/2}` (useful for
+/// tests and ablation experiments); by default it is taken from the MPC configuration.
+/// The input tree must have maximum number of children at most the threshold — apply
+/// [`crate::degree::reduce_degrees`] first otherwise.
+pub fn build_clustering(
+    ctx: &mut MpcContext,
+    edges: &DistVec<DirectedEdge>,
+    root: NodeId,
+    num_nodes: usize,
+    threshold: Option<usize>,
+) -> Result<Clustering, ClusterError> {
+    let threshold = threshold.unwrap_or_else(|| ctx.config().n_half_delta()).max(2);
+    if num_nodes == 0 {
+        return Err(ClusterError("empty tree".to_string()));
+    }
+
+    // Degree precondition (Section 4.2 assumes max degree n^{δ/2}).
+    let by_parent = ctx.gather_groups(edges.clone(), |e| e.parent);
+    let max_children = ctx.all_reduce(
+        &by_parent,
+        0u64,
+        |acc, (_, group)| acc.max(group.len() as u64),
+        |a, b| a.max(b),
+    );
+    if max_children > threshold as u64 {
+        return Err(ClusterError(format!(
+            "maximum number of children {max_children} exceeds the threshold {threshold}; \
+             apply degree reduction first (Section 4.4)"
+        )));
+    }
+
+    // Initial active elements: every original node, with the root pointing at the
+    // virtual node through the virtual edge (Section 1.5).
+    let mut initial: Vec<Active> = edges
+        .iter()
+        .map(|e| Active {
+            id: e.child,
+            kind: ElementKind::Node,
+            colored: false,
+            parent: e.parent,
+            out_edge: *e,
+            in_edge: None,
+            formed_at: 0,
+        })
+        .collect();
+    initial.push(Active {
+        id: root,
+        kind: ElementKind::Node,
+        colored: false,
+        parent: VIRTUAL_NODE,
+        out_edge: DirectedEdge::new(root, VIRTUAL_NODE),
+        in_edge: None,
+        formed_at: 0,
+    });
+    if initial.len() != num_nodes {
+        return Err(ClusterError(format!(
+            "edge list has {} nodes but num_nodes = {num_nodes}",
+            initial.len()
+        )));
+    }
+    let mut actives: DistVec<Active> = ctx.from_vec(initial);
+    ctx.check_memory(&actives, "clustering/init");
+
+    let mut finished: Vec<Element> = Vec::new();
+    let mut layer: u32 = 0;
+    let delta = ctx.config().delta;
+    let max_iterations = ((2.0 / delta).ceil() as u32) * 4 + 16;
+    let mut top_cluster = 0;
+
+    for iteration in 0..=max_iterations {
+        if iteration == max_iterations {
+            return Err(ClusterError(format!(
+                "no convergence after {max_iterations} iterations (Lemma 4 predicts O(1))"
+            )));
+        }
+        let uncolored_count = ctx.all_reduce(
+            &actives,
+            0u64,
+            |acc, a| acc + u64::from(!a.colored),
+            |a, b| a + b,
+        );
+
+        // ----- termination: everything left fits into one top cluster -----------------
+        if uncolored_count <= threshold as u64 {
+            layer += 1;
+            top_cluster = make_cluster_id(layer, root);
+            let grouped = ctx.gather_groups(actives, |_| 0u64);
+            for (_, members) in grouped.iter() {
+                for a in members {
+                    finished.push(Element {
+                        id: a.id,
+                        kind: a.kind,
+                        formed_at: a.formed_at,
+                        absorbed_into: top_cluster,
+                        absorbed_at: layer,
+                        out_edge: a.out_edge,
+                        in_edge: a.in_edge,
+                    });
+                }
+            }
+            finished.push(Element {
+                id: top_cluster,
+                kind: ElementKind::TopCluster,
+                formed_at: layer,
+                absorbed_into: VIRTUAL_NODE,
+                absorbed_at: u32::MAX,
+                out_edge: DirectedEdge::new(root, VIRTUAL_NODE),
+                in_edge: None,
+            });
+            break;
+        }
+
+        // ----- indegree-zero step -----------------------------------------------------
+        layer += 1;
+        let indeg0_layer = layer;
+        let adjacency = uncolored_children(ctx, &actives);
+        let sizes = count_subtree_sizes(ctx, adjacency, threshold);
+        let uncolored = actives.clone().filter_local(|a| !a.colored);
+        let with_self = ctx.join_lookup(uncolored, |a| a.id, &sizes, |s| s.id);
+        let with_parent = ctx.join_lookup(with_self, |(a, _)| a.parent, &sizes, |s| s.id);
+        let selected = with_parent.filter_local(|((a, own), parent)| {
+            let light = own.as_ref().map(|o| !o.heavy).unwrap_or(false);
+            let parent_heavy = parent.as_ref().map(|p| p.heavy).unwrap_or(false);
+            light && parent_heavy && a.parent != VIRTUAL_NODE
+        });
+        // Membership assignments (member element → absorbing cluster) and the new
+        // colored cluster elements, one per selected subtree root.
+        let assignments: DistVec<(ElementId, ElementId)> =
+            selected.clone().flat_map_local(|((a, own), _)| {
+                let cid = make_cluster_id(indeg0_layer, a.id);
+                own.as_ref()
+                    .map(|o| o.descendants.iter().map(|&d| (d, cid)).collect::<Vec<_>>())
+                    .unwrap_or_default()
+            });
+        let new_clusters: DistVec<Active> = selected.map_local(|((a, _), _)| Active {
+            id: make_cluster_id(indeg0_layer, a.id),
+            kind: ElementKind::ClusterIndeg0,
+            colored: true,
+            parent: a.parent,
+            out_edge: a.out_edge,
+            in_edge: None,
+            formed_at: indeg0_layer,
+        });
+        let assignments = absorb_colored_children(ctx, &actives, assignments);
+        actives = apply_absorption(
+            ctx,
+            actives,
+            &assignments,
+            indeg0_layer,
+            &mut finished,
+        )
+        .concat_local(new_clusters);
+        ctx.check_memory(&actives, "clustering/after-indeg0");
+
+        // ----- indegree-one step ------------------------------------------------------
+        layer += 1;
+        let indeg1_layer = layer;
+        let adjacency = uncolored_children(ctx, &actives);
+        // Degree-2 flags: exactly one uncolored child and a real (non-virtual) parent.
+        let uncolored = actives.clone().filter_local(|a| !a.colored);
+        let with_children = ctx.join_lookup(uncolored, |a| a.id, &adjacency, |x| x.0);
+        let flags: DistVec<(ElementId, bool, ElementId, ElementId)> =
+            with_children.map_local(|(a, ch)| {
+                let children = ch.as_ref().map(|c| c.1.clone()).unwrap_or_default();
+                let is_path = children.len() == 1 && a.parent != VIRTUAL_NODE;
+                (
+                    a.id,
+                    is_path,
+                    children.first().copied().unwrap_or(VIRTUAL_NODE),
+                    a.parent,
+                )
+            });
+        let path_candidates = flags.clone().filter_local(|f| f.1);
+        let with_up = ctx.join_lookup(path_candidates, |f| f.3, &flags, |x| x.0);
+        let with_down = ctx.join_lookup(with_up, |(f, _)| f.2, &flags, |x| x.0);
+        let path_nodes: DistVec<PathNode> = with_down.map_local(|((f, up), down)| PathNode {
+            id: f.0,
+            up: f.3,
+            up_is_path: up.as_ref().map(|u| u.1).unwrap_or(false),
+            down: f.2,
+            down_is_path: down.as_ref().map(|d| d.1).unwrap_or(false),
+        });
+        let positions = path_distances(ctx, path_nodes);
+
+        // Fragments of at most `threshold` consecutive path nodes; the bottom anchor of
+        // the path uniquely identifies the path, the quotient of the downward distance
+        // identifies the fragment.
+        let pos_with_active = ctx.join_lookup(positions, |p| p.id, &actives, |a| a.id);
+        let frag_key = move |p: &PathPosition| (p.bottom_anchor, (p.dist_down - 1) / threshold as u64);
+        let groups = ctx.gather_groups(pos_with_active, move |(p, _)| frag_key(p));
+        // For every fragment: membership assignments, the new (uncolored, indegree-1)
+        // cluster element, and a lookup request for its incoming edge.
+        let frag_products: DistVec<(Vec<(ElementId, ElementId)>, Active, (ElementId, ElementId))> =
+            groups.flat_map_local(|(_, members)| {
+                let mut members: Vec<(PathPosition, Active)> = members
+                    .into_iter()
+                    .filter_map(|(p, a)| a.map(|a| (p, a)))
+                    .collect();
+                if members.is_empty() {
+                    return Vec::new();
+                }
+                members.sort_by_key(|(p, _)| p.dist_down);
+                let (_, bottom_active) = members[0];
+                let (_, top_active) = *members.last().expect("non-empty fragment");
+                let cid = make_cluster_id(indeg1_layer, top_active.id);
+                let assignments: Vec<(ElementId, ElementId)> =
+                    members.iter().map(|(_, a)| (a.id, cid)).collect();
+                let cluster = Active {
+                    id: cid,
+                    kind: ElementKind::ClusterIndeg1,
+                    colored: false,
+                    parent: top_active.parent,
+                    out_edge: top_active.out_edge,
+                    in_edge: None,
+                    formed_at: indeg1_layer,
+                };
+                vec![(assignments, cluster, (cid, bottom_active.id))]
+            });
+        let assignments: DistVec<(ElementId, ElementId)> = frag_products
+            .clone()
+            .flat_map_local(|(assign, _, _)| assign);
+        let new_clusters_raw: DistVec<Active> =
+            frag_products.clone().map_local(|(_, cluster, _)| *cluster);
+        let in_edge_requests: DistVec<(ElementId, ElementId)> =
+            frag_products.map_local(|(_, _, req)| *req);
+
+        // Resolve incoming edges: the unique uncolored child of the fragment's bottom
+        // member contributes its outgoing edge as the fragment's incoming edge.
+        let child_table: DistVec<(ElementId, DirectedEdge)> = actives
+            .clone()
+            .filter_local(|a| !a.colored)
+            .map_local(|a| (a.parent, a.out_edge));
+        let resolved = ctx.join_lookup(in_edge_requests, |r| r.1, &child_table, |t| t.0);
+        let in_edges: DistVec<(ElementId, Option<DirectedEdge>)> =
+            resolved.map_local(|((cid, _), found)| (*cid, found.as_ref().map(|f| f.1)));
+        let clusters_with_in = ctx.join_lookup(new_clusters_raw, |c| c.id, &in_edges, |x| x.0);
+        let new_clusters: DistVec<Active> = clusters_with_in.map_local(|(c, found)| Active {
+            in_edge: found.as_ref().and_then(|f| f.1),
+            ..*c
+        });
+
+        let assignments = absorb_colored_children(ctx, &actives, assignments);
+        let remaining = apply_absorption(ctx, actives, &assignments, indeg1_layer, &mut finished);
+        let merged = remaining.concat_local(new_clusters);
+        // Re-target parent pointers of everything whose parent was just absorbed.
+        let retargeted = ctx.join_lookup(merged, |a| a.parent, &assignments, |x| x.0);
+        actives = retargeted.map_local(|(a, found)| match found {
+            Some((_, cid)) => Active { parent: *cid, ..*a },
+            None => *a,
+        });
+        ctx.check_memory(&actives, "clustering/after-indeg1");
+    }
+
+    let elements = ctx.from_vec(finished);
+    let elements = ctx.rebalance(elements);
+    ctx.check_memory(&elements, "clustering/elements");
+    Ok(Clustering {
+        num_nodes,
+        root,
+        num_layers: layer,
+        threshold,
+        elements,
+        top_cluster,
+    })
+}
+
+/// Uncolored-subgraph adjacency: for every uncolored element, the list of its uncolored
+/// children (possibly empty). One `gather_groups` (`O(1)` rounds).
+fn uncolored_children(
+    ctx: &mut MpcContext,
+    actives: &DistVec<Active>,
+) -> DistVec<(ElementId, Vec<ElementId>)> {
+    let child_pairs: DistVec<(ElementId, ElementId)> = actives.clone().flat_map_local(|a| {
+        if !a.colored && a.parent != VIRTUAL_NODE {
+            vec![(a.parent, a.id)]
+        } else {
+            Vec::new()
+        }
+    });
+    let self_pairs: DistVec<(ElementId, ElementId)> = actives.clone().flat_map_local(|a| {
+        if !a.colored {
+            vec![(a.id, VIRTUAL_NODE)]
+        } else {
+            Vec::new()
+        }
+    });
+    let grouped = ctx.gather_groups(child_pairs.concat_local(self_pairs), |p| p.0);
+    grouped.map_local(|(id, pairs)| {
+        let children: Vec<ElementId> = pairs
+            .iter()
+            .map(|(_, c)| *c)
+            .filter(|&c| c != VIRTUAL_NODE)
+            .collect();
+        (*id, children)
+    })
+}
+
+/// Extend membership assignments with the colored children of already-assigned members
+/// (colored elements always follow their parent into its cluster). One join.
+fn absorb_colored_children(
+    ctx: &mut MpcContext,
+    actives: &DistVec<Active>,
+    assignments: DistVec<(ElementId, ElementId)>,
+) -> DistVec<(ElementId, ElementId)> {
+    let colored = actives.clone().filter_local(|a| a.colored);
+    let joined = ctx.join_lookup(colored, |a| a.parent, &assignments, |x| x.0);
+    let colored_assignments: DistVec<(ElementId, ElementId)> =
+        joined.flat_map_local(|(a, found)| match found {
+            Some((_, cid)) => vec![(a.id, cid)],
+            None => Vec::new(),
+        });
+    assignments.concat_local(colored_assignments)
+}
+
+/// Remove absorbed elements from the active set, recording them in `finished`.
+/// One join; the iteration over absorbed records models the machine-local write-out of
+/// finalized elements.
+fn apply_absorption(
+    ctx: &mut MpcContext,
+    actives: DistVec<Active>,
+    assignments: &DistVec<(ElementId, ElementId)>,
+    layer: u32,
+    finished: &mut Vec<Element>,
+) -> DistVec<Active> {
+    let tagged = ctx.join_lookup(actives, |a| a.id, assignments, |x| x.0);
+    for (a, assigned) in tagged.iter() {
+        if let Some((_, cid)) = assigned {
+            finished.push(Element {
+                id: a.id,
+                kind: a.kind,
+                formed_at: a.formed_at,
+                absorbed_into: *cid,
+                absorbed_at: layer,
+                out_edge: a.out_edge,
+                in_edge: a.in_edge,
+            });
+        }
+    }
+    tagged
+        .filter_local(|(_, assigned)| assigned.is_none())
+        .map_local(|(a, _)| *a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_engine::MpcConfig;
+    use tree_gen::shapes;
+    use tree_repr::Tree;
+
+    fn cluster_tree(tree: &Tree, delta: f64, threshold: Option<usize>) -> (Clustering, u64) {
+        let n = tree.len().max(16);
+        let mut ctx = MpcContext::new(MpcConfig::new(n, delta));
+        let edges = ctx.from_vec(tree.edges());
+        let clustering =
+            build_clustering(&mut ctx, &edges, tree.root() as u64, tree.len(), threshold)
+                .expect("clustering succeeds");
+        (clustering, ctx.metrics().rounds)
+    }
+
+    fn assert_valid(tree: &Tree, clustering: &Clustering) {
+        let violations = clustering.validate(&tree.edges());
+        assert!(
+            violations.is_empty(),
+            "clustering violations on a {}-node tree: {:?}",
+            tree.len(),
+            &violations[..violations.len().min(5)]
+        );
+    }
+
+    #[test]
+    fn clusters_a_path() {
+        let tree = shapes::path(200);
+        let (clustering, _) = cluster_tree(&tree, 0.5, Some(6));
+        assert_valid(&tree, &clustering);
+        assert!(clustering.num_clusters() > 1);
+        assert!(clustering.max_cluster_size() <= 6 * 7);
+    }
+
+    #[test]
+    fn clusters_a_star_within_threshold() {
+        // Degree must stay within the threshold, so use a star of 6 leaves.
+        let tree = shapes::star(7);
+        let (clustering, _) = cluster_tree(&tree, 0.5, Some(8));
+        assert_valid(&tree, &clustering);
+    }
+
+    #[test]
+    fn rejects_high_degree_input() {
+        let tree = shapes::star(100);
+        let mut ctx = MpcContext::new(MpcConfig::new(128, 0.5));
+        let edges = ctx.from_vec(tree.edges());
+        let err = build_clustering(&mut ctx, &edges, 0, tree.len(), Some(8));
+        assert!(err.is_err());
+        assert!(err.unwrap_err().0.contains("degree"));
+    }
+
+    #[test]
+    fn clusters_balanced_binary() {
+        let tree = shapes::balanced_kary(511, 2);
+        let (clustering, _) = cluster_tree(&tree, 0.5, None);
+        assert_valid(&tree, &clustering);
+    }
+
+    #[test]
+    fn clusters_caterpillar() {
+        let tree = shapes::caterpillar(80, 3);
+        let (clustering, _) = cluster_tree(&tree, 0.5, Some(5));
+        assert_valid(&tree, &clustering);
+    }
+
+    #[test]
+    fn clusters_random_trees() {
+        for seed in 0..5 {
+            let tree = shapes::random_recursive(300, seed);
+            if tree.max_degree() > 8 {
+                continue;
+            }
+            let (clustering, _) = cluster_tree(&tree, 0.5, Some(8));
+            assert_valid(&tree, &clustering);
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let tree = Tree::singleton();
+        let (clustering, _) = cluster_tree(&tree, 0.5, None);
+        assert_valid(&tree, &clustering);
+        assert_eq!(clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn layer_count_is_small() {
+        // Lemma 4: O(1) layers. With threshold t the layer count should stay well below
+        // a small constant multiple of log_t(n).
+        for shape in [shapes::path(400), shapes::balanced_kary(400, 2), shapes::spider(4, 100)] {
+            let (clustering, _) = cluster_tree(&shape, 0.5, Some(5));
+            assert!(
+                clustering.num_layers <= 20,
+                "too many layers: {}",
+                clustering.num_layers
+            );
+            assert_valid(&shape, &clustering);
+        }
+    }
+
+    #[test]
+    fn rounds_grow_with_diameter_not_size() {
+        // Same node count, very different diameters: the deep tree must use more rounds.
+        let deep = shapes::path(512);
+        let shallow = shapes::balanced_kary(512, 4);
+        let (_, rounds_deep) = cluster_tree(&deep, 0.5, Some(11));
+        let (_, rounds_shallow) = cluster_tree(&shallow, 0.5, Some(11));
+        assert!(
+            rounds_shallow < rounds_deep,
+            "shallow {rounds_shallow} vs deep {rounds_deep}"
+        );
+    }
+}

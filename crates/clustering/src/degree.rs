@@ -1,0 +1,210 @@
+//! Degree reduction: replacing high-degree nodes with `O(1)`-depth trees
+//! (Section 4.4 of the paper).
+//!
+//! The clustering construction assumes maximum degree `n^{δ/2}`. Whenever a node has
+//! more children than that, its children are partitioned into groups of at most
+//! `n^{δ/2}`, each group is hung below a fresh *auxiliary* node, and the auxiliary nodes
+//! become the node's new children; the step repeats until every node is within the
+//! bound (a constant number of repetitions, since each level reduces the child count by
+//! a factor `n^{δ/2}`). Edges from an original child to its (possibly auxiliary) parent
+//! keep the kind [`EdgeKind::Original`]; edges out of auxiliary nodes are
+//! [`EdgeKind::Auxiliary`], and DP rules must force both endpoints of an auxiliary edge
+//! to represent the same original node (Section 5.3).
+
+use crate::element::EdgeKind;
+use mpc_engine::{DistVec, MpcContext};
+use tree_repr::{DirectedEdge, NodeId};
+
+/// Base for auxiliary node ids (far above any original node id used in this workspace,
+/// but below the 2^48 limit required by cluster-id packing).
+pub const AUX_BASE: NodeId = 1 << 44;
+
+/// Result of [`reduce_degrees`].
+#[derive(Debug, Clone)]
+pub struct DegreeReduced {
+    /// The transformed edge list, each edge tagged original/auxiliary.
+    pub edges: DistVec<(DirectedEdge, EdgeKind)>,
+    /// The root (unchanged).
+    pub root: NodeId,
+    /// Total number of nodes after the transformation (original + auxiliary).
+    pub num_nodes: usize,
+    /// Number of original nodes.
+    pub original_nodes: usize,
+    /// Mapping from every auxiliary node to the original node it stands in for.
+    pub aux_to_original: DistVec<(NodeId, NodeId)>,
+}
+
+/// Replace every node with more than `max_children` children by an `O(1)`-depth tree of
+/// auxiliary nodes. `O(1)` rounds per level and `O(log_{max_children} Δ)` levels — a
+/// constant for `max_children = n^{δ/2}`.
+///
+/// Returns `None` when `max_children < 2` (the transformation cannot terminate).
+pub fn reduce_degrees(
+    ctx: &mut MpcContext,
+    edges: &DistVec<DirectedEdge>,
+    root: NodeId,
+    num_nodes: usize,
+    max_children: usize,
+) -> Option<DegreeReduced> {
+    if max_children < 2 {
+        return None;
+    }
+    // Every original edge starts as an Original edge.
+    let mut current: DistVec<(DirectedEdge, EdgeKind)> =
+        edges.clone().map_local(|e| (*e, EdgeKind::Original));
+    let mut aux_map: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut next_aux = AUX_BASE;
+    let mut total_nodes = num_nodes;
+
+    // Repeat until no node exceeds the bound. Each level: group edges by parent, split
+    // oversized families into groups of `max_children` under fresh auxiliary nodes.
+    let max_levels = 64; // safety cap; real level count is O(log Δ / log max_children)
+    for _ in 0..max_levels {
+        let grouped = ctx.gather_groups(current.clone(), |(e, _)| e.parent);
+        let oversized = ctx.all_reduce(
+            &grouped,
+            0u64,
+            |acc, (_, g)| acc.max(g.len() as u64),
+            |a, b| a.max(b),
+        );
+        if oversized <= max_children as u64 {
+            break;
+        }
+        let mut rewritten: Vec<(DirectedEdge, EdgeKind)> = Vec::new();
+        for (parent, family) in grouped.iter() {
+            if family.len() <= max_children {
+                rewritten.extend(family.iter().copied());
+                continue;
+            }
+            // The original node the (possibly auxiliary) parent stands for, so that the
+            // auxiliary map always points at a real original node.
+            let represented = aux_map
+                .iter()
+                .find(|(aux, _)| aux == parent)
+                .map(|(_, orig)| *orig)
+                .unwrap_or(*parent);
+            for chunk in family.chunks(max_children) {
+                let aux = next_aux;
+                next_aux += 1;
+                total_nodes += 1;
+                aux_map.push((aux, represented));
+                // The auxiliary node takes over this chunk of children...
+                for (edge, kind) in chunk {
+                    rewritten.push((DirectedEdge::new(edge.child, aux), *kind));
+                }
+                // ...and hangs below the parent through an auxiliary edge.
+                rewritten.push((DirectedEdge::new(aux, *parent), EdgeKind::Auxiliary));
+            }
+        }
+        current = ctx.from_vec(rewritten);
+        current = ctx.rebalance(current);
+        ctx.check_memory(&current, "degree-reduction");
+    }
+
+    let aux_to_original = ctx.from_vec(aux_map);
+    Some(DegreeReduced {
+        edges: current,
+        root,
+        num_nodes: total_nodes,
+        original_nodes: num_nodes,
+        aux_to_original,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_engine::MpcConfig;
+    use tree_gen::shapes;
+    use tree_repr::Tree;
+
+    fn reduce(tree: &Tree, max_children: usize) -> DegreeReduced {
+        let mut ctx = MpcContext::new(MpcConfig::new(tree.len().max(16), 0.5));
+        let edges = ctx.from_vec(tree.edges());
+        reduce_degrees(&mut ctx, &edges, tree.root() as u64, tree.len(), max_children)
+            .expect("valid bound")
+    }
+
+    /// Rebuild a host-side tree over remapped contiguous ids for structural checks.
+    fn rebuild(reduced: &DegreeReduced) -> (Tree, Vec<u64>) {
+        let edges: Vec<DirectedEdge> = reduced.edges.iter().map(|(e, _)| *e).collect();
+        let mut ids: Vec<u64> = edges.iter().flat_map(|e| [e.child, e.parent]).collect();
+        ids.push(reduced.root);
+        ids.sort();
+        ids.dedup();
+        let index_of = |id: u64| ids.binary_search(&id).unwrap();
+        let mut parents = vec![None; ids.len()];
+        for e in &edges {
+            parents[index_of(e.child)] = Some(index_of(e.parent));
+        }
+        (Tree::from_parents(parents), ids)
+    }
+
+    #[test]
+    fn star_is_reduced_to_bounded_degree() {
+        let tree = shapes::star(200);
+        let reduced = reduce(&tree, 4);
+        let (rebuilt, _) = rebuild(&reduced);
+        assert_eq!(reduced.num_nodes, rebuilt.len());
+        assert!(rebuilt.max_degree() <= 5, "degree {}", rebuilt.max_degree());
+        // All original nodes survive.
+        assert!(reduced.num_nodes >= 200);
+        assert_eq!(reduced.original_nodes, 200);
+    }
+
+    #[test]
+    fn diameter_grows_only_by_constant_factor() {
+        let tree = shapes::broom(10, 500);
+        let reduced = reduce(&tree, 8);
+        let (rebuilt, _) = rebuild(&reduced);
+        // Section 4.4: the number of nodes and the diameter grow by at most a constant
+        // factor; with threshold 8 and 500 leaves the auxiliary tree has depth ≤ 3.
+        assert!(rebuilt.diameter() <= tree.diameter() + 8);
+        assert!(reduced.num_nodes <= 2 * tree.len());
+    }
+
+    #[test]
+    fn bounded_tree_is_unchanged() {
+        let tree = shapes::balanced_kary(127, 2);
+        let reduced = reduce(&tree, 4);
+        assert_eq!(reduced.num_nodes, 127);
+        assert!(reduced.aux_to_original.is_empty());
+        assert!(reduced
+            .edges
+            .iter()
+            .all(|(_, kind)| *kind == EdgeKind::Original));
+    }
+
+    #[test]
+    fn aux_edges_marked_and_mapped() {
+        let tree = shapes::star(50);
+        let reduced = reduce(&tree, 4);
+        let aux_edges: Vec<_> = reduced
+            .edges
+            .iter()
+            .filter(|(_, kind)| *kind == EdgeKind::Auxiliary)
+            .collect();
+        assert!(!aux_edges.is_empty());
+        // Every auxiliary node maps back to the star's center (node 0).
+        for (aux, orig) in reduced.aux_to_original.iter() {
+            assert!(*aux >= AUX_BASE);
+            assert_eq!(*orig, 0);
+        }
+        // Original edges always have an original child.
+        for (e, kind) in reduced.edges.iter() {
+            if *kind == EdgeKind::Original {
+                assert!(e.child < AUX_BASE);
+            } else {
+                assert!(e.child >= AUX_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_bound() {
+        let tree = shapes::star(10);
+        let mut ctx = MpcContext::new(MpcConfig::new(16, 0.5));
+        let edges = ctx.from_vec(tree.edges());
+        assert!(reduce_degrees(&mut ctx, &edges, 0, 10, 1).is_none());
+    }
+}

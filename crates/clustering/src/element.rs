@@ -1,0 +1,139 @@
+//! Elements of the hierarchical clustering: original nodes and contracted clusters.
+
+use mpc_engine::Words;
+use tree_repr::DirectedEdge;
+
+/// Identifier of an element: either an original node id or a cluster id.
+///
+/// Cluster ids have the [`CLUSTER_FLAG`] bit set; original node ids must stay below that
+/// bit (checked during construction).
+pub type ElementId = u64;
+
+/// Bit that distinguishes cluster ids from original node ids.
+pub const CLUSTER_FLAG: u64 = 1 << 62;
+
+/// Identifier of the virtual node outside the tree that the root's virtual outgoing edge
+/// points to (Section 1.5: "we add at the root an additional virtual edge pointing
+/// outside the tree").
+pub const VIRTUAL_NODE: ElementId = u64::MAX;
+
+/// `true` if `id` denotes a cluster created during the clustering construction.
+pub fn is_cluster_id(id: ElementId) -> bool {
+    id != VIRTUAL_NODE && (id & CLUSTER_FLAG) != 0
+}
+
+/// Build a cluster id from the layer it is formed at and its defining element
+/// (the subtree root for indegree-0 clusters, the topmost path node for indegree-1
+/// clusters). Only the low 48 bits of the defining id are used; this is unambiguous
+/// because at any point in the construction at most one active element carries a given
+/// low-48-bit pattern (original node ids must stay below 2^48).
+pub fn make_cluster_id(layer: u32, defining: ElementId) -> ElementId {
+    CLUSTER_FLAG | ((layer as u64) << 48) | (defining & ((1 << 48) - 1))
+}
+
+/// What an element is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementKind {
+    /// An original node of the (degree-reduced) input tree.
+    Node,
+    /// An indegree-0 cluster (a fully contracted subtree; drawn as a *colored* node in
+    /// Fig. 5 of the paper).
+    ClusterIndeg0,
+    /// An indegree-1 cluster (a contracted caterpillar around a degree-2 path fragment).
+    ClusterIndeg1,
+    /// The single topmost cluster containing everything.
+    TopCluster,
+}
+
+impl ElementKind {
+    /// `true` for any of the cluster kinds.
+    pub fn is_cluster(&self) -> bool {
+        !matches!(self, ElementKind::Node)
+    }
+}
+
+/// One element of the hierarchical clustering, as recorded in the final output.
+///
+/// `absorbed_into` / `absorbed_at` say which cluster (and at which layer) this element
+/// became a member of; the top cluster is the only element that is never absorbed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Element {
+    /// This element's id.
+    pub id: ElementId,
+    /// What it is.
+    pub kind: ElementKind,
+    /// Layer at which the element came into existence (0 for original nodes).
+    pub formed_at: u32,
+    /// Cluster that absorbed it, or [`VIRTUAL_NODE`] for the top cluster.
+    pub absorbed_into: ElementId,
+    /// Layer at which it was absorbed (`u32::MAX` for the top cluster).
+    pub absorbed_at: u32,
+    /// The unique *original-tree* edge leaving this element (for the top cluster and the
+    /// original root this is the virtual edge `(root, VIRTUAL_NODE)`).
+    pub out_edge: DirectedEdge,
+    /// For indegree-1 clusters: the unique original-tree edge entering the element.
+    pub in_edge: Option<DirectedEdge>,
+}
+
+impl Words for Element {
+    fn words(&self) -> usize {
+        10
+    }
+}
+
+/// Kind of an edge after degree reduction (Sections 4.4 and 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// An edge of the original input tree (possibly re-targeted at an auxiliary node
+    /// that stands in for the original parent).
+    Original,
+    /// An edge between an auxiliary copy of a high-degree node and its parent (another
+    /// auxiliary copy or the original node); DP rules must treat both endpoints as the
+    /// same original node.
+    Auxiliary,
+}
+
+impl Words for EdgeKind {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_ids_are_flagged_and_unique_per_layer() {
+        let a = make_cluster_id(1, 42);
+        let b = make_cluster_id(2, 42);
+        let c = make_cluster_id(1, 43);
+        assert!(is_cluster_id(a));
+        assert!(!is_cluster_id(42));
+        assert!(!is_cluster_id(VIRTUAL_NODE));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kinds_classify() {
+        assert!(!ElementKind::Node.is_cluster());
+        assert!(ElementKind::ClusterIndeg0.is_cluster());
+        assert!(ElementKind::ClusterIndeg1.is_cluster());
+        assert!(ElementKind::TopCluster.is_cluster());
+    }
+
+    #[test]
+    fn element_word_size_is_constant() {
+        let e = Element {
+            id: 1,
+            kind: ElementKind::Node,
+            formed_at: 0,
+            absorbed_into: make_cluster_id(1, 0),
+            absorbed_at: 1,
+            out_edge: DirectedEdge::new(1, 2),
+            in_edge: None,
+        };
+        assert_eq!(e.words(), 10);
+    }
+}

@@ -1,0 +1,431 @@
+//! The `O(log D)`-round subroutines the clustering construction is built from.
+//!
+//! The paper uses `CountSubtreeSizes`, `GatherSubtrees` and `CountDistances` from
+//! Balliu et al. (SODA 2023) as black boxes. This module re-implements them on top of
+//! the `mpc-engine` primitives:
+//!
+//! * [`count_subtree_sizes`] — capped descendant-set doubling. Every node maintains the
+//!   set of descendants it has discovered (within the uncolored subgraph); one doubling
+//!   step replaces the set by the union of its members' sets, so after `⌈log₂ h⌉` steps
+//!   (`h` = height of the uncolored subgraph, `h ≤ D`) every node either knows its
+//!   subtree exactly or knows that it exceeds the cap `n^{δ/2}`. This is the documented
+//!   substitution for Lemma 6.13 of [4]: round-optimal (`O(log D)`), deterministic, but
+//!   using up to `O(n · n^{δ/2})` global memory instead of `O(n)`.
+//! * [`path_distances`] — pointer doubling along degree-2 paths (Lemma 6.17 of [4]).
+//!   Any path in a tree has length at most `D`, so `⌈log₂ D⌉` jump rounds suffice.
+//!
+//! `GatherSubtrees` (Lemma 6.14) needs no separate routine here: once a light node knows
+//! its exact descendant set, membership assignments are distributed with one join.
+
+use crate::element::ElementId;
+use mpc_engine::{DistVec, MpcContext, Words};
+
+/// Result of [`count_subtree_sizes`] for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtreeInfo {
+    /// The node this record describes.
+    pub id: ElementId,
+    /// `true` when the node has strictly more than `cap` descendants (itself included).
+    pub heavy: bool,
+    /// The node's full descendant set (itself included), exact whenever `heavy == false`.
+    pub descendants: Vec<ElementId>,
+}
+
+impl Words for SubtreeInfo {
+    fn words(&self) -> usize {
+        3 + self.descendants.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SizeState {
+    id: ElementId,
+    heavy: bool,
+    set: Vec<ElementId>,
+    /// `true` once the set can no longer grow (either heavy or a fixpoint was reached).
+    stable: bool,
+}
+
+impl Words for SizeState {
+    fn words(&self) -> usize {
+        4 + self.set.len()
+    }
+}
+
+/// For every node of a rooted forest (given as `(node, children)` adjacency), determine
+/// whether its subtree holds more than `cap` nodes, and if not, its exact descendant set.
+///
+/// `children` must list, for every participating node, its children *within the
+/// participating node set* (nodes absent from the map are treated as leaves).
+/// Runs `O(log h)` doubling iterations where `h` is the forest height, each iteration a
+/// constant number of MPC primitives.
+pub fn count_subtree_sizes(
+    ctx: &mut MpcContext,
+    adjacency: DistVec<(ElementId, Vec<ElementId>)>,
+    cap: usize,
+) -> DistVec<SubtreeInfo> {
+    // Seed: every node knows itself and its children (distance ≤ 1).
+    let mut states: DistVec<SizeState> = adjacency.map_local(|(id, children)| {
+        let mut set = Vec::with_capacity(children.len() + 1);
+        set.push(*id);
+        set.extend(children.iter().copied());
+        let heavy = set.len() > cap;
+        SizeState {
+            id: *id,
+            heavy,
+            stable: heavy,
+            set,
+        }
+    });
+    ctx.check_memory(&states, "count_subtree_sizes/seed");
+
+    loop {
+        // One doubling step: fetch the set of every known descendant and take the union.
+        let requests: DistVec<(ElementId, ElementId)> = states
+            .clone()
+            .flat_map_local(|s| {
+                if s.stable {
+                    Vec::new()
+                } else {
+                    s.set.iter().map(|&d| (s.id, d)).collect::<Vec<_>>()
+                }
+            });
+        if requests.is_empty() {
+            break;
+        }
+        let answered = ctx.join_lookup(requests, |r| r.1, &states, |s| s.id);
+        let gathered = ctx.gather_groups(answered, |(req, _)| req.0);
+        let updates: DistVec<(ElementId, bool, Vec<ElementId>, bool)> =
+            gathered.map_local(|(owner, answers)| {
+                let mut union: Vec<ElementId> = Vec::new();
+                let mut heavy = false;
+                for (_, found) in answers {
+                    if let Some(child_state) = found {
+                        if child_state.heavy {
+                            heavy = true;
+                        }
+                        union.extend(child_state.set.iter().copied());
+                    }
+                }
+                union.sort_unstable();
+                union.dedup();
+                if union.len() > cap {
+                    heavy = true;
+                    union.truncate(cap + 1);
+                }
+                (*owner, heavy, union, false)
+            });
+        // Merge updates back into the state vector and detect the fixpoint.
+        let joined = ctx.join_lookup(states, |s| s.id, &updates, |u| u.0);
+        let mut changed = 0u64;
+        let new_states: Vec<SizeState> = joined
+            .iter()
+            .map(|(old, upd)| match upd {
+                Some((_, heavy, set, _)) if !old.stable => {
+                    let grew = set.len() > old.set.len() || (*heavy && !old.heavy);
+                    if grew {
+                        changed += 1;
+                    }
+                    SizeState {
+                        id: old.id,
+                        heavy: *heavy,
+                        stable: *heavy || !grew,
+                        set: if *heavy { old.set.clone() } else { set.clone() },
+                    }
+                }
+                _ => old.clone(),
+            })
+            .collect();
+        states = ctx.from_vec(new_states);
+        ctx.check_memory(&states, "count_subtree_sizes/step");
+        let total_changed = ctx.broadcast(changed);
+        if total_changed == 0 {
+            break;
+        }
+    }
+
+    states.map_local(|s| SubtreeInfo {
+        id: s.id,
+        heavy: s.heavy,
+        descendants: if s.heavy { Vec::new() } else { s.set.clone() },
+    })
+}
+
+/// Input record for [`path_distances`]: one node of a degree-2 path, with its neighbor
+/// above and below, each tagged with whether that neighbor is itself a path node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathNode {
+    /// The path node.
+    pub id: ElementId,
+    /// Its parent (always exists; a path node is never the root).
+    pub up: ElementId,
+    /// Whether the parent is also a degree-2 path node.
+    pub up_is_path: bool,
+    /// Its unique uncolored child.
+    pub down: ElementId,
+    /// Whether that child is also a degree-2 path node.
+    pub down_is_path: bool,
+}
+
+impl Words for PathNode {
+    fn words(&self) -> usize {
+        5
+    }
+}
+
+/// Output of [`path_distances`] for one path node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathPosition {
+    /// The path node.
+    pub id: ElementId,
+    /// First non-path ancestor (the node the topmost path node hangs from).
+    pub top_anchor: ElementId,
+    /// Distance (in edges) to `top_anchor` — the paper's "upwards position".
+    pub dist_up: u64,
+    /// First non-path descendant below the path — unique per path, used as the path id.
+    pub bottom_anchor: ElementId,
+    /// Distance (in edges) to `bottom_anchor` — the paper's "downwards position".
+    pub dist_down: u64,
+}
+
+impl Words for PathPosition {
+    fn words(&self) -> usize {
+        5
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JumpState {
+    id: ElementId,
+    ptr: Option<ElementId>,
+    dist: u64,
+    anchor: ElementId,
+}
+
+impl Words for JumpState {
+    fn words(&self) -> usize {
+        5
+    }
+}
+
+/// Pointer-doubling along one direction of the path: every node ends up knowing the
+/// first non-path node in that direction and its distance to it.
+fn jump(
+    ctx: &mut MpcContext,
+    init: Vec<JumpState>,
+) -> Vec<(ElementId, ElementId, u64)> {
+    let mut states: DistVec<JumpState> = ctx.from_vec(init);
+    loop {
+        let pending = ctx.all_reduce(
+            &states,
+            0u64,
+            |acc, s| acc + u64::from(s.ptr.is_some()),
+            |a, b| a + b,
+        );
+        if pending == 0 {
+            break;
+        }
+        let snapshot = states.clone();
+        let joined = ctx.join_lookup(
+            states,
+            |s| s.ptr.unwrap_or(u64::MAX),
+            &snapshot,
+            |s| s.id,
+        );
+        states = joined.map_local(|(s, found)| match (s.ptr, found) {
+            (Some(_), Some(t)) => JumpState {
+                id: s.id,
+                ptr: t.ptr,
+                dist: s.dist + t.dist,
+                anchor: t.anchor,
+            },
+            _ => *s,
+        });
+        ctx.check_memory(&states, "path_distances/jump");
+    }
+    states.iter().map(|s| (s.id, s.anchor, s.dist)).collect()
+}
+
+/// Compute, for every degree-2 path node, its distance to both endpoints of its maximal
+/// path (the paper's `CountDistances`). `O(log D)` rounds.
+pub fn path_distances(
+    ctx: &mut MpcContext,
+    nodes: DistVec<PathNode>,
+) -> DistVec<PathPosition> {
+    if nodes.is_empty() {
+        return ctx.empty();
+    }
+    let up_init: Vec<JumpState> = nodes
+        .iter()
+        .map(|n| JumpState {
+            id: n.id,
+            ptr: if n.up_is_path { Some(n.up) } else { None },
+            dist: 1,
+            anchor: n.up,
+        })
+        .collect();
+    let down_init: Vec<JumpState> = nodes
+        .iter()
+        .map(|n| JumpState {
+            id: n.id,
+            ptr: if n.down_is_path { Some(n.down) } else { None },
+            dist: 1,
+            anchor: n.down,
+        })
+        .collect();
+    let ups = jump(ctx, up_init);
+    let downs = jump(ctx, down_init);
+    let up_dv = ctx.from_vec(ups);
+    let down_dv = ctx.from_vec(downs);
+    let joined = ctx.join_lookup(up_dv, |u| u.0, &down_dv, |d| d.0);
+    joined.map_local(|(up, down)| {
+        let down = down.expect("every path node has both directions");
+        PathPosition {
+            id: up.0,
+            top_anchor: up.1,
+            dist_up: up.2,
+            bottom_anchor: down.1,
+            dist_down: down.2,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_engine::MpcConfig;
+    use tree_gen::shapes;
+    use tree_repr::Tree;
+
+    fn ctx(n: usize) -> MpcContext {
+        MpcContext::new(MpcConfig::new(n.max(16), 0.5))
+    }
+
+    fn adjacency_of(tree: &Tree) -> Vec<(ElementId, Vec<ElementId>)> {
+        (0..tree.len())
+            .map(|v| {
+                (
+                    v as u64,
+                    tree.children(v).iter().map(|&c| c as u64).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn subtree_sizes_exact_below_cap() {
+        let tree = shapes::balanced_kary(31, 2);
+        let mut c = ctx(64);
+        let adj = c.from_vec(adjacency_of(&tree));
+        let info = count_subtree_sizes(&mut c, adj, 100);
+        let sizes = tree.subtree_sizes();
+        for rec in info.to_vec() {
+            assert!(!rec.heavy);
+            assert_eq!(rec.descendants.len(), sizes[rec.id as usize], "node {}", rec.id);
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_heavy_above_cap() {
+        let tree = shapes::path(64);
+        let mut c = ctx(64);
+        let adj = c.from_vec(adjacency_of(&tree));
+        let cap = 10;
+        let info = count_subtree_sizes(&mut c, adj, cap);
+        let sizes = tree.subtree_sizes();
+        for rec in info.to_vec() {
+            let expected_heavy = sizes[rec.id as usize] > cap;
+            assert_eq!(rec.heavy, expected_heavy, "node {}", rec.id);
+            if !rec.heavy {
+                assert_eq!(rec.descendants.len(), sizes[rec.id as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_size_rounds_scale_with_height_not_size() {
+        // A shallow wide tree and a deep path of the same size: the shallow tree must
+        // need far fewer rounds.
+        let shallow = shapes::star(256);
+        let deep = shapes::path(256);
+        let mut rounds = Vec::new();
+        for tree in [&shallow, &deep] {
+            let mut c = ctx(256);
+            let adj = c.from_vec(adjacency_of(tree));
+            let _ = count_subtree_sizes(&mut c, adj, 8);
+            rounds.push(c.metrics().rounds);
+        }
+        assert!(rounds[0] < rounds[1], "star {} vs path {}", rounds[0], rounds[1]);
+    }
+
+    #[test]
+    fn path_distances_on_pure_path() {
+        // Path 0→1→…→9 rooted at 0; nodes 1..=8 are degree-2 (node 9 is a leaf, node 0
+        // is the root). Path nodes: 1..=8, top anchor 0, bottom anchor 9.
+        let mut c = ctx(32);
+        let nodes: Vec<PathNode> = (1..=8u64)
+            .map(|v| PathNode {
+                id: v,
+                up: v - 1,
+                up_is_path: v - 1 >= 1,
+                down: v + 1,
+                down_is_path: v + 1 <= 8,
+            })
+            .collect();
+        let dv = c.from_vec(nodes);
+        let out = path_distances(&mut c, dv).to_vec();
+        for p in out {
+            assert_eq!(p.top_anchor, 0, "node {}", p.id);
+            assert_eq!(p.bottom_anchor, 9, "node {}", p.id);
+            assert_eq!(p.dist_up, p.id, "node {}", p.id);
+            assert_eq!(p.dist_down, 9 - p.id, "node {}", p.id);
+        }
+    }
+
+    #[test]
+    fn path_distances_multiple_paths() {
+        // A spider with 3 legs of length 6: each leg's internal nodes form a separate
+        // degree-2 path with the center as top anchor and the leaf as bottom anchor.
+        let tree = shapes::spider(3, 6);
+        let mut c = ctx(64);
+        let depths = tree.depths();
+        let mut path_nodes = Vec::new();
+        for v in 0..tree.len() {
+            let is_path = tree.children(v).len() == 1 && tree.parent(v).is_some();
+            if !is_path {
+                continue;
+            }
+            let up = tree.parent(v).unwrap();
+            let down = tree.children(v)[0];
+            path_nodes.push(PathNode {
+                id: v as u64,
+                up: up as u64,
+                up_is_path: tree.children(up).len() == 1 && tree.parent(up).is_some(),
+                down: down as u64,
+                down_is_path: tree.children(down).len() == 1,
+            });
+        }
+        let dv = c.from_vec(path_nodes.clone());
+        let out = path_distances(&mut c, dv).to_vec();
+        assert_eq!(out.len(), path_nodes.len());
+        for p in &out {
+            assert_eq!(p.top_anchor, 0);
+            assert_eq!(p.dist_up, depths[p.id as usize] as u64);
+            assert_eq!(p.dist_up + p.dist_down, 6);
+            // Bottom anchor must be the leg's leaf.
+            assert!(tree.children(p.bottom_anchor as usize).is_empty());
+        }
+        // Distinct legs have distinct bottom anchors (the path identifier property).
+        let mut anchors: Vec<u64> = out.iter().map(|p| p.bottom_anchor).collect();
+        anchors.sort();
+        anchors.dedup();
+        assert_eq!(anchors.len(), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut c = ctx(16);
+        let empty_nodes: DistVec<PathNode> = c.empty();
+        assert!(path_distances(&mut c, empty_nodes).is_empty());
+    }
+}

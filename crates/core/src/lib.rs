@@ -1,0 +1,32 @@
+//! # `tree-dp-core` — dynamic programming on trees in the MPC model
+//!
+//! This crate is the paper's primary contribution: a framework that solves any *dynamic
+//! programming problem* (Definition 1) on a tree in `O(log D)` deterministic MPC rounds,
+//! by (1) normalizing the input, (2) building a hierarchical clustering once, and
+//! (3) running a bottom-up / top-down pass over the `O(1)` layers of that clustering in
+//! `O(1)` rounds per problem.
+//!
+//! * [`ClusterDp`] — the problem abstraction of Definition 1.
+//! * [`StateDp`] / [`StateEngine`] — a generic finite-state optimization engine that
+//!   realizes Definition 1 for most of Table 1 (independent set, matching, dominating
+//!   set, vertex cover, colorings, max-SAT, ...), including the auxiliary-edge rules
+//!   for high-degree inputs (Section 5.3).
+//! * [`solve_dp`] — the MPC solver (Sections 5.1–5.2).
+//! * [`solve_sequential`] — the sequential oracle used for differential testing.
+//! * [`prepare`] / [`PreparedTree`] — the end-to-end three-step pipeline (Section 1.4),
+//!   with clustering reuse across problems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod problem;
+pub mod sequential;
+pub mod solver;
+pub mod state_dp;
+
+pub use pipeline::{prepare, prepare_and_solve, PipelineError, PreparedTree};
+pub use problem::{ClusterDp, ClusterView, Member, Payload};
+pub use sequential::{solve_sequential, SequentialSolution};
+pub use solver::{solve_dp, DpSolution, EdgeData};
+pub use state_dp::{Score, StateDp, StateEngine, StateSummary};

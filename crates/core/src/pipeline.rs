@@ -1,0 +1,174 @@
+//! End-to-end pipeline: the paper's three-step approach
+//! (Section 1.4) packaged behind one API.
+//!
+//! 1. **Normalize** the input representation into the standard rooted edge list
+//!    (`O(log D)` rounds, Section 3 — only `O(1)` for already-rooted representations).
+//! 2. **Degree-reduce and cluster**: replace high-degree nodes by `O(1)`-depth auxiliary
+//!    trees (Section 4.4) and build the hierarchical clustering (`O(log D)` rounds,
+//!    Section 4).
+//! 3. **Solve** any number of DP problems on the same clustering, each in `O(1)` rounds
+//!    (Section 5). The clustering is computed once per input topology and reused — this
+//!    is the headline structural message of the paper.
+
+use crate::problem::ClusterDp;
+use crate::solver::{solve_dp, DpSolution, EdgeData};
+use mpc_engine::{DistVec, MpcContext};
+use tree_clustering::{
+    build_clustering, reduce_degrees, ClusterError, Clustering, EdgeKind,
+};
+use tree_repr::{normalize, DirectedEdge, NodeId, TreeInput};
+
+/// Errors of the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The input representation was malformed (unbalanced parentheses, several roots,
+    /// a cycle, ...).
+    MalformedInput,
+    /// The clustering construction failed.
+    Clustering(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::MalformedInput => write!(f, "malformed tree input"),
+            PipelineError::Clustering(msg) => write!(f, "clustering failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ClusterError> for PipelineError {
+    fn from(e: ClusterError) -> Self {
+        PipelineError::Clustering(e.0)
+    }
+}
+
+/// A tree that has been normalized, degree-reduced, and hierarchically clustered —
+/// ready to solve any number of DP problems in `O(1)` additional rounds each.
+#[derive(Debug, Clone)]
+pub struct PreparedTree {
+    /// The hierarchical clustering (reusable across problems and input labellings).
+    pub clustering: Clustering,
+    /// Edges of the degree-reduced tree with their kinds.
+    pub edges: DistVec<(DirectedEdge, EdgeKind)>,
+    /// The root node.
+    pub root: NodeId,
+    /// Number of nodes after degree reduction (original + auxiliary).
+    pub num_nodes: usize,
+    /// Number of original nodes.
+    pub original_nodes: usize,
+    /// For every auxiliary node, the original node it stands in for.
+    pub aux_to_original: DistVec<(NodeId, NodeId)>,
+}
+
+/// Run steps 1 and 2 of the pipeline: normalize any representation, reduce degrees, and
+/// build the hierarchical clustering. `threshold` overrides `n^{δ/2}` (useful for small
+/// test inputs and ablations).
+pub fn prepare(
+    ctx: &mut MpcContext,
+    input: TreeInput,
+    threshold: Option<usize>,
+) -> Result<PreparedTree, PipelineError> {
+    let normalized = ctx
+        .phase("normalize", |ctx| normalize(ctx, input))
+        .ok_or(PipelineError::MalformedInput)?;
+    let threshold = threshold
+        .unwrap_or_else(|| ctx.config().n_half_delta())
+        .max(2);
+    let reduced = ctx
+        .phase("degree-reduction", |ctx| {
+            reduce_degrees(
+                ctx,
+                &normalized.edges,
+                normalized.root,
+                normalized.num_nodes,
+                threshold,
+            )
+        })
+        .ok_or(PipelineError::MalformedInput)?;
+    let plain_edges: DistVec<DirectedEdge> = reduced.edges.clone().map_local(|(e, _)| *e);
+    let clustering = ctx.phase("clustering", |ctx| {
+        build_clustering(
+            ctx,
+            &plain_edges,
+            reduced.root,
+            reduced.num_nodes,
+            Some(threshold),
+        )
+    })?;
+    Ok(PreparedTree {
+        clustering,
+        edges: reduced.edges,
+        root: reduced.root,
+        num_nodes: reduced.num_nodes,
+        original_nodes: reduced.original_nodes,
+        aux_to_original: reduced.aux_to_original,
+    })
+}
+
+impl PreparedTree {
+    /// Solve one DP problem on the prepared tree (`O(1)` rounds).
+    ///
+    /// * `node_inputs` — inputs of the *original* nodes.
+    /// * `aux_input` — the input assigned to every auxiliary node introduced by degree
+    ///   reduction (e.g. weight 0 for MaxIS).
+    /// * `edge_inputs` — optional per-edge inputs keyed by the edge's child endpoint.
+    pub fn solve<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        problem: &P,
+        node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+        aux_input: P::NodeInput,
+        edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+    ) -> DpSolution<P> {
+        ctx.phase("dp-solve", |ctx| {
+            // Inputs for auxiliary nodes.
+            let aux_inputs: DistVec<(NodeId, P::NodeInput)> = self
+                .aux_to_original
+                .clone()
+                .map_local(|(aux, _)| (*aux, aux_input.clone()));
+            let all_inputs = node_inputs.clone().concat_local(aux_inputs);
+            // Edge data: kinds from the degree-reduced edge list, inputs from the caller.
+            let edge_data_raw = ctx.join_lookup(
+                self.edges.clone(),
+                |(e, _)| e.child,
+                edge_inputs,
+                |x| x.0,
+            );
+            let edge_data: DistVec<EdgeData<P::EdgeInput>> =
+                edge_data_raw.map_local(|((edge, kind), input)| EdgeData {
+                    child: edge.child,
+                    kind: *kind,
+                    input: input
+                        .as_ref()
+                        .map(|x| x.1.clone())
+                        .unwrap_or_default(),
+                });
+            solve_dp(ctx, &self.clustering, problem, &all_inputs, &edge_data)
+        })
+    }
+
+    /// Number of layers of the underlying clustering.
+    pub fn num_layers(&self) -> u32 {
+        self.clustering.num_layers
+    }
+}
+
+/// Convenience: prepare and solve a single problem in one call, returning the solution
+/// together with the prepared tree (so further problems can reuse the clustering).
+#[allow(clippy::type_complexity)]
+pub fn prepare_and_solve<P: ClusterDp>(
+    ctx: &mut MpcContext,
+    input: TreeInput,
+    threshold: Option<usize>,
+    problem: &P,
+    node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+    aux_input: P::NodeInput,
+    edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+) -> Result<(PreparedTree, DpSolution<P>), PipelineError> {
+    let prepared = prepare(ctx, input, threshold)?;
+    let solution = prepared.solve(ctx, problem, node_inputs, aux_input, edge_inputs);
+    Ok((prepared, solution))
+}

@@ -1,0 +1,314 @@
+//! The MPC solver: bottom-up summarization (Section 5.1) and top-down labeling
+//! (Section 5.2) over a pre-computed hierarchical clustering.
+//!
+//! Both phases process the `O(1)` layers of the clustering one by one; within a layer,
+//! the members of every cluster are brought onto one machine with a constant number of
+//! sort/join rounds, the cluster is processed locally by the problem's sequential code,
+//! and the results (summaries going up, labels going down) are written back. Hence the
+//! whole phase costs `O(1)` rounds per layer and `O(1)` rounds in total — this is the
+//! "solve the problem of interest in O(1) rounds" step of the paper's three-step
+//! approach, and it can be repeated for any number of problems on the same clustering.
+
+use crate::problem::{ClusterDp, ClusterView, Member, Payload};
+use mpc_engine::{DistVec, MpcContext, Words};
+use tree_clustering::{Clustering, EdgeKind, Element, ElementId, ElementKind};
+use tree_repr::NodeId;
+
+/// Problem-specific data attached to an original edge, keyed by the edge's child
+/// endpoint: its kind (original vs. auxiliary) and the problem's edge input.
+#[derive(Debug, Clone)]
+pub struct EdgeData<E> {
+    /// The edge's child endpoint (the key).
+    pub child: NodeId,
+    /// Original or auxiliary (Sections 4.4 / 5.3).
+    pub kind: EdgeKind,
+    /// Problem-specific edge input (e.g. a weight).
+    pub input: E,
+}
+
+impl<E: Words> Words for EdgeData<E> {
+    fn words(&self) -> usize {
+        2 + self.input.words()
+    }
+}
+
+/// The solution of a DP problem.
+#[derive(Debug, Clone)]
+pub struct DpSolution<P: ClusterDp> {
+    /// One label per edge, keyed by the edge's child endpoint. The virtual root edge is
+    /// included under the root's node id (it carries the root's own state).
+    pub labels: DistVec<(NodeId, P::Label)>,
+    /// The label of the virtual root edge.
+    pub root_label: P::Label,
+    /// The summary of the top cluster (e.g. the optimum value / total count).
+    pub root_summary: P::Summary,
+}
+
+struct MemberRec<P: ClusterDp> {
+    element: Element,
+    payload: Payload<P::NodeInput, P::Summary>,
+    out_kind: EdgeKind,
+    out_input: P::EdgeInput,
+}
+
+impl<P: ClusterDp> Clone for MemberRec<P> {
+    fn clone(&self) -> Self {
+        Self {
+            element: self.element,
+            payload: self.payload.clone(),
+            out_kind: self.out_kind,
+            out_input: self.out_input.clone(),
+        }
+    }
+}
+
+impl<P: ClusterDp> Words for MemberRec<P> {
+    fn words(&self) -> usize {
+        self.element.words() + self.payload.words() + 1 + self.out_input.words()
+    }
+}
+
+/// Solve a DP problem on a hierarchical clustering.
+///
+/// * `inputs` — one record per original node of the (degree-reduced) tree.
+/// * `edge_data` — optional per-edge kind / input records, keyed by the edge's child
+///   endpoint; edges without a record default to `(Original, E::default())`.
+///
+/// Costs `O(1)` rounds per layer, i.e. `O(1)` rounds in total for the `O(1)`-layer
+/// clustering of Section 4.
+pub fn solve_dp<P: ClusterDp>(
+    ctx: &mut MpcContext,
+    clustering: &Clustering,
+    problem: &P,
+    inputs: &DistVec<(NodeId, P::NodeInput)>,
+    edge_data: &DistVec<EdgeData<P::EdgeInput>>,
+) -> DpSolution<P> {
+    // ---- bottom-up phase (Section 5.1) --------------------------------------------
+    let mut payloads: DistVec<(ElementId, Payload<P::NodeInput, P::Summary>)> = inputs
+        .clone()
+        .map_local(|(id, input)| (*id, Payload::Input(input.clone())));
+    let mut top_summary: Option<P::Summary> = None;
+
+    let views_per_layer: Vec<u32> = (1..=clustering.num_layers).collect();
+    for &layer in &views_per_layer {
+        let views = ctx.phase("dp-bottom-up", |ctx| {
+            build_views::<P>(ctx, clustering, layer, &payloads, edge_data)
+        });
+        if views.is_empty() {
+            continue;
+        }
+        let summaries: DistVec<(ElementId, Payload<P::NodeInput, P::Summary>)> = views
+            .map_local(|view| {
+                let summary = problem.summarize(view);
+                (view.cluster, Payload::Summary(summary))
+            });
+        for (cid, payload) in summaries.iter() {
+            if *cid == clustering.top_cluster {
+                if let Payload::Summary(s) = payload {
+                    top_summary = Some(s.clone());
+                }
+            }
+        }
+        payloads = payloads.concat_local(summaries);
+        ctx.check_memory(&payloads, "dp/payloads");
+    }
+    let root_summary = top_summary.expect("top cluster summarized");
+
+    // ---- top-down phase (Section 5.2) ----------------------------------------------
+    let root_label = problem.label_root(&root_summary);
+    let mut labels: DistVec<(NodeId, P::Label)> =
+        ctx.from_vec(vec![(clustering.root, root_label.clone())]);
+
+    for &layer in views_per_layer.iter().rev() {
+        let views = ctx.phase("dp-top-down", |ctx| {
+            build_views::<P>(ctx, clustering, layer, &payloads, edge_data)
+        });
+        if views.is_empty() {
+            continue;
+        }
+        // Fetch the labels of every cluster's boundary edges (they were produced at
+        // higher layers, by the top-down invariant of Definition 9).
+        let with_out = ctx.join_lookup(views, |v| v.out_edge.child, &labels, |l| l.0);
+        let with_in = ctx.join_lookup(
+            with_out,
+            |(v, _)| v.in_edge.map(|e| e.child).unwrap_or(u64::MAX),
+            &labels,
+            |l| l.0,
+        );
+        let new_labels: DistVec<(NodeId, P::Label)> =
+            with_in.flat_map_local(|((view, out), in_lab)| {
+                let out_label = out.expect("boundary out-label present").1;
+                let in_label = in_lab.map(|l| l.1);
+                let member_labels = problem.label_members(&view, &out_label, in_label.as_ref());
+                view.members
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != view.top)
+                    .map(|(i, m)| (m.element.out_edge.child, member_labels[i].clone()))
+                    .collect::<Vec<_>>()
+            });
+        labels = labels.concat_local(new_labels);
+        ctx.check_memory(&labels, "dp/labels");
+    }
+
+    DpSolution {
+        labels,
+        root_label,
+        root_summary,
+    }
+}
+
+/// Assemble the [`ClusterView`] of every cluster formed at `layer`, each fully contained
+/// in one machine (a constant number of joins and one group gathering).
+fn build_views<P: ClusterDp>(
+    ctx: &mut MpcContext,
+    clustering: &Clustering,
+    layer: u32,
+    payloads: &DistVec<(ElementId, Payload<P::NodeInput, P::Summary>)>,
+    edge_data: &DistVec<EdgeData<P::EdgeInput>>,
+) -> DistVec<ClusterView<P>> {
+    let members_at_layer = clustering
+        .elements
+        .clone()
+        .filter_local(|e| e.absorbed_at == layer && e.kind != ElementKind::TopCluster);
+    if members_at_layer.is_empty() {
+        return ctx.empty();
+    }
+    let with_payload = ctx.join_lookup(members_at_layer, |e| e.id, payloads, |p| p.0);
+    let with_edge = ctx.join_lookup(
+        with_payload,
+        |(e, _)| e.out_edge.child,
+        edge_data,
+        |d| d.child,
+    );
+    let member_recs: DistVec<MemberRec<P>> = with_edge.map_local(|((element, payload), edge)| {
+        let payload = payload
+            .as_ref()
+            .map(|p| p.1.clone())
+            .expect("every member has a payload (input or summary)");
+        let (out_kind, out_input) = edge
+            .as_ref()
+            .map(|d| (d.kind, d.input.clone()))
+            .unwrap_or((EdgeKind::Original, P::EdgeInput::default()));
+        MemberRec {
+            element: *element,
+            payload,
+            out_kind,
+            out_input,
+        }
+    });
+    let grouped = ctx.gather_groups(member_recs, |m| m.element.absorbed_into);
+    // Attach the cluster's own element record and the data of its incoming edge.
+    let with_cluster = ctx.join_lookup(grouped, |(cid, _)| *cid, &clustering.elements, |e| e.id);
+    let with_in_edge = ctx.join_lookup(
+        with_cluster,
+        |((_, _), cluster)| {
+            cluster
+                .as_ref()
+                .and_then(|c| c.in_edge)
+                .map(|e| e.child)
+                .unwrap_or(u64::MAX)
+        },
+        edge_data,
+        |d| d.child,
+    );
+    let views = with_in_edge.map_local(|(((cid, members), cluster), in_edge_data)| {
+        let cluster = cluster.as_ref().expect("cluster element exists");
+        assemble_view::<P>(*cid, cluster, members.clone(), in_edge_data.clone())
+    });
+    ctx.check_memory(&views, "dp/views");
+    views
+}
+
+/// Link the members of one cluster into the small member tree (machine-local).
+fn assemble_view<P: ClusterDp>(
+    cid: ElementId,
+    cluster: &Element,
+    members: Vec<MemberRec<P>>,
+    in_edge_data: Option<EdgeData<P::EdgeInput>>,
+) -> ClusterView<P> {
+    // Member `b` hangs below member `a` when `a` accepts `b`'s outgoing edge: original
+    // nodes accept every edge pointing at them, contracted clusters accept exactly
+    // their recorded incoming edge.
+    let accepts = |a: &MemberRec<P>, edge: &tree_repr::DirectedEdge| -> bool {
+        if a.element.kind == ElementKind::Node {
+            a.element.id == edge.parent
+        } else {
+            a.element.in_edge == Some(*edge)
+        }
+    };
+    let n = members.len();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in 0..n {
+        let edge = members[b].element.out_edge;
+        if edge == cluster.out_edge {
+            continue;
+        }
+        for a in 0..n {
+            if a != b && accepts(&members[a], &edge) {
+                parent[b] = Some(a);
+                children[a].push(b);
+                break;
+            }
+        }
+    }
+    let top = members
+        .iter()
+        .position(|m| m.element.out_edge == cluster.out_edge)
+        .expect("the top member carries the cluster's outgoing edge");
+    let attach = cluster
+        .in_edge
+        .and_then(|e| members.iter().position(|m| accepts(m, &e)));
+    let (in_kind, in_input) = match in_edge_data {
+        Some(d) => (d.kind, Some(d.input)),
+        None => (EdgeKind::Original, None),
+    };
+    let members: Vec<Member<P>> = members
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| Member {
+            element: m.element,
+            payload: m.payload,
+            out_kind: m.out_kind,
+            out_input: m.out_input,
+            parent: parent[i],
+            children: std::mem::take(&mut children[i]),
+        })
+        .collect();
+    ClusterView {
+        cluster: cid,
+        kind: cluster.kind,
+        members,
+        top,
+        out_edge: cluster.out_edge,
+        in_edge: cluster.in_edge,
+        attach,
+        in_kind,
+        in_input,
+    }
+}
+
+impl<P: ClusterDp> Words for ClusterView<P> {
+    fn words(&self) -> usize {
+        4 + self
+            .members
+            .iter()
+            .map(|m| {
+                m.element.words()
+                    + m.payload.words()
+                    + 2
+                    + m.out_input.words()
+                    + m.children.len()
+            })
+            .sum::<usize>()
+    }
+}
+
+/// Build an edge-data table where every edge is original and carries the problem's
+/// default edge input (convenience for problems without edge inputs).
+pub fn default_edge_data<E: Clone + Default + Words + Send>(
+    ctx: &MpcContext,
+) -> DistVec<EdgeData<E>> {
+    ctx.empty()
+}

@@ -1,0 +1,461 @@
+//! The MPC execution context: round counting, memory/bandwidth accounting, and the
+//! basic communication primitives (routing, broadcasting, rebalancing).
+
+use crate::config::MpcConfig;
+use crate::distvec::DistVec;
+use crate::error::{MpcError, MpcResult, Violation, ViolationKind};
+use crate::metrics::{Metrics, PhaseMetrics};
+use crate::words::{slice_words, Words};
+use crate::MachineId;
+
+/// A per-machine outbox used by custom communication rounds
+/// (see [`MpcContext::communicate`]).
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(MachineId, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// Create an empty outbox.
+    pub fn new() -> Self {
+        Self { msgs: Vec::new() }
+    }
+
+    /// Queue `msg` for delivery to machine `to` at the end of the round.
+    pub fn send(&mut self, to: MachineId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// `true` when no message has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A running MPC system: owns the configuration and all metrics, and exposes the
+/// communication primitives that algorithms are built from.
+///
+/// Every primitive charges the number of communication rounds a deterministic MPC
+/// implementation of that primitive needs (constants follow the references in Section 2
+/// of the paper), records the communication volume actually moved, and checks the
+/// resulting data layout against the `Θ(n^δ)` local-memory cap.
+#[derive(Debug)]
+pub struct MpcContext {
+    cfg: MpcConfig,
+    metrics: Metrics,
+    phase_stack: Vec<(String, u64, u64)>,
+}
+
+impl MpcContext {
+    /// Create a context for the given configuration.
+    pub fn new(cfg: MpcConfig) -> Self {
+        Self {
+            cfg,
+            metrics: Metrics::default(),
+            phase_stack: Vec::new(),
+        }
+    }
+
+    /// The configuration this context runs under.
+    pub fn config(&self) -> &MpcConfig {
+        &self.cfg
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Reset all metrics (round counts, communication, violations, phases).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::default();
+        self.phase_stack.clear();
+    }
+
+    /// Returns an error if any model violation has been recorded.
+    pub fn check_compliance(&self) -> MpcResult<()> {
+        match self.metrics.violations.first() {
+            Some(v) => Err(MpcError::Violation(v.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Run `f` as a named phase; rounds and communication consumed inside are
+    /// attributed to `name` in [`Metrics::phases`].
+    pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.phase_stack
+            .push((name.to_string(), self.metrics.rounds, self.metrics.total_words_sent));
+        let out = f(self);
+        let (name, rounds0, sent0) = self.phase_stack.pop().expect("phase stack balanced");
+        self.metrics.phases.push(PhaseMetrics {
+            name,
+            rounds: self.metrics.rounds - rounds0,
+            words_sent: self.metrics.total_words_sent - sent0,
+        });
+        out
+    }
+
+    // ----- internal accounting ---------------------------------------------------
+
+    /// Name of the innermost running phase (for violation messages).
+    fn current_context(&self, fallback: &str) -> String {
+        self.phase_stack
+            .last()
+            .map(|(n, _, _)| format!("{n}/{fallback}"))
+            .unwrap_or_else(|| fallback.to_string())
+    }
+
+    /// Charge `k` communication rounds. Exposed so that algorithm crates can account
+    /// for steps whose data movement is simulated at a higher level (each caller
+    /// documents the deterministic MPC implementation whose cost is charged).
+    pub fn charge_rounds(&mut self, k: u64) {
+        self.metrics.rounds += k;
+    }
+
+    /// Record per-machine send/receive volumes for one round and check them against the
+    /// bandwidth budget.
+    pub fn record_comm(&mut self, sends: &[usize], recvs: &[usize], what: &str) {
+        let limit = self.cfg.bandwidth_capacity();
+        let ctx_name = self.current_context(what);
+        let round = self.metrics.rounds;
+        for (machine, &s) in sends.iter().enumerate() {
+            self.metrics.total_words_sent += s as u64;
+            if s > self.metrics.max_words_sent_per_round {
+                self.metrics.max_words_sent_per_round = s;
+            }
+            if s > limit {
+                self.push_violation(Violation {
+                    kind: ViolationKind::SendBandwidth,
+                    machine,
+                    round,
+                    observed: s,
+                    limit,
+                    context: ctx_name.clone(),
+                });
+            }
+        }
+        for (machine, &r) in recvs.iter().enumerate() {
+            if r > self.metrics.max_words_received_per_round {
+                self.metrics.max_words_received_per_round = r;
+            }
+            if r > limit {
+                self.push_violation(Violation {
+                    kind: ViolationKind::ReceiveBandwidth,
+                    machine,
+                    round,
+                    observed: r,
+                    limit,
+                    context: ctx_name.clone(),
+                });
+            }
+        }
+    }
+
+    /// Check the memory footprint of a distributed vector against the local-memory cap.
+    pub fn check_memory<T: Words>(&mut self, dv: &DistVec<T>, what: &str) {
+        let limit = self.cfg.local_capacity();
+        let ctx_name = self.current_context(what);
+        let round = self.metrics.rounds;
+        for (machine, chunk) in dv.chunks().iter().enumerate() {
+            let w = slice_words(chunk);
+            if w > self.metrics.peak_local_memory {
+                self.metrics.peak_local_memory = w;
+            }
+            if w > limit {
+                self.push_violation(Violation {
+                    kind: ViolationKind::LocalMemory,
+                    machine,
+                    round,
+                    observed: w,
+                    limit,
+                    context: ctx_name.clone(),
+                });
+            }
+        }
+    }
+
+    fn push_violation(&mut self, v: Violation) {
+        if self.cfg.strict {
+            panic!("MPC model violation (strict mode): {v}");
+        }
+        self.metrics.violations.push(v);
+    }
+
+    /// Number of rounds needed to aggregate (or broadcast) one word per machine through
+    /// a fan-in `Θ(n^δ)` tree: `ceil(log_{n^δ} #machines)`, at least 1.
+    pub fn agg_rounds(&self) -> u64 {
+        let m = self.cfg.num_machines() as f64;
+        let base = (self.cfg.n_delta() as f64).max(2.0);
+        (m.ln() / base.ln()).ceil().max(1.0) as u64
+    }
+
+    /// Rounds charged for one deterministic MPC sort (Goodrich-style, `O(1/δ)` rounds).
+    pub fn sort_rounds(&self) -> u64 {
+        2 * self.agg_rounds() + 2
+    }
+
+    // ----- data creation ---------------------------------------------------------
+
+    /// Distribute `data` evenly over the machines (this is the input layout; no rounds).
+    pub fn from_vec<T>(&self, data: Vec<T>) -> DistVec<T> {
+        DistVec::from_vec_cfg(&self.cfg, data)
+    }
+
+    /// An empty distributed vector shaped for this context's machine count.
+    pub fn empty<T>(&self) -> DistVec<T> {
+        DistVec::empty_cfg(&self.cfg)
+    }
+
+    // ----- communication primitives ------------------------------------------------
+
+    /// Send every record to the machine chosen by `dest` (1 round).
+    ///
+    /// Records whose destination equals their current machine do not consume bandwidth.
+    /// Destinations are clamped to the machine range.
+    pub fn route<T, F>(&mut self, dv: DistVec<T>, dest: F) -> DistVec<T>
+    where
+        T: Words + Send,
+        F: Fn(&T) -> MachineId + Sync,
+    {
+        let machines = self.cfg.num_machines();
+        let mut sends = vec![0usize; machines];
+        let mut recvs = vec![0usize; machines];
+        let mut out: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
+        for (src, chunk) in dv.into_chunks().into_iter().enumerate() {
+            for item in chunk {
+                let d = dest(&item).min(machines - 1);
+                if d != src {
+                    let w = item.words();
+                    sends[src] += w;
+                    recvs[d] += w;
+                }
+                out[d].push(item);
+            }
+        }
+        self.charge_rounds(1);
+        self.record_comm(&sends, &recvs, "route");
+        let result = DistVec::from_chunks(out);
+        self.check_memory(&result, "route");
+        result
+    }
+
+    /// Rebalance records into evenly sized contiguous chunks, preserving global order
+    /// (1 round plus the prefix-sum style offset exchange).
+    pub fn rebalance<T>(&mut self, dv: DistVec<T>) -> DistVec<T>
+    where
+        T: Words + Send,
+    {
+        let machines = self.cfg.num_machines();
+        let total = dv.len();
+        let per = ((total + machines - 1) / machines).max(1);
+        let mut sends = vec![0usize; machines];
+        let mut recvs = vec![0usize; machines];
+        let mut out: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
+        let mut idx = 0usize;
+        for (src, chunk) in dv.into_chunks().into_iter().enumerate() {
+            for item in chunk {
+                let d = (idx / per).min(machines - 1);
+                if d != src {
+                    let w = item.words();
+                    sends[src] += w;
+                    recvs[d] += w;
+                }
+                out[d].push(item);
+                idx += 1;
+            }
+        }
+        self.charge_rounds(1 + self.agg_rounds());
+        self.record_comm(&sends, &recvs, "rebalance");
+        let result = DistVec::from_chunks(out);
+        self.check_memory(&result, "rebalance");
+        result
+    }
+
+    /// Make a small value known to all machines (`agg_rounds` rounds through a
+    /// fan-out `Θ(n^δ)` broadcast tree).
+    pub fn broadcast<T: Words + Clone>(&mut self, value: T) -> T {
+        let machines = self.cfg.num_machines();
+        let w = value.words();
+        let sends = vec![w; machines];
+        let recvs = vec![w; machines];
+        self.charge_rounds(self.agg_rounds());
+        self.record_comm(&sends, &recvs, "broadcast");
+        value
+    }
+
+    /// Fold all records into a single value known to every machine
+    /// (an all-reduce; `2 · agg_rounds` rounds).
+    pub fn all_reduce<T, A, F, G>(&mut self, dv: &DistVec<T>, init: A, fold: F, combine: G) -> A
+    where
+        T: Words,
+        A: Words + Clone,
+        F: Fn(A, &T) -> A,
+        G: Fn(A, A) -> A,
+    {
+        let locals: Vec<A> = dv
+            .chunks()
+            .iter()
+            .map(|c| c.iter().fold(init.clone(), &fold))
+            .collect();
+        let result = locals
+            .into_iter()
+            .fold(None::<A>, |acc, x| match acc {
+                None => Some(x),
+                Some(a) => Some(combine(a, x)),
+            })
+            .unwrap_or(init);
+        let machines = self.cfg.num_machines();
+        let w = result.words();
+        self.charge_rounds(2 * self.agg_rounds());
+        self.record_comm(&vec![w; machines], &vec![w; machines], "all_reduce");
+        result
+    }
+
+    /// Count the records of `dv` (all-reduce specialisation).
+    pub fn count<T: Words>(&mut self, dv: &DistVec<T>) -> usize {
+        self.all_reduce(dv, 0usize, |a, _| a + 1, |a, b| a + b)
+    }
+
+    /// A custom communication round: every machine inspects its local state, queues
+    /// messages for other machines, and receives the messages addressed to it.
+    ///
+    /// Charges exactly one round and enforces the send/receive budget.
+    pub fn communicate<S, M, F>(&mut self, states: &mut [S], f: F) -> Vec<Vec<M>>
+    where
+        M: Words + Send,
+        S: Send,
+        F: Fn(MachineId, &mut S, &mut Outbox<M>) + Sync,
+    {
+        let machines = states.len();
+        let mut outboxes: Vec<Outbox<M>> = Vec::with_capacity(machines);
+        for (i, s) in states.iter_mut().enumerate() {
+            let mut ob = Outbox::new();
+            f(i, s, &mut ob);
+            outboxes.push(ob);
+        }
+        let mut sends = vec![0usize; machines];
+        let mut recvs = vec![0usize; machines];
+        let mut inboxes: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
+        for (src, ob) in outboxes.into_iter().enumerate() {
+            for (dst, msg) in ob.msgs {
+                let dst = dst.min(machines.saturating_sub(1));
+                let w = msg.words();
+                if dst != src {
+                    sends[src] += w;
+                    recvs[dst] += w;
+                }
+                inboxes[dst].push(msg);
+            }
+        }
+        self.charge_rounds(1);
+        self.record_comm(&sends, &recvs, "communicate");
+        inboxes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: usize) -> MpcContext {
+        MpcContext::new(MpcConfig::new(n, 0.5))
+    }
+
+    #[test]
+    fn route_moves_data_and_charges_one_round() {
+        let mut c = ctx(256);
+        let dv = c.from_vec((0u64..100).collect());
+        let routed = c.route(dv, |x| (*x % 4) as usize);
+        assert_eq!(routed.len(), 100);
+        assert_eq!(c.metrics().rounds, 1);
+        assert!(routed.chunks()[0].iter().all(|x| x % 4 == 0));
+    }
+
+    #[test]
+    fn rebalance_restores_even_chunks() {
+        let mut c = ctx(256);
+        let dv = c.from_vec((0u64..100).collect());
+        let skew = c.route(dv, |_| 0usize);
+        assert_eq!(skew.chunks()[0].len(), 100);
+        let even = c.rebalance(skew);
+        assert_eq!(even.to_vec(), (0u64..100).collect::<Vec<_>>());
+        let max = even.chunks().iter().map(Vec::len).max().unwrap();
+        assert!(max <= 100 / 2);
+    }
+
+    #[test]
+    fn broadcast_and_all_reduce_charge_rounds() {
+        let mut c = ctx(1024);
+        let dv = c.from_vec((1u64..=100).collect());
+        let sum = c.all_reduce(&dv, 0u64, |a, x| a + x, |a, b| a + b);
+        assert_eq!(sum, 5050);
+        let v = c.broadcast(42u64);
+        assert_eq!(v, 42);
+        assert!(c.metrics().rounds >= 3);
+        assert_eq!(c.count(&dv), 100);
+    }
+
+    #[test]
+    fn phases_attribute_rounds() {
+        let mut c = ctx(256);
+        let dv = c.from_vec((0u64..64).collect());
+        let dv = c.phase("shuffle", |c| c.route(dv, |x| (*x % 3) as usize));
+        let _ = c.phase("balance", |c| c.rebalance(dv));
+        assert_eq!(c.metrics().phase_rounds("shuffle"), 1);
+        assert!(c.metrics().phase_rounds("balance") >= 1);
+    }
+
+    #[test]
+    fn bandwidth_violation_is_recorded() {
+        // Tiny machines: routing everything to machine 0 must blow the receive budget.
+        let cfg = MpcConfig::new(4096, 0.3).with_bandwidth_slack(0.05);
+        let mut c = MpcContext::new(cfg);
+        let dv = c.from_vec((0u64..4096).collect());
+        let _ = c.route(dv, |_| 0usize);
+        assert!(!c.metrics().compliant());
+        assert!(c.check_compliance().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn strict_mode_panics_on_violation() {
+        let cfg = MpcConfig::strict(4096, 0.3).with_memory_slack(0.01);
+        let mut c = MpcContext::new(cfg);
+        let dv = c.from_vec((0u64..4096).collect());
+        let _ = c.route(dv, |_| 0usize);
+    }
+
+    #[test]
+    fn communicate_delivers_messages() {
+        let mut c = ctx(256);
+        let mut states: Vec<u64> = (0..c.config().num_machines() as u64).collect();
+        let inboxes = c.communicate(&mut states, |i, s, ob| {
+            ob.send((i + 1) % 4, *s);
+        });
+        let delivered: usize = inboxes.iter().map(Vec::len).sum();
+        assert_eq!(delivered, states.len());
+        assert_eq!(c.metrics().rounds, 1);
+    }
+
+    #[test]
+    fn reset_metrics_clears_everything() {
+        let mut c = ctx(256);
+        let dv = c.from_vec((0u64..64).collect());
+        let _ = c.route(dv, |_| 0);
+        assert!(c.metrics().rounds > 0);
+        c.reset_metrics();
+        assert_eq!(c.metrics().rounds, 0);
+        assert!(c.metrics().violations.is_empty());
+    }
+}

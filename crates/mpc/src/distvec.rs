@@ -1,0 +1,237 @@
+//! Distributed vectors: the unit of data the simulated machines operate on.
+
+use crate::config::MpcConfig;
+use crate::words::{slice_words, Words};
+
+/// A vector of records partitioned across the simulated machines.
+///
+/// Machine `i` holds the records in `chunks[i]`. Records are kept in a contiguous
+/// global order (chunk 0 first, then chunk 1, ...), matching the array-based view of
+/// MPC inputs used in the paper (Section 3). Operations that require communication
+/// live on [`MpcContext`](crate::MpcContext); purely machine-local operations
+/// (e.g. [`DistVec::map_local`]) are free in the model and live here.
+#[derive(Debug, Clone)]
+pub struct DistVec<T> {
+    chunks: Vec<Vec<T>>,
+}
+
+impl<T> DistVec<T> {
+    /// Create a distributed vector from explicit per-machine chunks.
+    pub fn from_chunks(chunks: Vec<Vec<T>>) -> Self {
+        Self { chunks }
+    }
+
+    /// Distribute `data` evenly across the machines of `cfg`, preserving order.
+    pub fn from_vec_cfg(cfg: &MpcConfig, data: Vec<T>) -> Self {
+        let machines = cfg.num_machines();
+        let per = ((data.len() + machines - 1) / machines).max(1);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(machines);
+        let mut it = data.into_iter();
+        for _ in 0..machines {
+            let chunk: Vec<T> = it.by_ref().take(per).collect();
+            chunks.push(chunk);
+        }
+        let rest: Vec<T> = it.collect();
+        if !rest.is_empty() {
+            // Only possible if machines*per < len, which the ceiling division prevents;
+            // keep the data anyway to be safe.
+            chunks.last_mut().expect("at least one machine").extend(rest);
+        }
+        Self { chunks }
+    }
+
+    /// An empty distributed vector with one (empty) chunk per machine.
+    pub fn empty_cfg(cfg: &MpcConfig) -> Self {
+        Self {
+            chunks: (0..cfg.num_machines()).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of machines (chunks).
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total number of records across all machines.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no machine holds any record.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(Vec::is_empty)
+    }
+
+    /// Immutable access to the per-machine chunks.
+    pub fn chunks(&self) -> &[Vec<T>] {
+        &self.chunks
+    }
+
+    /// Mutable access to the per-machine chunks (machine-local computation).
+    pub fn chunks_mut(&mut self) -> &mut [Vec<T>] {
+        &mut self.chunks
+    }
+
+    /// Consume the distributed vector and return the per-machine chunks.
+    pub fn into_chunks(self) -> Vec<Vec<T>> {
+        self.chunks
+    }
+
+    /// Collect all records into a single vector in global order.
+    ///
+    /// This is a *host-side* convenience (e.g. for tests and result extraction); it does
+    /// not correspond to an MPC operation and charges no rounds.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for c in &self.chunks {
+            out.extend(c.iter().cloned());
+        }
+        out
+    }
+
+    /// Iterate over all records in global order (host-side convenience).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Apply a machine-local transformation to every record (no communication, 0 rounds).
+    pub fn map_local<U, F>(self, f: F) -> DistVec<U>
+    where
+        F: Fn(&T) -> U,
+    {
+        DistVec {
+            chunks: self
+                .chunks
+                .iter()
+                .map(|c| c.iter().map(&f).collect())
+                .collect(),
+        }
+    }
+
+    /// Apply a machine-local filter to every record (no communication, 0 rounds).
+    pub fn filter_local<F>(self, f: F) -> DistVec<T>
+    where
+        F: Fn(&T) -> bool,
+    {
+        DistVec {
+            chunks: self
+                .chunks
+                .into_iter()
+                .map(|c| c.into_iter().filter(|t| f(t)).collect())
+                .collect(),
+        }
+    }
+
+    /// Concatenate two distributed vectors machine-by-machine (no communication,
+    /// 0 rounds): machine `i` simply appends the other vector's chunk `i` to its own.
+    pub fn concat_local(mut self, other: DistVec<T>) -> DistVec<T> {
+        let mut other_chunks = other.into_chunks();
+        if other_chunks.len() > self.chunks.len() {
+            self.chunks.resize_with(other_chunks.len(), Vec::new);
+        }
+        for (i, chunk) in other_chunks.drain(..).enumerate() {
+            self.chunks[i].extend(chunk);
+        }
+        self
+    }
+
+    /// Apply a machine-local flat-map to every record (no communication, 0 rounds).
+    pub fn flat_map_local<U, F, I>(self, f: F) -> DistVec<U>
+    where
+        F: Fn(T) -> I,
+        I: IntoIterator<Item = U>,
+    {
+        DistVec {
+            chunks: self
+                .chunks
+                .into_iter()
+                .map(|c| c.into_iter().flat_map(&f).collect())
+                .collect(),
+        }
+    }
+}
+
+impl<T: Words> DistVec<T> {
+    /// Words held by the heaviest machine.
+    pub fn max_chunk_words(&self) -> usize {
+        self.chunks.iter().map(|c| slice_words(c)).max().unwrap_or(0)
+    }
+
+    /// Total words across all machines.
+    pub fn total_words(&self) -> usize {
+        self.chunks.iter().map(|c| slice_words(c)).sum()
+    }
+
+    /// Words held by each machine.
+    pub fn chunk_words(&self) -> Vec<usize> {
+        self.chunks.iter().map(|c| slice_words(c)).collect()
+    }
+}
+
+impl<T> Default for DistVec<T> {
+    fn default() -> Self {
+        Self { chunks: vec![Vec::new()] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MpcConfig {
+        MpcConfig::new(256, 0.5)
+    }
+
+    #[test]
+    fn from_vec_preserves_order_and_len() {
+        let data: Vec<u64> = (0..100).collect();
+        let dv = DistVec::from_vec_cfg(&cfg(), data.clone());
+        assert_eq!(dv.len(), 100);
+        assert_eq!(dv.to_vec(), data);
+        assert_eq!(dv.num_chunks(), cfg().num_machines());
+    }
+
+    #[test]
+    fn empty_has_zero_len() {
+        let dv: DistVec<u64> = DistVec::empty_cfg(&cfg());
+        assert!(dv.is_empty());
+        assert_eq!(dv.len(), 0);
+    }
+
+    #[test]
+    fn map_filter_flatmap_are_local() {
+        let dv = DistVec::from_vec_cfg(&cfg(), (0u64..50).collect());
+        let mapped = dv.map_local(|x| x * 2);
+        assert_eq!(mapped.to_vec()[49], 98);
+        let filtered = mapped.filter_local(|x| x % 4 == 0);
+        assert!(filtered.to_vec().iter().all(|x| x % 4 == 0));
+        let expanded = filtered.flat_map_local(|x| vec![x, x + 1]);
+        assert_eq!(expanded.len() % 2, 0);
+    }
+
+    #[test]
+    fn words_accounting() {
+        let dv = DistVec::from_vec_cfg(&cfg(), (0u64..64).collect());
+        assert_eq!(dv.total_words(), 64);
+        assert!(dv.max_chunk_words() >= 1);
+        assert_eq!(dv.chunk_words().iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn chunk_balance_is_even() {
+        let dv = DistVec::from_vec_cfg(&cfg(), (0u64..256).collect());
+        let max = dv.chunks().iter().map(Vec::len).max().unwrap();
+        let min_nonempty = dv
+            .chunks()
+            .iter()
+            .map(Vec::len)
+            .filter(|&l| l > 0)
+            .min()
+            .unwrap();
+        assert!(max - min_nonempty <= max);
+        assert!(max <= cfg().local_capacity());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error and violation types for the MPC simulator.
+
+use std::fmt;
+
+/// Result alias used by fallible simulator operations.
+pub type MpcResult<T> = Result<T, MpcError>;
+
+/// Kinds of model violations the simulator can detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A machine's local memory exceeded its `Θ(n^δ)` capacity.
+    LocalMemory,
+    /// A machine sent more words in one round than the per-round budget.
+    SendBandwidth,
+    /// A machine received more words in one round than the per-round budget.
+    ReceiveBandwidth,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::LocalMemory => write!(f, "local memory cap exceeded"),
+            ViolationKind::SendBandwidth => write!(f, "per-round send budget exceeded"),
+            ViolationKind::ReceiveBandwidth => write!(f, "per-round receive budget exceeded"),
+        }
+    }
+}
+
+/// A single recorded violation of the MPC model constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What was violated.
+    pub kind: ViolationKind,
+    /// The machine at fault.
+    pub machine: usize,
+    /// The round (1-based, as counted so far) in which it happened.
+    pub round: u64,
+    /// Observed number of words.
+    pub observed: usize,
+    /// The cap that was exceeded.
+    pub limit: usize,
+    /// The primitive or phase during which it happened.
+    pub context: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on machine {} in round {} during `{}`: {} words > limit {}",
+            self.kind, self.machine, self.round, self.context, self.observed, self.limit
+        )
+    }
+}
+
+/// Errors produced by the MPC simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpcError {
+    /// A model constraint was violated while running in strict mode.
+    Violation(Violation),
+    /// An algorithm asked for an operation with inconsistent arguments
+    /// (e.g. joining on duplicate keys where uniqueness was required).
+    InvalidOperation(String),
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::Violation(v) => write!(f, "MPC model violation: {v}"),
+            MpcError::InvalidOperation(msg) => write!(f, "invalid MPC operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_displays_context() {
+        let v = Violation {
+            kind: ViolationKind::LocalMemory,
+            machine: 3,
+            round: 7,
+            observed: 100,
+            limit: 64,
+            context: "sort_by_key".to_string(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("machine 3"));
+        assert!(s.contains("sort_by_key"));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = MpcError::InvalidOperation("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

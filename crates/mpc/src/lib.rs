@@ -1,0 +1,67 @@
+//! # `mpc-engine` — a simulator of the Massively Parallel Computation (MPC) model
+//!
+//! This crate simulates the MPC model used throughout the paper
+//! *"Fast Dynamic Programming in Trees in the MPC Model"* (SPAA 2023):
+//!
+//! * the input consists of `n` words distributed over `Θ(n^{1-δ})` machines,
+//! * every machine has `Θ(n^δ)` words of local memory for a constant `0 < δ < 1`,
+//! * computation proceeds in synchronous **communication rounds**; in one round a
+//!   machine may send and receive at most `Θ(n^δ)` words,
+//! * the complexity measure is the number of rounds (local computation is free but
+//!   kept lightweight by the algorithms).
+//!
+//! The simulator runs in a single process but *measures what the model measures*:
+//! rounds, words sent/received per machine per round, and peak local memory in words.
+//! Violations of the memory or bandwidth caps are recorded (and optionally turned into
+//! hard errors in [`strict`](MpcConfig::strict) mode), so algorithm implementations can
+//! be checked against the model rather than merely executed.
+//!
+//! ## Main types
+//!
+//! * [`MpcConfig`] — the model parameters (`n`, `δ`, slack constants).
+//! * [`MpcContext`] — a running MPC system: owns the metrics and exposes the
+//!   communication primitives.
+//! * [`DistVec`] — a vector of records partitioned contiguously across machines; the
+//!   unit of data that primitives operate on.
+//! * Deterministic `O(1)`-round primitives from Section 2 of the paper:
+//!   [`MpcContext::sort_by_key`], [`MpcContext::prefix_sums`],
+//!   [`MpcContext::broadcast`], [`MpcContext::join_lookup`],
+//!   [`MpcContext::route`], [`MpcContext::gather_groups`].
+//!
+//! ## Example
+//!
+//! ```
+//! use mpc_engine::{MpcConfig, MpcContext, DistVec};
+//!
+//! // 1024 input words, machines with ~n^0.5 words of memory.
+//! let cfg = MpcConfig::new(1024, 0.5);
+//! let mut ctx = MpcContext::new(cfg);
+//! let data: Vec<u64> = (0..1024).rev().collect();
+//! let dv: DistVec<u64> = ctx.from_vec(data);
+//! let sorted = ctx.sort_by_key(dv, |x| *x);
+//! assert_eq!(sorted.to_vec()[0], 0);
+//! assert!(ctx.metrics().rounds > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod distvec;
+pub mod error;
+pub mod metrics;
+pub mod par;
+pub mod prefix;
+pub mod primitives;
+pub mod words;
+
+pub use config::MpcConfig;
+pub use context::{MpcContext, Outbox};
+pub use distvec::DistVec;
+pub use error::{MpcError, MpcResult, Violation, ViolationKind};
+pub use metrics::{Metrics, PhaseMetrics};
+pub use words::Words;
+
+/// Identifier of a simulated machine (index into the machine array).
+pub type MachineId = usize;

@@ -1,0 +1,127 @@
+//! Round, communication, and memory metrics collected by the simulator.
+
+use crate::error::Violation;
+
+/// Aggregate metrics of one MPC execution.
+///
+/// These are the quantities the paper's complexity statements are about: the number of
+/// communication rounds, the per-round bandwidth used, and the peak local memory of any
+/// machine.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Number of communication rounds executed so far.
+    pub rounds: u64,
+    /// Total number of words sent across all machines and rounds.
+    pub total_words_sent: u64,
+    /// Maximum number of words any machine sent in a single round.
+    pub max_words_sent_per_round: usize,
+    /// Maximum number of words any machine received in a single round.
+    pub max_words_received_per_round: usize,
+    /// Peak local memory (in words) observed on any machine.
+    pub peak_local_memory: usize,
+    /// Recorded violations of the model constraints (empty in a compliant run).
+    pub violations: Vec<Violation>,
+    /// Per-phase breakdown, in the order phases were started.
+    pub phases: Vec<PhaseMetrics>,
+}
+
+/// Metrics attributed to one named phase of an algorithm
+/// (e.g. "normalize", "clustering", "dp-bottom-up").
+#[derive(Debug, Clone)]
+pub struct PhaseMetrics {
+    /// Phase name given to [`MpcContext::start_phase`](crate::MpcContext::start_phase).
+    pub name: String,
+    /// Rounds consumed by this phase.
+    pub rounds: u64,
+    /// Words sent during this phase (all machines).
+    pub words_sent: u64,
+}
+
+impl Metrics {
+    /// `true` when no model constraint was violated.
+    pub fn compliant(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Rounds consumed by the phase with the given name (summed over repeats),
+    /// or 0 if the phase never ran.
+    pub fn phase_rounds(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.rounds)
+            .sum()
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "rounds={} sent={}w max_send/round={}w max_recv/round={}w peak_mem={}w violations={}",
+            self.rounds,
+            self.total_words_sent,
+            self.max_words_sent_per_round,
+            self.max_words_received_per_round,
+            self.peak_local_memory,
+            self.violations.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ViolationKind;
+
+    #[test]
+    fn default_is_compliant() {
+        let m = Metrics::default();
+        assert!(m.compliant());
+        assert_eq!(m.rounds, 0);
+    }
+
+    #[test]
+    fn violation_breaks_compliance() {
+        let mut m = Metrics::default();
+        m.violations.push(Violation {
+            kind: ViolationKind::LocalMemory,
+            machine: 0,
+            round: 1,
+            observed: 10,
+            limit: 5,
+            context: "test".into(),
+        });
+        assert!(!m.compliant());
+    }
+
+    #[test]
+    fn phase_rounds_sum_over_repeats() {
+        let mut m = Metrics::default();
+        m.phases.push(PhaseMetrics {
+            name: "sort".into(),
+            rounds: 3,
+            words_sent: 10,
+        });
+        m.phases.push(PhaseMetrics {
+            name: "sort".into(),
+            rounds: 2,
+            words_sent: 5,
+        });
+        m.phases.push(PhaseMetrics {
+            name: "other".into(),
+            rounds: 7,
+            words_sent: 1,
+        });
+        assert_eq!(m.phase_rounds("sort"), 5);
+        assert_eq!(m.phase_rounds("other"), 7);
+        assert_eq!(m.phase_rounds("missing"), 0);
+    }
+
+    #[test]
+    fn summary_mentions_rounds() {
+        let m = Metrics {
+            rounds: 42,
+            ..Default::default()
+        };
+        assert!(m.summary().contains("rounds=42"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Lightweight data-parallel helpers for executing machine-local computation.
+//!
+//! The MPC cost model treats local computation as free, but the simulator still has to
+//! perform it; this module spreads per-machine work across OS threads (in the spirit of
+//! rayon-style data parallelism, built only on `std::thread::scope` so no extra
+//! dependencies are needed). All helpers fall back to sequential execution when the
+//! workload is small or when the configuration disables parallelism.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the available parallelism of the host, capped at 16
+/// so that small benches are not dominated by thread startup.
+pub fn worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Threshold below which parallel helpers run sequentially.
+const SEQ_THRESHOLD: usize = 4;
+
+/// Apply `f` to every element of `items` in place, potentially in parallel.
+///
+/// `f` receives the element index and a mutable reference to the element.
+pub fn par_for_each_mut<T, F>(parallel: bool, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = worker_threads();
+    if !parallel || threads <= 1 || items.len() < SEQ_THRESHOLD {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = (items.len() + threads - 1) / threads;
+    std::thread::scope(|scope| {
+        for (c, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, item) in slice.iter_mut().enumerate() {
+                    f(c * chunk + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Map every element of `items` to a new value, preserving order, potentially in
+/// parallel. `f` receives the element index and a reference to the element.
+pub fn par_map<T, U, F>(parallel: bool, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = worker_threads();
+    if !parallel || threads <= 1 || items.len() < SEQ_THRESHOLD {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = (items.len() + threads - 1) / threads;
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (c, (slice_in, slice_out)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+            let f = &f;
+            let base = c * chunk;
+            scope.spawn(move || {
+                for (i, (t, o)) in slice_in.iter().zip(slice_out.iter_mut()).enumerate() {
+                    *o = Some(f(base + i, t));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("par_map filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_for_each_mut_touches_all() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        par_for_each_mut(true, &mut v, |i, x| *x += i as u64);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_sequential_small() {
+        let mut v = vec![1u64, 2];
+        par_for_each_mut(true, &mut v, |_, x| *x *= 10);
+        assert_eq!(v, vec![10, 20]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..517).collect();
+        let doubled = par_map(true, &v, |i, x| {
+            assert_eq!(i as u64, *x);
+            x * 2
+        });
+        assert_eq!(doubled.len(), v.len());
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_disabled_matches_enabled() {
+        let v: Vec<u64> = (0..200).collect();
+        let a = par_map(false, &v, |_, x| x * 3);
+        let b = par_map(true, &v, |_, x| x * 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_threads_positive() {
+        assert!(worker_threads() >= 1);
+    }
+}

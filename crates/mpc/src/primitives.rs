@@ -1,0 +1,271 @@
+//! Deterministic `O(1)`-round MPC primitives: sorting, indexing, joins, and group
+//! gathering (Section 2 of the paper; [Goodrich '99], [Goodrich–Sitchinava–Zhang '11],
+//! [Czumaj–Davies–Parter '21]).
+//!
+//! The simulator does not re-derive the (intricate) communication schedules of those
+//! sorting networks; it performs the data movement directly and charges the number of
+//! rounds the deterministic algorithms are known to need (`O(1)` for any constant `δ`,
+//! concretely [`MpcContext::sort_rounds`]). Communication volume and the memory of the
+//! resulting layout are accounted exactly.
+
+use crate::context::MpcContext;
+use crate::distvec::DistVec;
+use crate::words::Words;
+
+impl MpcContext {
+    /// Sort records by `key` (stable, deterministic) and return them evenly partitioned
+    /// in sorted order. Charges [`sort_rounds`](Self::sort_rounds) rounds.
+    pub fn sort_by_key<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<T>
+    where
+        T: Words + Send,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        let machines = self.config().num_machines();
+        let in_words = dv.chunk_words();
+        let mut all: Vec<T> = Vec::with_capacity(dv.len());
+        for chunk in dv.into_chunks() {
+            all.extend(chunk);
+        }
+        all.sort_by(|a, b| key(a).cmp(&key(b)));
+        let per = ((all.len() + machines - 1) / machines).max(1);
+        let mut chunks: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
+        for (i, item) in all.into_iter().enumerate() {
+            chunks[(i / per).min(machines - 1)].push(item);
+        }
+        let result = DistVec::from_chunks(chunks);
+        let out_words = result.chunk_words();
+        self.charge_rounds(self.sort_rounds());
+        self.record_comm(&in_words, &out_words, "sort_by_key");
+        self.check_memory(&result, "sort_by_key");
+        result
+    }
+
+    /// Attach the global (0-based) position to every record, preserving the current
+    /// order. Costs a prefix sum over per-machine counts
+    /// ([`agg_rounds`](Self::agg_rounds) rounds).
+    pub fn with_index<T>(&mut self, dv: DistVec<T>) -> DistVec<(u64, T)>
+    where
+        T: Words + Send,
+    {
+        let mut offset = 0u64;
+        let mut chunks: Vec<Vec<(u64, T)>> = Vec::with_capacity(dv.num_chunks());
+        for chunk in dv.into_chunks() {
+            let mut out = Vec::with_capacity(chunk.len());
+            for item in chunk {
+                out.push((offset, item));
+                offset += 1;
+            }
+            chunks.push(out);
+        }
+        let rounds = self.agg_rounds();
+        self.charge_rounds(rounds);
+        let result = DistVec::from_chunks(chunks);
+        self.check_memory(&result, "with_index");
+        result
+    }
+
+    /// Look up, for every request record, the (unique) table record with the same key.
+    ///
+    /// Returns `(request, Some(table_record))` pairs, or `None` when no table record has
+    /// that key. When several table records share a key, the first in table order wins;
+    /// algorithms in this workspace only join on unique keys. Charged as two sorts plus
+    /// one routing round (a standard sort-merge equi-join).
+    pub fn join_lookup<T, V, K, FT, FV>(
+        &mut self,
+        requests: DistVec<T>,
+        req_key: FT,
+        table: &DistVec<V>,
+        table_key: FV,
+    ) -> DistVec<(T, Option<V>)>
+    where
+        T: Words + Send,
+        V: Words + Clone + Send,
+        K: Ord,
+        FT: Fn(&T) -> K + Sync,
+        FV: Fn(&V) -> K + Sync,
+    {
+        // Build the lookup structure (represents the sort-merge of table and requests).
+        let mut table_sorted: Vec<&V> = table.iter().collect();
+        table_sorted.sort_by(|a, b| table_key(a).cmp(&table_key(b)));
+
+        let table_words = table.total_words();
+        let req_words = requests.total_words();
+        let machines = self.config().num_machines();
+        let per_machine_moved =
+            ((table_words + req_words) + machines - 1) / machines.max(1);
+
+        let chunks: Vec<Vec<(T, Option<V>)>> = requests
+            .into_chunks()
+            .into_iter()
+            .map(|chunk| {
+                chunk
+                    .into_iter()
+                    .map(|req| {
+                        let k = req_key(&req);
+                        let found = table_sorted
+                            .binary_search_by(|probe| table_key(probe).cmp(&k))
+                            .ok()
+                            .map(|idx| {
+                                // Step back to the first record with this key for determinism.
+                                let mut first = idx;
+                                while first > 0 && table_key(table_sorted[first - 1]) == k {
+                                    first -= 1;
+                                }
+                                table_sorted[first].clone()
+                            });
+                        (req, found)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        self.charge_rounds(2 * self.sort_rounds() + 1);
+        let comm = vec![per_machine_moved; machines];
+        self.record_comm(&comm, &comm, "join_lookup");
+        let result = DistVec::from_chunks(chunks);
+        self.check_memory(&result, "join_lookup");
+        result
+    }
+
+    /// Group records by key and deliver each complete group to a single machine.
+    ///
+    /// This is the "make every cluster reside on one machine" step of Section 5.1/5.2:
+    /// after sorting by the grouping key a group spans at most two machines, and one
+    /// extra routing round moves each group entirely onto one machine. Requires every
+    /// group to fit into local memory (checked).
+    pub fn gather_groups<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<(K, Vec<T>)>
+    where
+        T: Words + Send,
+        K: Ord + Clone + Words + Send,
+        F: Fn(&T) -> K + Sync,
+    {
+        let machines = self.config().num_machines();
+        let in_words = dv.chunk_words();
+        let mut all: Vec<T> = Vec::with_capacity(dv.len());
+        for chunk in dv.into_chunks() {
+            all.extend(chunk);
+        }
+        all.sort_by(|a, b| key(a).cmp(&key(b)));
+        let mut groups: Vec<(K, Vec<T>)> = Vec::new();
+        for item in all {
+            let k = key(&item);
+            match groups.last_mut() {
+                Some((gk, items)) if *gk == k => items.push(item),
+                _ => groups.push((k, vec![item])),
+            }
+        }
+        // Distribute whole groups over machines, keeping chunks balanced by word count.
+        let total_words: usize = groups.iter().map(Words::words).sum();
+        let target = ((total_words + machines - 1) / machines).max(1);
+        let mut chunks: Vec<Vec<(K, Vec<T>)>> = (0..machines).map(|_| Vec::new()).collect();
+        let mut machine = 0usize;
+        let mut filled = 0usize;
+        for group in groups {
+            let w = group.words();
+            if filled + w > target && filled > 0 && machine + 1 < machines {
+                machine += 1;
+                filled = 0;
+            }
+            filled += w;
+            chunks[machine].push(group);
+        }
+        let result = DistVec::from_chunks(chunks);
+        let out_words = result.chunk_words();
+        self.charge_rounds(self.sort_rounds() + 1);
+        self.record_comm(&in_words, &out_words, "gather_groups");
+        self.check_memory(&result, "gather_groups");
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+
+    fn ctx(n: usize) -> MpcContext {
+        MpcContext::new(MpcConfig::new(n, 0.5))
+    }
+
+    #[test]
+    fn sort_orders_globally() {
+        let mut c = ctx(1024);
+        let data: Vec<u64> = (0..500).map(|i| (i * 7919) % 1000).collect();
+        let dv = c.from_vec(data.clone());
+        let sorted = c.sort_by_key(dv, |x| *x).to_vec();
+        let mut expected = data;
+        expected.sort();
+        assert_eq!(sorted, expected);
+        assert!(c.metrics().rounds >= c.sort_rounds());
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let mut c = ctx(256);
+        let data: Vec<(u64, u64)> = (0..100).map(|i| (i % 5, i)).collect();
+        let dv = c.from_vec(data);
+        let sorted = c.sort_by_key(dv, |x| x.0).to_vec();
+        for w in sorted.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn with_index_is_sequential() {
+        let mut c = ctx(256);
+        let dv = c.from_vec((100u64..200).collect());
+        let indexed = c.with_index(dv).to_vec();
+        for (i, (idx, val)) in indexed.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*val, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn join_lookup_finds_parents() {
+        let mut c = ctx(1024);
+        let table = c.from_vec((0u64..100).map(|i| (i, i * i)).collect::<Vec<_>>());
+        let requests = c.from_vec(vec![3u64, 7, 99, 200]);
+        let joined = c
+            .join_lookup(requests, |r| *r, &table, |t| t.0)
+            .to_vec();
+        assert_eq!(joined[0].1, Some((3, 9)));
+        assert_eq!(joined[1].1, Some((7, 49)));
+        assert_eq!(joined[2].1, Some((99, 99 * 99)));
+        assert_eq!(joined[3].1, None);
+    }
+
+    #[test]
+    fn join_lookup_duplicate_keys_take_first() {
+        let mut c = ctx(256);
+        let table = c.from_vec(vec![(5u64, 1u64), (5, 2), (6, 3)]);
+        let requests = c.from_vec(vec![5u64]);
+        let joined = c.join_lookup(requests, |r| *r, &table, |t| t.0).to_vec();
+        assert_eq!(joined[0].1, Some((5, 1)));
+    }
+
+    #[test]
+    fn gather_groups_collects_all_members() {
+        let mut c = ctx(1024);
+        let data: Vec<(u64, u64)> = (0..300).map(|i| (i % 10, i)).collect();
+        let dv = c.from_vec(data);
+        let groups = c.gather_groups(dv, |x| x.0).to_vec();
+        assert_eq!(groups.len(), 10);
+        for (k, items) in &groups {
+            assert_eq!(items.len(), 30);
+            assert!(items.iter().all(|(g, _)| g == k));
+        }
+        // Each group lives on exactly one machine by construction of the result type.
+    }
+
+    #[test]
+    fn gather_groups_empty_input() {
+        let mut c = ctx(256);
+        let dv: DistVec<(u64, u64)> = c.empty();
+        let groups = c.gather_groups(dv, |x| x.0);
+        assert!(groups.is_empty());
+    }
+}

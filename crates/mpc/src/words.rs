@@ -1,0 +1,137 @@
+//! Word-size accounting for records stored in the simulated machines.
+//!
+//! The MPC model measures memory and communication in *words*. Every record type that
+//! flows through the simulator implements [`Words`], reporting how many machine words
+//! it occupies. For plain fixed-size records the default provided method (based on
+//! `size_of`) is accurate; types that own heap data (e.g. records containing a `Vec`)
+//! must override [`Words::words`].
+
+/// Number of words occupied by a value, used for memory and bandwidth accounting.
+pub trait Words {
+    /// Number of 8-byte machine words this value occupies (at least 1 for non-empty
+    /// fixed-size types).
+    fn words(&self) -> usize
+    where
+        Self: Sized,
+    {
+        (std::mem::size_of::<Self>() + 7) / 8
+    }
+}
+
+impl Words for u8 {}
+impl Words for u16 {}
+impl Words for u32 {}
+impl Words for u64 {}
+impl Words for usize {}
+impl Words for i8 {}
+impl Words for i16 {}
+impl Words for i32 {}
+impl Words for i64 {}
+impl Words for isize {}
+impl Words for f32 {}
+impl Words for f64 {}
+impl Words for bool {}
+impl Words for char {}
+impl Words for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Words> Words for Option<T> {
+    fn words(&self) -> usize {
+        match self {
+            Some(v) => 1 + v.words(),
+            None => 1,
+        }
+    }
+}
+
+impl<T: Words> Words for Vec<T> {
+    fn words(&self) -> usize {
+        1 + self.iter().map(Words::words).sum::<usize>()
+    }
+}
+
+impl<T: Words> Words for Box<T> {
+    fn words(&self) -> usize {
+        self.as_ref().words()
+    }
+}
+
+impl Words for String {
+    fn words(&self) -> usize {
+        1 + (self.len() + 7) / 8
+    }
+}
+
+macro_rules! impl_words_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Words),+> Words for ($($name,)+) {
+            fn words(&self) -> usize {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                0 $(+ $name.words())+
+            }
+        }
+    };
+}
+
+impl_words_tuple!(A);
+impl_words_tuple!(A, B);
+impl_words_tuple!(A, B, C);
+impl_words_tuple!(A, B, C, D);
+impl_words_tuple!(A, B, C, D, E);
+impl_words_tuple!(A, B, C, D, E, F);
+impl_words_tuple!(A, B, C, D, E, F, G);
+impl_words_tuple!(A, B, C, D, E, F, G, H);
+
+impl<T: Words, const N: usize> Words for [T; N] {
+    fn words(&self) -> usize {
+        self.iter().map(Words::words).sum()
+    }
+}
+
+/// Total word count of a slice of records.
+pub fn slice_words<T: Words>(slice: &[T]) -> usize {
+    slice.iter().map(Words::words).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_words() {
+        assert_eq!(5u64.words(), 1);
+        assert_eq!(5u32.words(), 1);
+        assert_eq!(1.5f64.words(), 1);
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn tuple_words_add_up() {
+        assert_eq!((1u64, 2u64).words(), 2);
+        assert_eq!((1u64, 2u64, 3u64, 4u64).words(), 4);
+    }
+
+    #[test]
+    fn vec_words_include_length() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.words(), 4);
+        let nested: Vec<Vec<u64>> = vec![vec![1, 2], vec![3]];
+        assert_eq!(nested.words(), 1 + 3 + 2);
+    }
+
+    #[test]
+    fn option_words() {
+        assert_eq!(Some(7u64).words(), 2);
+        assert_eq!(Option::<u64>::None.words(), 1);
+    }
+
+    #[test]
+    fn slice_words_sums() {
+        let v = [1u64, 2, 3, 4];
+        assert_eq!(slice_words(&v), 4);
+    }
+}

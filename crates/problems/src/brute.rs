@@ -1,0 +1,236 @@
+//! Brute-force oracles for small trees, used to validate the DP implementations
+//! independently of the framework (exhaustive enumeration over all `2^n` / `k^n`
+//! assignments).
+
+use tree_repr::Tree;
+
+/// Maximum weight of an independent set (exhaustive, `n ≤ ~20`).
+pub fn max_weight_independent_set(tree: &Tree, weights: &[i64]) -> i64 {
+    let n = tree.len();
+    assert!(n <= 22, "brute force limited to small trees");
+    let mut best = 0;
+    for mask in 0u64..(1 << n) {
+        let mut ok = true;
+        let mut w = 0;
+        for v in 0..n {
+            if mask >> v & 1 == 1 {
+                w += weights[v];
+                if let Some(p) = tree.parent(v) {
+                    if mask >> p & 1 == 1 {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok && w > best {
+            best = w;
+        }
+    }
+    best
+}
+
+/// Minimum weight of a vertex cover (exhaustive).
+pub fn min_weight_vertex_cover(tree: &Tree, weights: &[i64]) -> i64 {
+    let n = tree.len();
+    assert!(n <= 22);
+    let mut best = i64::MAX;
+    for mask in 0u64..(1 << n) {
+        let mut ok = true;
+        let mut w = 0;
+        for v in 0..n {
+            if mask >> v & 1 == 1 {
+                w += weights[v];
+            }
+            if let Some(p) = tree.parent(v) {
+                if mask >> v & 1 == 0 && mask >> p & 1 == 0 {
+                    ok = false;
+                }
+            }
+        }
+        if ok && w < best {
+            best = w;
+        }
+    }
+    best
+}
+
+/// Minimum weight of a dominating set (exhaustive).
+pub fn min_weight_dominating_set(tree: &Tree, weights: &[i64]) -> i64 {
+    let n = tree.len();
+    assert!(n <= 20);
+    let mut best = i64::MAX;
+    for mask in 0u64..(1 << n) {
+        let mut w = 0;
+        for v in 0..n {
+            if mask >> v & 1 == 1 {
+                w += weights[v];
+            }
+        }
+        if w >= best {
+            continue;
+        }
+        let dominated = |v: usize| -> bool {
+            if mask >> v & 1 == 1 {
+                return true;
+            }
+            if let Some(p) = tree.parent(v) {
+                if mask >> p & 1 == 1 {
+                    return true;
+                }
+            }
+            tree.children(v).iter().any(|&c| mask >> c & 1 == 1)
+        };
+        if (0..n).all(dominated) {
+            best = w;
+        }
+    }
+    best
+}
+
+/// Maximum weight of a matching; `edge_weight[v]` is the weight of the edge from `v` to
+/// its parent (exhaustive over edge subsets).
+pub fn max_weight_matching(tree: &Tree, edge_weight: &[i64]) -> i64 {
+    let edges: Vec<usize> = (0..tree.len()).filter(|&v| tree.parent(v).is_some()).collect();
+    let m = edges.len();
+    assert!(m <= 22);
+    let mut best = 0;
+    for mask in 0u64..(1 << m) {
+        let mut used = vec![false; tree.len()];
+        let mut ok = true;
+        let mut w = 0;
+        for (i, &v) in edges.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                let p = tree.parent(v).unwrap();
+                if used[v] || used[p] {
+                    ok = false;
+                    break;
+                }
+                used[v] = true;
+                used[p] = true;
+                w += edge_weight[v];
+            }
+        }
+        if ok && w > best {
+            best = w;
+        }
+    }
+    best
+}
+
+/// Maximum total weight of satisfied clauses for the tree-structured max-SAT instance
+/// where every node `v` has unit clauses (`pos[v]` for true, `neg[v]` for false) and
+/// every edge has an OR clause of weight `edge_w[child]`.
+pub fn max_sat(tree: &Tree, pos: &[i64], neg: &[i64], edge_w: &[i64]) -> i64 {
+    let n = tree.len();
+    assert!(n <= 22);
+    let mut best = i64::MIN;
+    for mask in 0u64..(1 << n) {
+        let mut w = 0;
+        for v in 0..n {
+            w += if mask >> v & 1 == 1 { pos[v] } else { neg[v] };
+            if let Some(p) = tree.parent(v) {
+                if mask >> v & 1 == 1 || mask >> p & 1 == 1 {
+                    w += edge_w[v];
+                }
+            }
+        }
+        best = best.max(w);
+    }
+    best
+}
+
+/// Minimum color sum over proper colorings with colors `1..=k` (exhaustive).
+pub fn min_sum_coloring(tree: &Tree, k: usize) -> i64 {
+    let n = tree.len();
+    assert!(k.pow(n as u32) <= 100_000_000, "state space too large");
+    let mut best = i64::MAX;
+    let mut coloring = vec![0usize; n];
+    fn rec(
+        v: usize,
+        tree: &Tree,
+        k: usize,
+        coloring: &mut Vec<usize>,
+        best: &mut i64,
+    ) {
+        let n = tree.len();
+        if v == n {
+            let sum: i64 = coloring.iter().map(|&c| (c + 1) as i64).sum();
+            if sum < *best {
+                *best = sum;
+            }
+            return;
+        }
+        for c in 0..k {
+            if let Some(p) = tree.parent(v) {
+                if p < v && coloring[p] == c {
+                    continue;
+                }
+            }
+            // Children with smaller index already colored.
+            if tree.children(v).iter().any(|&ch| ch < v && coloring[ch] == c) {
+                continue;
+            }
+            coloring[v] = c;
+            rec(v + 1, tree, k, coloring, best);
+        }
+    }
+    rec(0, tree, k, &mut coloring, &mut best);
+    best
+}
+
+/// Number of matchings (including the empty one) modulo `k` (exhaustive).
+pub fn count_matchings_mod(tree: &Tree, k: u64) -> u64 {
+    let edges: Vec<usize> = (0..tree.len()).filter(|&v| tree.parent(v).is_some()).collect();
+    let m = edges.len();
+    assert!(m <= 22);
+    let mut count = 0u64;
+    for mask in 0u64..(1 << m) {
+        let mut used = vec![false; tree.len()];
+        let mut ok = true;
+        for (i, &v) in edges.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                let p = tree.parent(v).unwrap();
+                if used[v] || used[p] {
+                    ok = false;
+                    break;
+                }
+                used[v] = true;
+                used[p] = true;
+            }
+        }
+        if ok {
+            count = (count + 1) % k;
+        }
+    }
+    count
+}
+
+/// Longest path (number of edges) in the tree (exhaustive over pairs via BFS = the
+/// diameter, which is what the longest path in a tree is).
+pub fn longest_path(tree: &Tree) -> usize {
+    tree.diameter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tree_gen::shapes;
+
+    #[test]
+    fn brute_values_on_known_shapes() {
+        let path4 = shapes::path(4);
+        let w = vec![1i64; 4];
+        assert_eq!(max_weight_independent_set(&path4, &w), 2);
+        assert_eq!(min_weight_vertex_cover(&path4, &w), 2);
+        assert_eq!(min_weight_dominating_set(&path4, &w), 2);
+        let star5 = shapes::star(5);
+        let w5 = vec![1i64; 5];
+        assert_eq!(max_weight_independent_set(&star5, &w5), 4);
+        assert_eq!(min_weight_dominating_set(&star5, &w5), 1);
+        assert_eq!(max_weight_matching(&path4, &vec![1; 4]), 2);
+        assert_eq!(count_matchings_mod(&shapes::path(3), 1000), 3);
+        assert_eq!(min_sum_coloring(&shapes::path(3), 3), 4);
+        assert_eq!(longest_path(&shapes::star(7)), 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Node identifiers and the standard directed-edge record.
+
+use mpc_engine::Words;
+
+/// Identifier of a tree node. Identifiers are arbitrary `u64` values; they need not be
+/// contiguous (the normalization of a parentheses string, for example, uses the array
+/// position of the opening parenthesis as the node id).
+pub type NodeId = u64;
+
+/// A directed edge of the standard representation, pointing from a child to its parent
+/// (Section 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DirectedEdge {
+    /// The child endpoint.
+    pub child: NodeId,
+    /// The parent endpoint.
+    pub parent: NodeId,
+}
+
+impl DirectedEdge {
+    /// Construct a child→parent edge.
+    pub fn new(child: NodeId, parent: NodeId) -> Self {
+        Self { child, parent }
+    }
+}
+
+impl Words for DirectedEdge {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+impl From<(NodeId, NodeId)> for DirectedEdge {
+    fn from((child, parent): (NodeId, NodeId)) -> Self {
+        Self { child, parent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_roundtrip() {
+        let e = DirectedEdge::new(3, 7);
+        assert_eq!(e.child, 3);
+        assert_eq!(e.parent, 7);
+        assert_eq!(e, DirectedEdge::from((3, 7)));
+        assert_eq!(e.words(), 2);
+    }
+
+    #[test]
+    fn edges_order_by_child_then_parent() {
+        let mut v = vec![
+            DirectedEdge::new(2, 0),
+            DirectedEdge::new(1, 5),
+            DirectedEdge::new(1, 2),
+        ];
+        v.sort();
+        assert_eq!(v[0], DirectedEdge::new(1, 2));
+        assert_eq!(v[1], DirectedEdge::new(1, 5));
+        assert_eq!(v[2], DirectedEdge::new(2, 0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Node input generators: weights, values, and labels for the Table-1 problems.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tree_repr::Tree;
+
+/// Uniform random integer weights in `[lo, hi]`, one per node.
+pub fn uniform_weights(n: usize, lo: u64, hi: u64, seed: u64) -> Vec<u64> {
+    assert!(lo <= hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// Uniform random real values in `[lo, hi)`, one per node (used e.g. by tree median).
+pub fn uniform_values(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    assert!(lo < hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Random boolean labels with probability `p` of being `true`.
+pub fn random_bools(n: usize, p: f64, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_bool(p)).collect()
+}
+
+/// Random labels from `0..alphabet`, one per node.
+pub fn random_labels(n: usize, alphabet: u64, seed: u64) -> Vec<u64> {
+    assert!(alphabet > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..alphabet)).collect()
+}
+
+/// Leaf values for the tree median problem: every leaf of `tree` gets a value from
+/// `0..range`, internal nodes get `None`.
+pub fn leaf_values(tree: &Tree, range: u64, seed: u64) -> Vec<Option<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..tree.len())
+        .map(|v| {
+            if tree.children(v).is_empty() {
+                Some(rng.gen_range(0..range) as i64)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// A random arithmetic expression over a tree: leaves hold constants in `[-c, c]`,
+/// internal nodes hold an operator (`true` = addition, `false` = multiplication).
+pub fn expression_inputs(tree: &Tree, c: i64, seed: u64) -> (Vec<i64>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let consts = (0..tree.len())
+        .map(|v| {
+            if tree.children(v).is_empty() {
+                rng.gen_range(-c..=c)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let ops = (0..tree.len()).map(|_| rng.gen_bool(0.5)).collect();
+    (consts, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn weights_in_range_and_deterministic() {
+        let w = uniform_weights(1000, 5, 10, 1);
+        assert!(w.iter().all(|&x| (5..=10).contains(&x)));
+        assert_eq!(w, uniform_weights(1000, 5, 10, 1));
+        assert_ne!(w, uniform_weights(1000, 5, 10, 2));
+    }
+
+    #[test]
+    fn values_in_range() {
+        let v = uniform_values(500, -1.0, 1.0, 3);
+        assert!(v.iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn bools_probability_extremes() {
+        assert!(random_bools(100, 1.0, 1).iter().all(|&b| b));
+        assert!(random_bools(100, 0.0, 1).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn labels_respect_alphabet() {
+        let l = random_labels(200, 3, 9);
+        assert!(l.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn leaf_values_only_on_leaves() {
+        let t = shapes::caterpillar(10, 2);
+        let vals = leaf_values(&t, 100, 4);
+        for v in 0..t.len() {
+            assert_eq!(vals[v].is_some(), t.children(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn expression_inputs_shape() {
+        let t = shapes::balanced_kary(31, 2);
+        let (consts, ops) = expression_inputs(&t, 5, 7);
+        assert_eq!(consts.len(), 31);
+        assert_eq!(ops.len(), 31);
+        assert!(consts.iter().all(|&c| (-5..=5).contains(&c)));
+    }
+}

@@ -1,0 +1,23 @@
+//! # `tree-gen` — synthetic workloads for the MPC tree-DP framework
+//!
+//! The paper evaluates an algorithmic framework rather than a data set; its claims are
+//! parameterized by the number of nodes `n`, the diameter `D`, and the maximum degree.
+//! This crate produces trees in all the structural regimes those claims distinguish
+//! (deep paths, shallow wide trees, caterpillars, stars/brooms with huge degrees,
+//! random recursive trees, diameter-controlled trees), together with the node inputs
+//! the Table-1 problems consume (weights, values, labels, Gaussian models) and the
+//! document-shaped inputs of the introduction (parentheses/XML strings).
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gaussian;
+pub mod labels;
+pub mod shapes;
+pub mod suite;
+
+pub use gaussian::GaussianTreeModel;
+pub use shapes::TreeShape;
+pub use suite::{standard_suite, SuiteEntry};

@@ -1,0 +1,34 @@
+//! Subtree accumulation (the generalization of prefix sums to rooted trees): compute the
+//! sum, minimum and maximum of the input labels in every subtree.
+
+use mpc_tree_dp::problems::SubtreeAggregate;
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, TreeInput};
+use mpc_tree_dp::gen::{labels, shapes};
+
+fn main() {
+    let tree = shapes::balanced_kary(5000, 3);
+    let values: Vec<i64> = labels::uniform_weights(tree.len(), 0, 1000, 1)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        None,
+    )
+    .expect("well-formed tree");
+    let inputs = ctx.from_vec(
+        values.iter().enumerate().map(|(v, &x)| (v as u64, x)).collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    for (problem, aux, name) in [
+        (SubtreeAggregate::sum(), 0i64, "sum"),
+        (SubtreeAggregate::min(), i64::MAX, "min"),
+        (SubtreeAggregate::max(), i64::MIN, "max"),
+    ] {
+        let sol = prepared.solve(&mut ctx, &problem, &inputs, aux, &no_edges);
+        println!("subtree {name} at the root: {}", sol.root_label);
+    }
+    println!("rounds: {} (clustering reused three times)", ctx.metrics().rounds);
+}

@@ -1,0 +1,28 @@
+//! The tree median problem (Section 6.1): every internal node's label is the median of
+//! its children's labels — a problem that is *not* binary adaptable, i.e. outside the
+//! scope of the Bateni et al. baseline, but solvable in our framework.
+
+use mpc_tree_dp::problems::{sequential_tree_median, TreeMedian};
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, TreeInput};
+use mpc_tree_dp::gen::{labels, shapes};
+
+fn main() {
+    let tree = shapes::spider(8, 120);
+    let leaf_vals = labels::leaf_values(&tree, 1000, 13);
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        Some(tree.max_degree().max(4)),
+    )
+    .expect("well-formed tree");
+    let inputs = ctx.from_vec(
+        leaf_vals.iter().enumerate().map(|(v, x)| (v as u64, *x)).collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let sol = prepared.solve(&mut ctx, &TreeMedian, &inputs, None, &no_edges);
+    let expected = sequential_tree_median(&tree, &leaf_vals);
+    println!("median at the root (MPC):        {}", sol.root_label);
+    println!("median at the root (sequential): {}", expected[tree.root()]);
+    println!("rounds: {}", ctx.metrics().rounds);
+}

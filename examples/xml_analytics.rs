@@ -1,0 +1,54 @@
+//! Process a large synthetic XML-like document given as a parentheses string: validate
+//! its structure and compute per-subtree statistics (the introduction's motivating
+//! text-analytics scenario).
+
+use mpc_tree_dp::problems::{SubtreeAggregate, XmlValidation};
+use mpc_tree_dp::{prepare, MpcConfig, MpcContext, StateEngine, StringOfParentheses, TreeInput};
+use mpc_tree_dp::gen::{labels, shapes};
+use tree_repr::Tree;
+
+fn main() {
+    // Generate a random document with 3000 elements and render it as tags/parentheses.
+    let tree: Tree = shapes::random_recursive(3000, 11);
+    let doc = StringOfParentheses::from_tree(&tree);
+    println!("document: {} parentheses ({} elements)", doc.0.len(), tree.len());
+
+    let mut ctx = MpcContext::new(MpcConfig::new(doc.0.len(), 0.5));
+    let prepared = prepare(&mut ctx, TreeInput::StringOfParentheses(doc), None)
+        .expect("well-formed document");
+    println!("parsed + clustered in {} rounds", ctx.metrics().rounds);
+
+    // Tag every element and validate the schema (a violation costs 1).
+    let tags = labels::random_labels(prepared.original_nodes, 3, 5);
+    let schema = StateEngine::new(XmlValidation::chain_schema(3));
+    let tag_inputs = ctx.from_vec(
+        // Node ids of a parsed parentheses document are the positions of the opening
+        // parentheses; they are exactly the ids the clustering uses.
+        prepared
+            .clustering
+            .elements
+            .iter()
+            .filter(|e| !e.kind.is_cluster())
+            .enumerate()
+            .map(|(i, e)| (e.id, tags[i % tags.len()]))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let sol = prepared.solve(&mut ctx, &schema, &tag_inputs, 0, &no_edges);
+    let violations = -sol.root_summary.best(schema.problem()).unwrap();
+    println!("schema violations: {violations}");
+
+    // Subtree sizes via the accumulation DP (sum of 1 per element).
+    let ones = ctx.from_vec(
+        prepared
+            .clustering
+            .elements
+            .iter()
+            .filter(|e| !e.kind.is_cluster())
+            .map(|e| (e.id, 1i64))
+            .collect::<Vec<_>>(),
+    );
+    let sol = prepared.solve(&mut ctx, &SubtreeAggregate::sum(), &ones, 0, &no_edges);
+    println!("total elements (root subtree sum): {}", sol.root_label);
+    println!("total rounds: {}", ctx.metrics().rounds);
+}

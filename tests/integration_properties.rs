@@ -1,0 +1,75 @@
+//! Property-based tests (proptest): random trees and weights, checking the core
+//! invariants of the framework against independent computations.
+
+use mpc_tree_dp::problems::{MaxWeightIndependentSet, SubtreeAggregate};
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
+use proptest::prelude::*;
+use tree_repr::Tree;
+
+fn arbitrary_tree(max_n: usize) -> impl Strategy<Value = Tree> {
+    (2..max_n).prop_flat_map(|n| {
+        (2..=n)
+            .map(|v| (0..v - 1).prop_map(move |p| p))
+            .collect::<Vec<_>>()
+            .prop_map(move |parents| {
+                let mut vec = vec![None];
+                vec.extend(parents.into_iter().map(Some));
+                Tree::from_parents(vec)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn subtree_sums_match_host_computation(tree in arbitrary_tree(60), seed in 0u64..100) {
+        let values: Vec<i64> = (0..tree.len()).map(|v| ((v as u64 * 31 + seed) % 97) as i64).collect();
+        let mut expected = values.clone();
+        for v in tree.postorder() {
+            for &c in tree.children(v) {
+                expected[v] += expected[c];
+            }
+        }
+        let cfg = MpcConfig::new((2 * tree.len()).max(16), 0.5)
+            .with_memory_slack(512.0)
+            .with_bandwidth_slack(512.0);
+        let mut ctx = MpcContext::new(cfg);
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(4),
+        ).unwrap();
+        let inputs = ctx.from_vec(values.iter().enumerate().map(|(v, &x)| (v as u64, x)).collect::<Vec<_>>());
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let sol = prepared.solve(&mut ctx, &SubtreeAggregate::sum(), &inputs, 0, &no_edges);
+        let labels: std::collections::BTreeMap<u64, i64> = sol.labels.iter().cloned().collect();
+        for v in 0..tree.len() {
+            prop_assert_eq!(labels[&(v as u64)], expected[v]);
+        }
+    }
+
+    #[test]
+    fn unweighted_max_is_at_least_half_the_leaves(tree in arbitrary_tree(60)) {
+        let cfg = MpcConfig::new((2 * tree.len()).max(16), 0.5)
+            .with_memory_slack(512.0)
+            .with_bandwidth_slack(512.0);
+        let mut ctx = MpcContext::new(cfg);
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(4),
+        ).unwrap();
+        let engine = StateEngine::new(MaxWeightIndependentSet);
+        let inputs = ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let sol = prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
+        let value = sol.root_summary.best(engine.problem()).unwrap();
+        // Any tree has an independent set containing all leaves or all non-leaves.
+        prop_assert!(value as usize >= tree.leaves().len().max(tree.len() - tree.leaves().len()) / 1
+            || value as usize >= tree.len() / 2);
+        // The clustering must validate.
+        let edges: Vec<_> = prepared.edges.iter().map(|(e, _)| *e).collect();
+        prop_assert!(prepared.clustering.validate(&edges).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Cross-crate integration test: every input representation of Section 3 leads to the
+//! same solution value.
+
+use mpc_tree_dp::problems::MaxWeightIndependentSet;
+use mpc_tree_dp::{prepare, MpcConfig, MpcContext, StateEngine, TreeInput};
+use tree_gen::shapes;
+use tree_repr::{
+    BfsTraversal, DfsTraversal, ListOfEdges, PointersToParents, StringOfParentheses,
+    UndirectedEdges,
+};
+
+#[test]
+fn all_representations_yield_the_same_unweighted_optimum() {
+    let tree = shapes::random_recursive(400, 9);
+    // Unweighted MaxIS so that node renumbering across representations is irrelevant.
+    let inputs_of = |n: usize| (0..n).map(|v| (v as u64, 1i64)).collect::<Vec<_>>();
+    let mut values = Vec::new();
+    let reprs: Vec<(&str, TreeInput)> = vec![
+        ("list-of-edges", TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree))),
+        ("undirected", TreeInput::UndirectedEdges(UndirectedEdges::from_tree(&tree))),
+        ("parentheses", TreeInput::StringOfParentheses(StringOfParentheses::from_tree(&tree))),
+        ("bfs", TreeInput::BfsTraversal(BfsTraversal::from_tree(&tree))),
+        ("dfs", TreeInput::DfsTraversal(DfsTraversal::from_tree(&tree))),
+        ("parents", TreeInput::PointersToParents(PointersToParents::from_tree(&tree))),
+    ];
+    for (name, input) in reprs {
+        let n_words = input.input_words().max(16);
+        let mut ctx = MpcContext::new(MpcConfig::new(n_words, 0.5));
+        let prepared = prepare(&mut ctx, input, None).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let engine = StateEngine::new(MaxWeightIndependentSet);
+        // Node ids differ per representation; weight every original node 1.
+        let ids: Vec<(u64, i64)> = prepared
+            .clustering
+            .elements
+            .iter()
+            .filter(|e| !e.kind.is_cluster() && e.id < (1 << 44))
+            .map(|e| (e.id, 1i64))
+            .collect();
+        let inputs = ctx.from_vec(ids);
+        let _ = inputs_of(0);
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let sol = prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
+        values.push((name, sol.root_summary.best(engine.problem()).unwrap()));
+    }
+    let first = values[0].1;
+    for (name, v) in &values {
+        assert_eq!(*v, first, "{name} disagrees: {v} vs {first}");
+    }
+}

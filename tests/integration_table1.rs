@@ -1,0 +1,69 @@
+//! Table-1 coverage: every implemented problem row runs end-to-end on the standard
+//! workload suite and produces a solution (the per-problem correctness tests live in
+//! `tree-dp-problems`; this test checks breadth on larger, generated workloads).
+
+use mpc_tree_dp::problems::*;
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
+use tree_gen::{labels, suite::standard_suite};
+
+#[test]
+fn table1_problems_run_on_the_standard_suite() {
+    for entry in standard_suite(512, 3) {
+        let tree = &entry.tree;
+        let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let weights: Vec<i64> = labels::uniform_weights(tree.len(), 1, 30, 1)
+            .into_iter()
+            .map(|w| w as i64)
+            .collect();
+        let node_w = ctx.from_vec(
+            weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect::<Vec<_>>(),
+        );
+        let unit = ctx.from_vec((0..tree.len()).map(|v| (v as u64, ())).collect::<Vec<_>>());
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let edge_w = ctx.from_vec(
+            (1..tree.len()).map(|v| (v as u64, (v % 7 + 1) as i64)).collect::<Vec<_>>(),
+        );
+
+        let is = StateEngine::new(MaxWeightIndependentSet);
+        let is_val = prepared
+            .solve(&mut ctx, &is, &node_w, 0, &no_edges)
+            .root_summary
+            .best(is.problem())
+            .unwrap();
+        let vc = StateEngine::new(MinWeightVertexCover);
+        let vc_val = -prepared
+            .solve(&mut ctx, &vc, &node_w, 0, &no_edges)
+            .root_summary
+            .best(vc.problem())
+            .unwrap();
+        // Weak duality on trees: IS weight + VC weight == total weight.
+        assert_eq!(
+            is_val + vc_val,
+            weights.iter().sum::<i64>(),
+            "IS/VC duality violated on {}",
+            entry.name
+        );
+        let ds = StateEngine::new(MinWeightDominatingSet);
+        let ds_val = -prepared
+            .solve(&mut ctx, &ds, &node_w, 0, &no_edges)
+            .root_summary
+            .best(ds.problem())
+            .unwrap();
+        assert!(ds_val > 0 && ds_val <= vc_val + weights.iter().max().unwrap());
+        let mm = StateEngine::new(MaxWeightMatching);
+        let mm_val = prepared
+            .solve(&mut ctx, &mm, &unit, (), &edge_w)
+            .root_summary
+            .best(mm.problem())
+            .unwrap();
+        assert!(mm_val >= 0);
+        let agg = prepared.solve(&mut ctx, &SubtreeAggregate::sum(), &node_w, 0, &no_edges);
+        assert_eq!(agg.root_label, weights.iter().sum::<i64>(), "{}", entry.name);
+    }
+}
