@@ -161,9 +161,13 @@ mod tests {
 
     #[test]
     fn bateni_matches_known_optimum() {
-        for (i, tree) in [shapes::path(40), shapes::balanced_kary(63, 2), shapes::caterpillar(10, 2)]
-            .into_iter()
-            .enumerate()
+        for (i, tree) in [
+            shapes::path(40),
+            shapes::balanced_kary(63, 2),
+            shapes::caterpillar(10, 2),
+        ]
+        .into_iter()
+        .enumerate()
         {
             let weights: Vec<i64> = labels::uniform_weights(tree.len(), 1, 10, i as u64)
                 .into_iter()
@@ -180,7 +184,9 @@ mod tests {
             }
             let expected = dp_out[tree.root()].max(dp_in[tree.root()]);
             let mut ctx = MpcContext::new(
-                MpcConfig::new(tree.len().max(16), 0.5).with_memory_slack(512.0).with_bandwidth_slack(512.0),
+                MpcConfig::new(tree.len().max(16), 0.5)
+                    .with_memory_slack(512.0)
+                    .with_bandwidth_slack(512.0),
             );
             let edges = ctx.from_vec(tree.edges());
             let result = bateni_max_is(&mut ctx, &edges, tree.root() as u64, &weights, 7);
@@ -198,7 +204,9 @@ mod tests {
             let tree = shapes::balanced_kary(n, 8);
             let weights = vec![1i64; n];
             let mut ctx = MpcContext::new(
-                MpcConfig::new(n, 0.5).with_memory_slack(512.0).with_bandwidth_slack(512.0),
+                MpcConfig::new(n, 0.5)
+                    .with_memory_slack(512.0)
+                    .with_bandwidth_slack(512.0),
             );
             let edges = ctx.from_vec(tree.edges());
             let result = bateni_max_is(&mut ctx, &edges, tree.root() as u64, &weights, 3);

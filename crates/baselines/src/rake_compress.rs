@@ -38,7 +38,11 @@ pub fn rake_compress_subtree_sizes(
     let nodes: Vec<Node> = (0..num_nodes as u64)
         .map(|v| Node {
             id: v,
-            parent: if v == root { u64::MAX } else { parent[v as usize] },
+            parent: if v == root {
+                u64::MAX
+            } else {
+                parent[v as usize]
+            },
             pending_children: child_count[v as usize],
             accumulated: 1,
             done: false,
@@ -93,12 +97,19 @@ mod tests {
 
     #[test]
     fn sizes_match_host_computation() {
-        for tree in [shapes::path(30), shapes::balanced_kary(31, 2), shapes::spider(3, 5)] {
+        for tree in [
+            shapes::path(30),
+            shapes::balanced_kary(31, 2),
+            shapes::spider(3, 5),
+        ] {
             let mut ctx = MpcContext::new(
-                MpcConfig::new(tree.len().max(16), 0.5).with_memory_slack(512.0).with_bandwidth_slack(512.0),
+                MpcConfig::new(tree.len().max(16), 0.5)
+                    .with_memory_slack(512.0)
+                    .with_bandwidth_slack(512.0),
             );
             let edges = ctx.from_vec(tree.edges());
-            let (sizes, iters) = rake_compress_subtree_sizes(&mut ctx, &edges, tree.root() as u64, tree.len());
+            let (sizes, iters) =
+                rake_compress_subtree_sizes(&mut ctx, &edges, tree.root() as u64, tree.len());
             let expected = tree.subtree_sizes();
             assert_eq!(sizes.len(), tree.len());
             for (v, s) in sizes {

@@ -1,8 +1,8 @@
 //! Criterion benchmarks B2: hierarchical clustering construction across tree shapes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, TreeInput};
 use mpc_tree_dp::gen::shapes;
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, TreeInput};
 
 fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustering");

@@ -1,9 +1,9 @@
 //! Criterion benchmarks B3: solving individual Table-1 problems on a prepared clustering.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mpc_tree_dp::gen::shapes;
 use mpc_tree_dp::problems::{MaxWeightIndependentSet, MinWeightDominatingSet, SubtreeAggregate};
 use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
-use mpc_tree_dp::gen::shapes;
 
 fn bench_problems(c: &mut Criterion) {
     let mut group = c.benchmark_group("dp-problems");
@@ -16,7 +16,11 @@ fn bench_problems(c: &mut Criterion) {
         None,
     )
     .unwrap();
-    let inputs = ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+    let inputs = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1i64))
+            .collect::<Vec<_>>(),
+    );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
     group.bench_function("max-is", |b| {
         let engine = StateEngine::new(MaxWeightIndependentSet);

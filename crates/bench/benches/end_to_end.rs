@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpc_tree_dp::baselines::bateni_max_is;
+use mpc_tree_dp::gen::shapes;
 use mpc_tree_dp::problems::MaxWeightIndependentSet;
 use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
-use mpc_tree_dp::gen::shapes;
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end-to-end");
@@ -22,8 +22,11 @@ fn bench_end_to_end(c: &mut Criterion) {
                 )
                 .unwrap();
                 let engine = StateEngine::new(MaxWeightIndependentSet);
-                let inputs =
-                    ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+                let inputs = ctx.from_vec(
+                    (0..tree.len())
+                        .map(|v| (v as u64, 1i64))
+                        .collect::<Vec<_>>(),
+                );
                 let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
                 prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges)
             });

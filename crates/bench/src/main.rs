@@ -4,10 +4,10 @@
 //! Run with `cargo run --release -p mpc-tree-dp-bench --bin experiments [-- <exp-id>]`.
 
 use mpc_tree_dp::baselines::bateni_max_is;
-use mpc_tree_dp::problems::*;
-use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
 use mpc_tree_dp::gen::{labels, shapes, suite::standard_suite};
+use mpc_tree_dp::problems::*;
 use mpc_tree_dp::repr::Tree;
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
 
 fn solve_is(tree: &Tree, delta: f64) -> (i64, u64, u64, u32) {
     let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), delta));
@@ -19,7 +19,11 @@ fn solve_is(tree: &Tree, delta: f64) -> (i64, u64, u64, u32) {
     .expect("prepare");
     let prepare_rounds = ctx.metrics().rounds;
     let engine = StateEngine::new(MaxWeightIndependentSet);
-    let inputs = ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+    let inputs = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1i64))
+            .collect::<Vec<_>>(),
+    );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
     let sol = prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
     (
@@ -32,41 +36,90 @@ fn solve_is(tree: &Tree, delta: f64) -> (i64, u64, u64, u32) {
 
 fn exp_table1() {
     println!("\n== E1 (Table 1): problems solved on the standard suite (n = 1024) ==");
-    println!("{:<24} {:>14} {:>14} {:>14} {:>14}", "tree", "MaxIS", "MinVC", "MinDS", "MaxMatching");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14} {:>14}",
+        "tree", "MaxIS", "MinVC", "MinDS", "MaxMatching"
+    );
     for entry in standard_suite(1024, 7) {
         let tree = &entry.tree;
         let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
-        let prepared = prepare(&mut ctx, TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)), None).unwrap();
-        let w: Vec<i64> = labels::uniform_weights(tree.len(), 1, 30, 1).into_iter().map(|x| x as i64).collect();
-        let node_w = ctx.from_vec(w.iter().enumerate().map(|(v, &x)| (v as u64, x)).collect::<Vec<_>>());
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+            None,
+        )
+        .unwrap();
+        let w: Vec<i64> = labels::uniform_weights(tree.len(), 1, 30, 1)
+            .into_iter()
+            .map(|x| x as i64)
+            .collect();
+        let node_w = ctx.from_vec(
+            w.iter()
+                .enumerate()
+                .map(|(v, &x)| (v as u64, x))
+                .collect::<Vec<_>>(),
+        );
         let unit = ctx.from_vec((0..tree.len()).map(|v| (v as u64, ())).collect::<Vec<_>>());
-        let edge_w = ctx.from_vec((1..tree.len()).map(|v| (v as u64, (v % 7 + 1) as i64)).collect::<Vec<_>>());
+        let edge_w = ctx.from_vec(
+            (1..tree.len())
+                .map(|v| (v as u64, (v % 7 + 1) as i64))
+                .collect::<Vec<_>>(),
+        );
         let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
         let is = StateEngine::new(MaxWeightIndependentSet);
         let vc = StateEngine::new(MinWeightVertexCover);
         let ds = StateEngine::new(MinWeightDominatingSet);
         let mm = StateEngine::new(MaxWeightMatching);
-        let a = prepared.solve(&mut ctx, &is, &node_w, 0, &no_edges).root_summary.best(is.problem()).unwrap();
-        let b = -prepared.solve(&mut ctx, &vc, &node_w, 0, &no_edges).root_summary.best(vc.problem()).unwrap();
-        let c = -prepared.solve(&mut ctx, &ds, &node_w, 0, &no_edges).root_summary.best(ds.problem()).unwrap();
-        let d = prepared.solve(&mut ctx, &mm, &unit, (), &edge_w).root_summary.best(mm.problem()).unwrap();
+        let a = prepared
+            .solve(&mut ctx, &is, &node_w, 0, &no_edges)
+            .root_summary
+            .best(is.problem())
+            .unwrap();
+        let b = -prepared
+            .solve(&mut ctx, &vc, &node_w, 0, &no_edges)
+            .root_summary
+            .best(vc.problem())
+            .unwrap();
+        let c = -prepared
+            .solve(&mut ctx, &ds, &node_w, 0, &no_edges)
+            .root_summary
+            .best(ds.problem())
+            .unwrap();
+        let d = prepared
+            .solve(&mut ctx, &mm, &unit, (), &edge_w)
+            .root_summary
+            .best(mm.problem())
+            .unwrap();
         println!("{:<24} {:>14} {:>14} {:>14} {:>14}", entry.name, a, b, c, d);
     }
 }
 
 fn exp_rounds_vs_diameter() {
     println!("\n== E2a: rounds vs diameter (n = 8192, delta = 0.5) ==");
-    println!("{:>10} {:>10} {:>16} {:>14} {:>8}", "target D", "actual D", "prepare rounds", "total rounds", "layers");
+    println!(
+        "{:>10} {:>10} {:>16} {:>14} {:>8}",
+        "target D", "actual D", "prepare rounds", "total rounds", "layers"
+    );
     for d in [4usize, 8, 16, 32, 64, 128, 256, 512, 1024] {
         let tree = shapes::with_diameter(8192, d, 3);
         let (_, prep, total, layers) = solve_is(&tree, 0.5);
-        println!("{:>10} {:>10} {:>16} {:>14} {:>8}", d, tree.diameter(), prep, total, layers);
+        println!(
+            "{:>10} {:>10} {:>16} {:>14} {:>8}",
+            d,
+            tree.diameter(),
+            prep,
+            total,
+            layers
+        );
     }
 }
 
 fn exp_rounds_vs_n() {
     println!("\n== E2b: rounds vs n at fixed diameter 16 (delta = 0.5) ==");
-    println!("{:>8} {:>16} {:>14} {:>8}", "n", "prepare rounds", "total rounds", "layers");
+    println!(
+        "{:>8} {:>16} {:>14} {:>8}",
+        "n", "prepare rounds", "total rounds", "layers"
+    );
     for n in [1usize << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15] {
         let tree = shapes::with_diameter(n, 16, 5);
         let (_, prep, total, layers) = solve_is(&tree, 0.5);
@@ -76,7 +129,10 @@ fn exp_rounds_vs_n() {
 
 fn exp_vs_bateni() {
     println!("\n== E3: this work vs Bateni-style contraction baseline (low-diameter trees) ==");
-    println!("{:>8} {:>6} {:>18} {:>22}", "n", "D", "this work (rounds)", "baseline (rounds, iters)");
+    println!(
+        "{:>8} {:>6} {:>18} {:>22}",
+        "n", "D", "this work (rounds)", "baseline (rounds, iters)"
+    );
     for n in [1usize << 10, 1 << 12, 1 << 14] {
         let tree = shapes::with_diameter(n, 12, 9);
         let (ours_val, _, ours_rounds, _) = solve_is(&tree, 0.5);
@@ -98,7 +154,10 @@ fn exp_vs_bateni() {
 
 fn exp_layers() {
     println!("\n== E4: clustering layers vs delta and shape (n = 4096) ==");
-    println!("{:<20} {:>8} {:>8} {:>8}", "shape", "d=0.3", "d=0.5", "d=0.7");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8}",
+        "shape", "d=0.3", "d=0.5", "d=0.7"
+    );
     for shape in mpc_tree_dp::gen::TreeShape::ALL {
         let tree = shape.generate(4096, 11);
         let mut row = Vec::new();
@@ -106,7 +165,13 @@ fn exp_layers() {
             let (_, _, _, layers) = solve_is(&tree, delta);
             row.push(layers);
         }
-        println!("{:<20} {:>8} {:>8} {:>8}", shape.name(), row[0], row[1], row[2]);
+        println!(
+            "{:<20} {:>8} {:>8} {:>8}",
+            shape.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
     }
 }
 
@@ -114,18 +179,40 @@ fn exp_memory() {
     println!("\n== E5: model compliance (n = 16384, delta = 0.5, default Θ-constants) ==");
     let tree = shapes::random_recursive(16384, 2);
     let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
-    let prepared = prepare(&mut ctx, TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)), None).unwrap();
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        None,
+    )
+    .unwrap();
     let engine = StateEngine::new(MaxWeightIndependentSet);
-    let inputs = ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+    let inputs = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1i64))
+            .collect::<Vec<_>>(),
+    );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
     let _ = prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
     let m = ctx.metrics();
-    println!("local memory cap          : {} words", ctx.config().local_capacity());
+    println!(
+        "local memory cap          : {} words",
+        ctx.config().local_capacity()
+    );
     println!("peak local memory         : {} words", m.peak_local_memory);
-    println!("bandwidth cap             : {} words/round", ctx.config().bandwidth_capacity());
-    println!("max sent per round        : {} words", m.max_words_sent_per_round);
+    println!(
+        "bandwidth cap             : {} words/round",
+        ctx.config().bandwidth_capacity()
+    );
+    println!(
+        "max sent per round        : {} words",
+        m.max_words_sent_per_round
+    );
     println!("violations (total)        : {}", m.violations.len());
-    let outside = m.violations.iter().filter(|v| !v.context.contains("count_subtree_sizes")).count();
+    let outside = m
+        .violations
+        .iter()
+        .filter(|v| !v.context.contains("count_subtree_sizes"))
+        .count();
     println!("violations outside the documented CountSubtreeSizes relaxation: {outside}");
 }
 
@@ -134,18 +221,40 @@ fn exp_representations() {
     let tree = shapes::random_recursive(4096, 4);
     use mpc_tree_dp::repr::*;
     let reprs: Vec<(&str, TreeInput)> = vec![
-        ("pointers-to-parents", TreeInput::PointersToParents(PointersToParents::from_tree(&tree))),
-        ("bfs-traversal", TreeInput::BfsTraversal(BfsTraversal::from_tree(&tree))),
-        ("dfs-traversal", TreeInput::DfsTraversal(DfsTraversal::from_tree(&tree))),
-        ("string-of-parentheses", TreeInput::StringOfParentheses(StringOfParentheses::from_tree(&tree))),
-        ("list-of-edges", TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree))),
-        ("undirected-edges", TreeInput::UndirectedEdges(UndirectedEdges::from_tree(&tree))),
+        (
+            "pointers-to-parents",
+            TreeInput::PointersToParents(PointersToParents::from_tree(&tree)),
+        ),
+        (
+            "bfs-traversal",
+            TreeInput::BfsTraversal(BfsTraversal::from_tree(&tree)),
+        ),
+        (
+            "dfs-traversal",
+            TreeInput::DfsTraversal(DfsTraversal::from_tree(&tree)),
+        ),
+        (
+            "string-of-parentheses",
+            TreeInput::StringOfParentheses(StringOfParentheses::from_tree(&tree)),
+        ),
+        (
+            "list-of-edges",
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        ),
+        (
+            "undirected-edges",
+            TreeInput::UndirectedEdges(UndirectedEdges::from_tree(&tree)),
+        ),
     ];
     println!("{:<24} {:>18}", "representation", "normalize rounds");
     for (name, input) in reprs {
         let mut ctx = MpcContext::new(MpcConfig::new(input.input_words().max(16), 0.5));
         let _ = prepare(&mut ctx, input, None).unwrap();
-        println!("{:<24} {:>18}", name, ctx.metrics().phase_rounds("normalize"));
+        println!(
+            "{:<24} {:>18}",
+            name,
+            ctx.metrics().phase_rounds("normalize")
+        );
     }
 }
 
@@ -153,9 +262,21 @@ fn exp_reuse() {
     println!("\n== E7: clustering reuse (n = 8192): marginal rounds per additional problem ==");
     let tree = shapes::random_recursive(8192, 6);
     let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
-    let prepared = prepare(&mut ctx, TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)), None).unwrap();
-    println!("prepare (normalize + cluster): {} rounds", ctx.metrics().rounds);
-    let node_w = ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        None,
+    )
+    .unwrap();
+    println!(
+        "prepare (normalize + cluster): {} rounds",
+        ctx.metrics().rounds
+    );
+    let node_w = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1i64))
+            .collect::<Vec<_>>(),
+    );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
     let problems: Vec<(&str, Box<dyn Fn(&mut MpcContext) -> u64>)> = Vec::new();
     let _ = problems;
@@ -178,13 +299,20 @@ fn exp_reuse() {
                 let _ = prepared.solve(&mut ctx, &SubtreeAggregate::sum(), &node_w, 0, &no_edges);
             }
         }
-        println!("solve {:<12}: {} rounds", name, ctx.metrics().rounds - before);
+        println!(
+            "solve {:<12}: {} rounds",
+            name,
+            ctx.metrics().rounds - before
+        );
     }
 }
 
 fn exp_tree_median() {
     println!("\n== E8: tree median (not binary adaptable) on spiders ==");
-    println!("{:>8} {:>6} {:>12} {:>14}", "n", "D", "rounds", "root median");
+    println!(
+        "{:>8} {:>6} {:>12} {:>14}",
+        "n", "D", "rounds", "root median"
+    );
     for legs in [8usize, 32, 64] {
         let tree = shapes::spider(legs, 64);
         let vals = labels::leaf_values(&tree, 1000, 3);
@@ -195,53 +323,219 @@ fn exp_tree_median() {
             Some(tree.max_degree().max(4)),
         )
         .unwrap();
-        let inputs = ctx.from_vec(vals.iter().enumerate().map(|(v, x)| (v as u64, *x)).collect::<Vec<_>>());
+        let inputs = ctx.from_vec(
+            vals.iter()
+                .enumerate()
+                .map(|(v, x)| (v as u64, *x))
+                .collect::<Vec<_>>(),
+        );
         let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
         let sol = prepared.solve(&mut ctx, &TreeMedian, &inputs, None, &no_edges);
         let expected = sequential_tree_median(&tree, &vals);
         assert_eq!(sol.root_label, expected[tree.root()]);
-        println!("{:>8} {:>6} {:>12} {:>14}", tree.len(), tree.diameter(), ctx.metrics().rounds, sol.root_label);
+        println!(
+            "{:>8} {:>6} {:>12} {:>14}",
+            tree.len(),
+            tree.diameter(),
+            ctx.metrics().rounds,
+            sol.root_label
+        );
     }
 }
 
 fn exp_degree_reduction() {
     println!("\n== E11: degree reduction on stars/brooms (MaxIS value preserved) ==");
-    println!("{:>8} {:>10} {:>12} {:>14}", "n", "max deg", "rounds", "MaxIS value");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14}",
+        "n", "max deg", "rounds", "MaxIS value"
+    );
     for n in [512usize, 2048, 8192] {
         let tree = shapes::star(n);
         let (val, _, rounds, _) = solve_is(&tree, 0.5);
         assert_eq!(val, n as i64 - 1);
-        println!("{:>8} {:>10} {:>12} {:>14}", n, tree.max_degree(), rounds, val);
+        println!(
+            "{:>8} {:>10} {:>12} {:>14}",
+            n,
+            tree.max_degree(),
+            rounds,
+            val
+        );
     }
 }
 
 fn exp_ablation() {
     println!("\n== E12: CountSubtreeSizes — capped doubling (O(log D)) vs rake-and-compress (O(height)) ==");
-    println!("{:<20} {:>16} {:>22}", "tree", "doubling rounds", "rake-compress rounds");
-    for (name, tree) in [("path-2048", shapes::path(2048)), ("balanced-binary-2047", shapes::balanced_kary(2047, 2)), ("star-2048", shapes::star(2048))] {
+    println!(
+        "{:<20} {:>16} {:>22}",
+        "tree", "doubling rounds", "rake-compress rounds"
+    );
+    for (name, tree) in [
+        ("path-2048", shapes::path(2048)),
+        ("balanced-binary-2047", shapes::balanced_kary(2047, 2)),
+        ("star-2048", shapes::star(2048)),
+    ] {
         // Doubling (inside the full clustering) — measure the clustering phase.
         let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
-        let _ = prepare(&mut ctx, TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)), None).unwrap();
+        let _ = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            None,
+        )
+        .unwrap();
         let doubling = ctx.metrics().phase_rounds("clustering");
         // Rake-and-compress subtree sizes.
         let mut ctx2 = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
         let edges = ctx2.from_vec(tree.edges());
-        let _ = mpc_tree_dp::baselines::rake_compress_subtree_sizes(&mut ctx2, &edges, tree.root() as u64, tree.len());
-        println!("{:<20} {:>16} {:>22}", name, doubling, ctx2.metrics().rounds);
+        let _ = mpc_tree_dp::baselines::rake_compress_subtree_sizes(
+            &mut ctx2,
+            &edges,
+            tree.root() as u64,
+            tree.len(),
+        );
+        println!(
+            "{:<20} {:>16} {:>22}",
+            name,
+            doubling,
+            ctx2.metrics().rounds
+        );
     }
+}
+
+/// Emit a machine-readable baseline: for each tree of the n = 1024 standard
+/// suite, prepare once and solve MaxIS and MinVC, recording MPC rounds and
+/// wall-clock time. `cargo run --release -p mpc-tree-dp-bench -- bench-json`
+/// prints the JSON to stdout (redirect it to `BENCH_seed.json` or its
+/// successors to anchor perf trajectories across PRs).
+fn exp_bench_json() {
+    let n = 1024;
+    let mut entries = Vec::new();
+    for entry in standard_suite(n, 7) {
+        let tree = &entry.tree;
+        let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+
+        let t0 = std::time::Instant::now();
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+            None,
+        )
+        .expect("prepare");
+        let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let prepare_rounds = ctx.metrics().rounds;
+
+        let w: Vec<i64> = labels::uniform_weights(tree.len(), 1, 30, 1)
+            .into_iter()
+            .map(|x| x as i64)
+            .collect();
+        let node_w = ctx.from_vec(
+            w.iter()
+                .enumerate()
+                .map(|(v, &x)| (v as u64, x))
+                .collect::<Vec<_>>(),
+        );
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+
+        let mut solve = |problem: &str| -> (i64, u64, f64) {
+            let before = ctx.metrics().rounds;
+            let t = std::time::Instant::now();
+            let value = match problem {
+                "max_is" => {
+                    let p = StateEngine::new(MaxWeightIndependentSet);
+                    let sol = prepared.solve(&mut ctx, &p, &node_w, 0, &no_edges);
+                    sol.root_summary.best(p.problem()).unwrap()
+                }
+                "min_vc" => {
+                    let p = StateEngine::new(MinWeightVertexCover);
+                    let sol = prepared.solve(&mut ctx, &p, &node_w, 0, &no_edges);
+                    -sol.root_summary.best(p.problem()).unwrap()
+                }
+                other => unreachable!("bench-json has no problem named {other:?}"),
+            };
+            (
+                value,
+                ctx.metrics().rounds - before,
+                t.elapsed().as_secs_f64() * 1e3,
+            )
+        };
+        let (is_value, is_rounds, is_ms) = solve("max_is");
+        let (vc_value, vc_rounds, vc_ms) = solve("min_vc");
+
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"tree\": \"{}\",\n",
+                "      \"n\": {},\n",
+                "      \"diameter\": {},\n",
+                "      \"prepare\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"max_is\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"min_vc\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }}\n",
+                "    }}"
+            ),
+            entry.name,
+            tree.len(),
+            tree.diameter(),
+            prepare_rounds,
+            prepare_ms,
+            is_value,
+            is_rounds,
+            is_ms,
+            vc_value,
+            vc_rounds,
+            vc_ms,
+        ));
+    }
+    println!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"mpc-tree-dp-bench/v1\",\n",
+            "  \"suite\": \"standard\",\n",
+            "  \"n\": {},\n",
+            "  \"delta\": 0.5,\n",
+            "  \"seed\": 7,\n",
+            "  \"entries\": [\n{}\n  ]\n",
+            "}}"
+        ),
+        n,
+        entries.join(",\n")
+    );
 }
 
 fn main() {
     let filter: Option<String> = std::env::args().nth(1);
+    if filter.as_deref() == Some("bench-json") {
+        exp_bench_json();
+        return;
+    }
     let run = |id: &str| filter.as_deref().map(|f| f == id).unwrap_or(true);
-    if run("e1") { exp_table1(); }
-    if run("e2") { exp_rounds_vs_diameter(); exp_rounds_vs_n(); }
-    if run("e3") { exp_vs_bateni(); }
-    if run("e4") { exp_layers(); }
-    if run("e5") { exp_memory(); }
-    if run("e6") { exp_representations(); }
-    if run("e7") { exp_reuse(); }
-    if run("e8") { exp_tree_median(); }
-    if run("e11") { exp_degree_reduction(); }
-    if run("e12") { exp_ablation(); }
+    if run("e1") {
+        exp_table1();
+    }
+    if run("e2") {
+        exp_rounds_vs_diameter();
+        exp_rounds_vs_n();
+    }
+    if run("e3") {
+        exp_vs_bateni();
+    }
+    if run("e4") {
+        exp_layers();
+    }
+    if run("e5") {
+        exp_memory();
+    }
+    if run("e6") {
+        exp_representations();
+    }
+    if run("e7") {
+        exp_reuse();
+    }
+    if run("e8") {
+        exp_tree_median();
+    }
+    if run("e11") {
+        exp_degree_reduction();
+    }
+    if run("e12") {
+        exp_ablation();
+    }
 }

@@ -21,9 +21,7 @@
 //! if it is ever exceeded.
 
 use crate::clustering::Clustering;
-use crate::element::{
-    make_cluster_id, Element, ElementId, ElementKind, VIRTUAL_NODE,
-};
+use crate::element::{make_cluster_id, Element, ElementId, ElementKind, VIRTUAL_NODE};
 use crate::subroutines::{count_subtree_sizes, path_distances, PathNode, PathPosition};
 use mpc_engine::{DistVec, MpcContext, Words};
 use std::fmt;
@@ -73,7 +71,9 @@ pub fn build_clustering(
     num_nodes: usize,
     threshold: Option<usize>,
 ) -> Result<Clustering, ClusterError> {
-    let threshold = threshold.unwrap_or_else(|| ctx.config().n_half_delta()).max(2);
+    let threshold = threshold
+        .unwrap_or_else(|| ctx.config().n_half_delta())
+        .max(2);
     if num_nodes == 0 {
         return Err(ClusterError("empty tree".to_string()));
     }
@@ -206,14 +206,8 @@ pub fn build_clustering(
             formed_at: indeg0_layer,
         });
         let assignments = absorb_colored_children(ctx, &actives, assignments);
-        actives = apply_absorption(
-            ctx,
-            actives,
-            &assignments,
-            indeg0_layer,
-            &mut finished,
-        )
-        .concat_local(new_clusters);
+        actives = apply_absorption(ctx, actives, &assignments, indeg0_layer, &mut finished)
+            .concat_local(new_clusters);
         ctx.check_memory(&actives, "clustering/after-indeg0");
 
         // ----- indegree-one step ------------------------------------------------------
@@ -250,7 +244,8 @@ pub fn build_clustering(
         // the path uniquely identifies the path, the quotient of the downward distance
         // identifies the fragment.
         let pos_with_active = ctx.join_lookup(positions, |p| p.id, &actives, |a| a.id);
-        let frag_key = move |p: &PathPosition| (p.bottom_anchor, (p.dist_down - 1) / threshold as u64);
+        let frag_key =
+            move |p: &PathPosition| (p.bottom_anchor, (p.dist_down - 1) / threshold as u64);
         let groups = ctx.gather_groups(pos_with_active, move |(p, _)| frag_key(p));
         // For every fragment: membership assignments, the new (uncolored, indegree-1)
         // cluster element, and a lookup request for its incoming edge.
@@ -497,7 +492,11 @@ mod tests {
     fn layer_count_is_small() {
         // Lemma 4: O(1) layers. With threshold t the layer count should stay well below
         // a small constant multiple of log_t(n).
-        for shape in [shapes::path(400), shapes::balanced_kary(400, 2), shapes::spider(4, 100)] {
+        for shape in [
+            shapes::path(400),
+            shapes::balanced_kary(400, 2),
+            shapes::spider(4, 100),
+        ] {
             let (clustering, _) = cluster_tree(&shape, 0.5, Some(5));
             assert!(
                 clustering.num_layers <= 20,

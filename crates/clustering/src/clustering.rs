@@ -44,8 +44,7 @@ impl Clustering {
         let mut err = |msg: String| violations.push(ClusteringViolation(msg));
 
         let elements: Vec<Element> = self.elements.to_vec();
-        let by_id: BTreeMap<ElementId, &Element> =
-            elements.iter().map(|e| (e.id, e)).collect();
+        let by_id: BTreeMap<ElementId, &Element> = elements.iter().map(|e| (e.id, e)).collect();
         if by_id.len() != elements.len() {
             err("duplicate element ids".to_string());
         }
@@ -56,7 +55,10 @@ impl Clustering {
             .filter(|e| e.kind == ElementKind::TopCluster)
             .collect();
         if tops.len() != 1 {
-            err(format!("expected exactly one top cluster, found {}", tops.len()));
+            err(format!(
+                "expected exactly one top cluster, found {}",
+                tops.len()
+            ));
         } else {
             let top = tops[0];
             if top.id != self.top_cluster {
@@ -96,7 +98,10 @@ impl Clustering {
                     err(format!("element {} absorbed above the top layer", e.id));
                 }
                 if e.absorbed_at <= e.formed_at {
-                    err(format!("element {} absorbed at or before its formation", e.id));
+                    err(format!(
+                        "element {} absorbed at or before its formation",
+                        e.id
+                    ));
                 }
                 if let Some(parent) = by_id.get(&e.absorbed_into) {
                     if parent.formed_at != e.absorbed_at {

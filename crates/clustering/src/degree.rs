@@ -121,8 +121,14 @@ mod tests {
     fn reduce(tree: &Tree, max_children: usize) -> DegreeReduced {
         let mut ctx = MpcContext::new(MpcConfig::new(tree.len().max(16), 0.5));
         let edges = ctx.from_vec(tree.edges());
-        reduce_degrees(&mut ctx, &edges, tree.root() as u64, tree.len(), max_children)
-            .expect("valid bound")
+        reduce_degrees(
+            &mut ctx,
+            &edges,
+            tree.root() as u64,
+            tree.len(),
+            max_children,
+        )
+        .expect("valid bound")
     }
 
     /// Rebuild a host-side tree over remapped contiguous ids for structural checks.

@@ -81,15 +81,13 @@ pub fn count_subtree_sizes(
 
     loop {
         // One doubling step: fetch the set of every known descendant and take the union.
-        let requests: DistVec<(ElementId, ElementId)> = states
-            .clone()
-            .flat_map_local(|s| {
-                if s.stable {
-                    Vec::new()
-                } else {
-                    s.set.iter().map(|&d| (s.id, d)).collect::<Vec<_>>()
-                }
-            });
+        let requests: DistVec<(ElementId, ElementId)> = states.clone().flat_map_local(|s| {
+            if s.stable {
+                Vec::new()
+            } else {
+                s.set.iter().map(|&d| (s.id, d)).collect::<Vec<_>>()
+            }
+        });
         if requests.is_empty() {
             break;
         }
@@ -210,10 +208,7 @@ impl Words for JumpState {
 
 /// Pointer-doubling along one direction of the path: every node ends up knowing the
 /// first non-path node in that direction and its distance to it.
-fn jump(
-    ctx: &mut MpcContext,
-    init: Vec<JumpState>,
-) -> Vec<(ElementId, ElementId, u64)> {
+fn jump(ctx: &mut MpcContext, init: Vec<JumpState>) -> Vec<(ElementId, ElementId, u64)> {
     let mut states: DistVec<JumpState> = ctx.from_vec(init);
     loop {
         let pending = ctx.all_reduce(
@@ -226,12 +221,7 @@ fn jump(
             break;
         }
         let snapshot = states.clone();
-        let joined = ctx.join_lookup(
-            states,
-            |s| s.ptr.unwrap_or(u64::MAX),
-            &snapshot,
-            |s| s.id,
-        );
+        let joined = ctx.join_lookup(states, |s| s.ptr.unwrap_or(u64::MAX), &snapshot, |s| s.id);
         states = joined.map_local(|(s, found)| match (s.ptr, found) {
             (Some(_), Some(t)) => JumpState {
                 id: s.id,
@@ -248,10 +238,7 @@ fn jump(
 
 /// Compute, for every degree-2 path node, its distance to both endpoints of its maximal
 /// path (the paper's `CountDistances`). `O(log D)` rounds.
-pub fn path_distances(
-    ctx: &mut MpcContext,
-    nodes: DistVec<PathNode>,
-) -> DistVec<PathPosition> {
+pub fn path_distances(ctx: &mut MpcContext, nodes: DistVec<PathNode>) -> DistVec<PathPosition> {
     if nodes.is_empty() {
         return ctx.empty();
     }
@@ -321,7 +308,12 @@ mod tests {
         let sizes = tree.subtree_sizes();
         for rec in info.to_vec() {
             assert!(!rec.heavy);
-            assert_eq!(rec.descendants.len(), sizes[rec.id as usize], "node {}", rec.id);
+            assert_eq!(
+                rec.descendants.len(),
+                sizes[rec.id as usize],
+                "node {}",
+                rec.id
+            );
         }
     }
 
@@ -355,7 +347,12 @@ mod tests {
             let _ = count_subtree_sizes(&mut c, adj, 8);
             rounds.push(c.metrics().rounds);
         }
-        assert!(rounds[0] < rounds[1], "star {} vs path {}", rounds[0], rounds[1]);
+        assert!(
+            rounds[0] < rounds[1],
+            "star {} vs path {}",
+            rounds[0],
+            rounds[1]
+        );
     }
 
     #[test]

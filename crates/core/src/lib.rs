@@ -15,6 +15,39 @@
 //! * [`solve_sequential`] — the sequential oracle used for differential testing.
 //! * [`prepare`] / [`PreparedTree`] — the end-to-end three-step pipeline (Section 1.4),
 //!   with clustering reuse across problems.
+//!
+//! ## Example
+//!
+//! Solve unweighted maximum independent set on a 32-node path — prepare the
+//! clustering once, then run the finite-state engine over it:
+//!
+//! ```
+//! use mpc_engine::{MpcConfig, MpcContext};
+//! use tree_dp_core::{prepare, StateEngine};
+//! use tree_dp_problems::MaxWeightIndependentSet;
+//! use tree_gen::shapes;
+//! use tree_repr::{ListOfEdges, TreeInput};
+//!
+//! let tree = shapes::path(32);
+//! let cfg = MpcConfig::new(2 * tree.len(), 0.5)
+//!     .with_memory_slack(512.0)
+//!     .with_bandwidth_slack(512.0);
+//! let mut ctx = MpcContext::new(cfg);
+//! let prepared = prepare(
+//!     &mut ctx,
+//!     TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+//!     None,
+//! )
+//! .unwrap();
+//!
+//! let engine = StateEngine::new(MaxWeightIndependentSet);
+//! let weights = ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+//! let no_edge_inputs = ctx.from_vec(Vec::<(u64, ())>::new());
+//! let sol = prepared.solve(&mut ctx, &engine, &weights, 0, &no_edge_inputs);
+//!
+//! // A path on 32 nodes has a maximum independent set of 16 nodes.
+//! assert_eq!(sol.root_summary.best(engine.problem()), Some(16));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

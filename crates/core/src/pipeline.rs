@@ -13,9 +13,7 @@
 use crate::problem::ClusterDp;
 use crate::solver::{solve_dp, DpSolution, EdgeData};
 use mpc_engine::{DistVec, MpcContext};
-use tree_clustering::{
-    build_clustering, reduce_degrees, ClusterError, Clustering, EdgeKind,
-};
+use tree_clustering::{build_clustering, reduce_degrees, ClusterError, Clustering, EdgeKind};
 use tree_repr::{normalize, DirectedEdge, NodeId, TreeInput};
 
 /// Errors of the end-to-end pipeline.
@@ -131,20 +129,13 @@ impl PreparedTree {
                 .map_local(|(aux, _)| (*aux, aux_input.clone()));
             let all_inputs = node_inputs.clone().concat_local(aux_inputs);
             // Edge data: kinds from the degree-reduced edge list, inputs from the caller.
-            let edge_data_raw = ctx.join_lookup(
-                self.edges.clone(),
-                |(e, _)| e.child,
-                edge_inputs,
-                |x| x.0,
-            );
+            let edge_data_raw =
+                ctx.join_lookup(self.edges.clone(), |(e, _)| e.child, edge_inputs, |x| x.0);
             let edge_data: DistVec<EdgeData<P::EdgeInput>> =
                 edge_data_raw.map_local(|((edge, kind), input)| EdgeData {
                     child: edge.child,
                     kind: *kind,
-                    input: input
-                        .as_ref()
-                        .map(|x| x.1.clone())
-                        .unwrap_or_default(),
+                    input: input.as_ref().map(|x| x.1.clone()).unwrap_or_default(),
                 });
             solve_dp(ctx, &self.clustering, problem, &all_inputs, &edge_data)
         })

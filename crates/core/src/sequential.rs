@@ -43,8 +43,7 @@ pub fn solve_sequential<P: ClusterDp>(
     nodes.dedup();
     let index_of: BTreeMap<NodeId, usize> =
         nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-    let parent_of: BTreeMap<NodeId, NodeId> =
-        edges.iter().map(|e| (e.child, e.parent)).collect();
+    let parent_of: BTreeMap<NodeId, NodeId> = edges.iter().map(|e| (e.child, e.parent)).collect();
 
     let mut members: Vec<Member<P>> = nodes
         .iter()

@@ -97,8 +97,8 @@ pub fn solve_dp<P: ClusterDp>(
         if views.is_empty() {
             continue;
         }
-        let summaries: DistVec<(ElementId, Payload<P::NodeInput, P::Summary>)> = views
-            .map_local(|view| {
+        let summaries: DistVec<(ElementId, Payload<P::NodeInput, P::Summary>)> =
+            views.map_local(|view| {
                 let summary = problem.summarize(view);
                 (view.cluster, Payload::Summary(summary))
             });
@@ -295,11 +295,7 @@ impl<P: ClusterDp> Words for ClusterView<P> {
             .members
             .iter()
             .map(|m| {
-                m.element.words()
-                    + m.payload.words()
-                    + 2
-                    + m.out_input.words()
-                    + m.children.len()
+                m.element.words() + m.payload.words() + 2 + m.out_input.words() + m.children.len()
             })
             .sum::<usize>()
     }

@@ -236,10 +236,14 @@ impl<P: StateDp> StateEngine<P> {
         let mut out = Table::new(s, out_ext);
         for ps in 0..s {
             for pe in 0..parent.ext {
-                let Some(pv) = parent.get(ps, pe) else { continue };
+                let Some(pv) = parent.get(ps, pe) else {
+                    continue;
+                };
                 for cs in 0..s {
                     for ce in 0..child.ext {
-                        let Some(cv) = child.get(cs, ce) else { continue };
+                        let Some(cv) = child.get(cs, ce) else {
+                            continue;
+                        };
                         let target = if into_private { pe } else { ps };
                         let Some((new_state, score)) =
                             self.problem.absorb_child(target, kind, edge_input, cs)
@@ -296,8 +300,8 @@ impl<P: StateDp> StateEngine<P> {
             // Attach lifting for original-node attach members: tie the external
             // dimension to the node's own final state.
             let pre_lift = current.clone();
-            let is_attach_node = view.attach == Some(idx)
-                && matches!(view.members[idx].payload, Payload::Input(_));
+            let is_attach_node =
+                view.attach == Some(idx) && matches!(view.members[idx].payload, Payload::Input(_));
             if is_attach_node {
                 let mut lifted = Table::new(s, s);
                 for st in 0..s {
@@ -314,7 +318,10 @@ impl<P: StateDp> StateEngine<P> {
                 private_attach,
             });
         }
-        tables.into_iter().map(|t| t.expect("all processed")).collect()
+        tables
+            .into_iter()
+            .map(|t| t.expect("all processed"))
+            .collect()
     }
 }
 
@@ -389,7 +396,9 @@ impl<P: StateDp> ClusterDp for StateEngine<P> {
             let in_input = view.in_input.clone().unwrap_or_default();
             let mut best: Option<(Score, usize)> = None;
             for e in 0..top_table.ext {
-                let Some(v) = top_table.get(*out_label, e) else { continue };
+                let Some(v) = top_table.get(*out_label, e) else {
+                    continue;
+                };
                 let Some((new_state, score)) =
                     self.problem
                         .absorb_child(e, view.in_kind, &in_input, ext_child_state)
@@ -429,10 +438,14 @@ impl<P: StateDp> ClusterDp for StateEngine<P> {
                 let mut found = None;
                 'search: for ps in 0..s {
                     for pe in 0..before.ext {
-                        let Some(pv) = before.get(ps, pe) else { continue };
+                        let Some(pv) = before.get(ps, pe) else {
+                            continue;
+                        };
                         for cs in 0..s {
                             for ce in 0..child_table.ext {
-                                let Some(cv) = child_table.get(cs, ce) else { continue };
+                                let Some(cv) = child_table.get(cs, ce) else {
+                                    continue;
+                                };
                                 let absorb_target = if into_private { pe } else { ps };
                                 let Some((new_state, score)) =
                                     self.problem.absorb_child(absorb_target, kind, &input, cs)
@@ -459,8 +472,7 @@ impl<P: StateDp> ClusterDp for StateEngine<P> {
                         }
                     }
                 }
-                let (ps, pe, cs, ce) =
-                    found.expect("backtracking finds a consistent predecessor");
+                let (ps, pe, cs, ce) = found.expect("backtracking finds a consistent predecessor");
                 chosen_state[*child_idx] = cs;
                 chosen_ext[*child_idx] = ce;
                 target_state = ps;

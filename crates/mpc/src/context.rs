@@ -94,8 +94,11 @@ impl MpcContext {
     /// Run `f` as a named phase; rounds and communication consumed inside are
     /// attributed to `name` in [`Metrics::phases`].
     pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
-        self.phase_stack
-            .push((name.to_string(), self.metrics.rounds, self.metrics.total_words_sent));
+        self.phase_stack.push((
+            name.to_string(),
+            self.metrics.rounds,
+            self.metrics.total_words_sent,
+        ));
         let out = f(self);
         let (name, rounds0, sent0) = self.phase_stack.pop().expect("phase stack balanced");
         self.metrics.phases.push(PhaseMetrics {

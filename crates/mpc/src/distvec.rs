@@ -35,7 +35,10 @@ impl<T> DistVec<T> {
         if !rest.is_empty() {
             // Only possible if machines*per < len, which the ceiling division prevents;
             // keep the data anyway to be safe.
-            chunks.last_mut().expect("at least one machine").extend(rest);
+            chunks
+                .last_mut()
+                .expect("at least one machine")
+                .extend(rest);
         }
         Self { chunks }
     }
@@ -157,7 +160,11 @@ impl<T> DistVec<T> {
 impl<T: Words> DistVec<T> {
     /// Words held by the heaviest machine.
     pub fn max_chunk_words(&self) -> usize {
-        self.chunks.iter().map(|c| slice_words(c)).max().unwrap_or(0)
+        self.chunks
+            .iter()
+            .map(|c| slice_words(c))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total words across all machines.
@@ -173,7 +180,9 @@ impl<T: Words> DistVec<T> {
 
 impl<T> Default for DistVec<T> {
     fn default() -> Self {
-        Self { chunks: vec![Vec::new()] }
+        Self {
+            chunks: vec![Vec::new()],
+        }
     }
 }
 

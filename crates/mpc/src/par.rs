@@ -64,7 +64,8 @@ where
     let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
-        for (c, (slice_in, slice_out)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+        for (c, (slice_in, slice_out)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
             let f = &f;
             let base = c * chunk;
             scope.spawn(move || {
@@ -74,7 +75,9 @@ where
             });
         }
     });
-    out.into_iter().map(|o| o.expect("par_map filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("par_map filled"))
+        .collect()
 }
 
 #[cfg(test)]

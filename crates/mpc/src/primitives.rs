@@ -92,8 +92,7 @@ impl MpcContext {
         let table_words = table.total_words();
         let req_words = requests.total_words();
         let machines = self.config().num_machines();
-        let per_machine_moved =
-            ((table_words + req_words) + machines - 1) / machines.max(1);
+        let per_machine_moved = ((table_words + req_words) + machines - 1) / machines.max(1);
 
         let chunks: Vec<Vec<(T, Option<V>)>> = requests
             .into_chunks()
@@ -229,9 +228,7 @@ mod tests {
         let mut c = ctx(1024);
         let table = c.from_vec((0u64..100).map(|i| (i, i * i)).collect::<Vec<_>>());
         let requests = c.from_vec(vec![3u64, 7, 99, 200]);
-        let joined = c
-            .join_lookup(requests, |r| *r, &table, |t| t.0)
-            .to_vec();
+        let joined = c.join_lookup(requests, |r| *r, &table, |t| t.0).to_vec();
         assert_eq!(joined[0].1, Some((3, 9)));
         assert_eq!(joined[1].1, Some((7, 49)));
         assert_eq!(joined[2].1, Some((99, 99 * 99)));

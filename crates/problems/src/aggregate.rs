@@ -51,15 +51,21 @@ pub struct SubtreeAggregate {
 impl SubtreeAggregate {
     /// Subtree sums.
     pub fn sum() -> Self {
-        Self { op: AggregateOp::Sum }
+        Self {
+            op: AggregateOp::Sum,
+        }
     }
     /// Subtree minima.
     pub fn min() -> Self {
-        Self { op: AggregateOp::Min }
+        Self {
+            op: AggregateOp::Min,
+        }
     }
     /// Subtree maxima.
     pub fn max() -> Self {
-        Self { op: AggregateOp::Max }
+        Self {
+            op: AggregateOp::Max,
+        }
     }
 }
 
@@ -232,10 +238,7 @@ impl ExpressionEval {
                     if lin.a == 0 {
                         *lin
                     } else {
-                        let inner = child_forms
-                            .first()
-                            .copied()
-                            .unwrap_or_else(Linear::hole);
+                        let inner = child_forms.first().copied().unwrap_or_else(Linear::hole);
                         Linear {
                             a: lin.a.wrapping_mul(inner.a),
                             b: lin.a.wrapping_mul(inner.b).wrapping_add(lin.b),

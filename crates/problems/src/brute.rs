@@ -91,7 +91,9 @@ pub fn min_weight_dominating_set(tree: &Tree, weights: &[i64]) -> i64 {
 /// Maximum weight of a matching; `edge_weight[v]` is the weight of the edge from `v` to
 /// its parent (exhaustive over edge subsets).
 pub fn max_weight_matching(tree: &Tree, edge_weight: &[i64]) -> i64 {
-    let edges: Vec<usize> = (0..tree.len()).filter(|&v| tree.parent(v).is_some()).collect();
+    let edges: Vec<usize> = (0..tree.len())
+        .filter(|&v| tree.parent(v).is_some())
+        .collect();
     let m = edges.len();
     assert!(m <= 22);
     let mut best = 0;
@@ -146,13 +148,7 @@ pub fn min_sum_coloring(tree: &Tree, k: usize) -> i64 {
     assert!(k.pow(n as u32) <= 100_000_000, "state space too large");
     let mut best = i64::MAX;
     let mut coloring = vec![0usize; n];
-    fn rec(
-        v: usize,
-        tree: &Tree,
-        k: usize,
-        coloring: &mut Vec<usize>,
-        best: &mut i64,
-    ) {
+    fn rec(v: usize, tree: &Tree, k: usize, coloring: &mut Vec<usize>, best: &mut i64) {
         let n = tree.len();
         if v == n {
             let sum: i64 = coloring.iter().map(|&c| (c + 1) as i64).sum();
@@ -168,7 +164,11 @@ pub fn min_sum_coloring(tree: &Tree, k: usize) -> i64 {
                 }
             }
             // Children with smaller index already colored.
-            if tree.children(v).iter().any(|&ch| ch < v && coloring[ch] == c) {
+            if tree
+                .children(v)
+                .iter()
+                .any(|&ch| ch < v && coloring[ch] == c)
+            {
                 continue;
             }
             coloring[v] = c;
@@ -181,7 +181,9 @@ pub fn min_sum_coloring(tree: &Tree, k: usize) -> i64 {
 
 /// Number of matchings (including the empty one) modulo `k` (exhaustive).
 pub fn count_matchings_mod(tree: &Tree, k: u64) -> u64 {
-    let edges: Vec<usize> = (0..tree.len()).filter(|&v| tree.parent(v).is_some()).collect();
+    let edges: Vec<usize> = (0..tree.len())
+        .filter(|&v| tree.parent(v).is_some())
+        .collect();
     let m = edges.len();
     assert!(m <= 22);
     let mut count = 0u64;

@@ -26,7 +26,13 @@ impl StateDp for MaxWeightIndependentSet {
         Some(if state == 1 { *w } else { 0 })
     }
 
-    fn absorb_child(&self, state: usize, kind: EdgeKind, _: &(), child: usize) -> Option<(usize, Score)> {
+    fn absorb_child(
+        &self,
+        state: usize,
+        kind: EdgeKind,
+        _: &(),
+        child: usize,
+    ) -> Option<(usize, Score)> {
         match kind {
             // Original edge: endpoints must not both be in the set.
             EdgeKind::Original if state == 1 && child == 1 => None,
@@ -62,7 +68,13 @@ impl StateDp for MinWeightVertexCover {
         Some(if state == 1 { -*w } else { 0 })
     }
 
-    fn absorb_child(&self, state: usize, kind: EdgeKind, _: &(), child: usize) -> Option<(usize, Score)> {
+    fn absorb_child(
+        &self,
+        state: usize,
+        kind: EdgeKind,
+        _: &(),
+        child: usize,
+    ) -> Option<(usize, Score)> {
         match kind {
             // Original edge: at least one endpoint must be in the cover.
             EdgeKind::Original if state == 0 && child == 0 => None,
@@ -106,7 +118,13 @@ impl StateDp for MinWeightDominatingSet {
         }
     }
 
-    fn absorb_child(&self, state: usize, kind: EdgeKind, _: &(), child: usize) -> Option<(usize, Score)> {
+    fn absorb_child(
+        &self,
+        state: usize,
+        kind: EdgeKind,
+        _: &(),
+        child: usize,
+    ) -> Option<(usize, Score)> {
         match kind {
             EdgeKind::Original => {
                 // A child that needs its parent requires this node to be in the set.
@@ -182,7 +200,13 @@ impl StateDp for MaxWeightMatching {
         }
     }
 
-    fn absorb_child(&self, state: usize, kind: EdgeKind, w: &i64, child: usize) -> Option<(usize, Score)> {
+    fn absorb_child(
+        &self,
+        state: usize,
+        kind: EdgeKind,
+        w: &i64,
+        child: usize,
+    ) -> Option<(usize, Score)> {
         match kind {
             EdgeKind::Original => {
                 if child == 2 {
@@ -247,7 +271,13 @@ impl StateDp for TreeMaxSat {
         Some(if state == 1 { input.0 } else { input.1 })
     }
 
-    fn absorb_child(&self, state: usize, kind: EdgeKind, w: &i64, child: usize) -> Option<(usize, Score)> {
+    fn absorb_child(
+        &self,
+        state: usize,
+        kind: EdgeKind,
+        w: &i64,
+        child: usize,
+    ) -> Option<(usize, Score)> {
         match kind {
             EdgeKind::Original => {
                 let satisfied = state == 1 || child == 1;
@@ -293,7 +323,13 @@ impl StateDp for VertexColoring {
         Some(0)
     }
 
-    fn absorb_child(&self, state: usize, kind: EdgeKind, _: &(), child: usize) -> Option<(usize, Score)> {
+    fn absorb_child(
+        &self,
+        state: usize,
+        kind: EdgeKind,
+        _: &(),
+        child: usize,
+    ) -> Option<(usize, Score)> {
         match kind {
             EdgeKind::Original if state == child => None,
             EdgeKind::Original => Some((state, 0)),
@@ -340,7 +376,13 @@ impl StateDp for SumColoring {
         Some(-((state + 1) as i64) * *multiplier)
     }
 
-    fn absorb_child(&self, state: usize, kind: EdgeKind, _: &(), child: usize) -> Option<(usize, Score)> {
+    fn absorb_child(
+        &self,
+        state: usize,
+        kind: EdgeKind,
+        _: &(),
+        child: usize,
+    ) -> Option<(usize, Score)> {
         match kind {
             EdgeKind::Original if state == child => None,
             EdgeKind::Original => Some((state, 0)),
@@ -400,7 +442,13 @@ impl StateDp for XmlValidation {
         }
     }
 
-    fn absorb_child(&self, state: usize, kind: EdgeKind, _: &(), child: usize) -> Option<(usize, Score)> {
+    fn absorb_child(
+        &self,
+        state: usize,
+        kind: EdgeKind,
+        _: &(),
+        child: usize,
+    ) -> Option<(usize, Score)> {
         match kind {
             EdgeKind::Original => {
                 let ok = self.allowed[state * self.tags + child];

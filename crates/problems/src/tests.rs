@@ -3,14 +3,14 @@
 //! (normalize → degree-reduce → cluster → solve); the three answers must agree.
 
 use crate::aggregate::{ExprNode, ExpressionEval, SubtreeAggregate};
+use crate::brute;
 use crate::median::{sequential_tree_median, TreeMedian};
 use crate::optimization::*;
-use crate::brute;
 use mpc_engine::{MpcConfig, MpcContext};
+use tree_clustering::EdgeKind;
 use tree_dp_core::{prepare, solve_sequential, ClusterDp, DpSolution, StateEngine};
 use tree_gen::{labels, shapes};
 use tree_repr::{ListOfEdges, Tree, TreeInput};
-use tree_clustering::EdgeKind;
 
 /// Solve `problem` on `tree` through the full MPC pipeline.
 fn solve_mpc<P: ClusterDp>(
@@ -65,7 +65,11 @@ fn small_trees() -> Vec<Tree> {
 }
 
 /// Total weight selected by a MaxIS labelling (and validity check).
-fn is_value_and_valid(tree: &Tree, weights: &[i64], labels: &std::collections::BTreeMap<u64, usize>) -> (i64, bool) {
+fn is_value_and_valid(
+    tree: &Tree,
+    weights: &[i64],
+    labels: &std::collections::BTreeMap<u64, usize>,
+) -> (i64, bool) {
     let mut total = 0;
     let mut valid = true;
     for v in 0..tree.len() {
@@ -91,8 +95,11 @@ fn max_is_matches_brute_force_and_labels_are_valid() {
             .collect();
         let expected = brute::max_weight_independent_set(&tree, &weights);
         let engine = StateEngine::new(MaxWeightIndependentSet);
-        let node_inputs: Vec<(u64, i64)> =
-            weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect();
+        let node_inputs: Vec<(u64, i64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect();
         let (sol, _) = solve_mpc(&tree, &engine, node_inputs, 0, vec![], 4);
         let got = sol.root_summary.best(engine.problem()).unwrap();
         assert_eq!(got, expected, "MaxIS value mismatch on tree {i}");
@@ -117,15 +124,21 @@ fn max_is_matches_brute_force_and_labels_are_valid() {
 #[test]
 fn max_is_works_on_high_degree_trees_via_degree_reduction() {
     // Stars and brooms with degree far above the threshold exercise Section 4.4/5.3.
-    for (i, tree) in [shapes::star(18), shapes::broom(3, 15)].into_iter().enumerate() {
+    for (i, tree) in [shapes::star(18), shapes::broom(3, 15)]
+        .into_iter()
+        .enumerate()
+    {
         let weights: Vec<i64> = labels::uniform_weights(tree.len(), 1, 9, 77 + i as u64)
             .into_iter()
             .map(|w| w as i64)
             .collect();
         let expected = brute::max_weight_independent_set(&tree, &weights);
         let engine = StateEngine::new(MaxWeightIndependentSet);
-        let node_inputs: Vec<(u64, i64)> =
-            weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect();
+        let node_inputs: Vec<(u64, i64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect();
         let (sol, _) = solve_mpc(&tree, &engine, node_inputs, 0, vec![], 3);
         assert_eq!(sol.root_summary.best(engine.problem()).unwrap(), expected);
     }
@@ -140,8 +153,11 @@ fn vertex_cover_matches_brute_force() {
             .collect();
         let expected = brute::min_weight_vertex_cover(&tree, &weights);
         let engine = StateEngine::new(MinWeightVertexCover);
-        let node_inputs: Vec<(u64, i64)> =
-            weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect();
+        let node_inputs: Vec<(u64, i64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect();
         let (sol, _) = solve_mpc(&tree, &engine, node_inputs, 0, vec![], 4);
         let got = -sol.root_summary.best(engine.problem()).unwrap();
         assert_eq!(got, expected, "vertex cover mismatch on tree {i}");
@@ -157,8 +173,11 @@ fn dominating_set_matches_brute_force() {
             .collect();
         let expected = brute::min_weight_dominating_set(&tree, &weights);
         let engine = StateEngine::new(MinWeightDominatingSet);
-        let node_inputs: Vec<(u64, i64)> =
-            weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect();
+        let node_inputs: Vec<(u64, i64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect();
         let (sol, _) = solve_mpc(&tree, &engine, node_inputs, 0, vec![], 4);
         let got = -sol.root_summary.best(engine.problem()).unwrap();
         assert_eq!(got, expected, "dominating set mismatch on tree {i}");
@@ -261,8 +280,11 @@ fn xml_validation_counts_violations() {
             }
         }
         let engine = StateEngine::new(XmlValidation::chain_schema(3));
-        let node_inputs: Vec<(u64, u64)> =
-            tags.iter().enumerate().map(|(v, &t)| (v as u64, t)).collect();
+        let node_inputs: Vec<(u64, u64)> = tags
+            .iter()
+            .enumerate()
+            .map(|(v, &t)| (v as u64, t))
+            .collect();
         // Auxiliary nodes would need to inherit the tag of the node they stand in for;
         // run without degree reduction instead.
         let threshold = tree.max_degree().max(4);
@@ -281,9 +303,16 @@ fn subtree_aggregates_match_direct_computation() {
             .collect();
         let sizes = tree.subtree_sizes();
         let _ = sizes;
-        for problem in [SubtreeAggregate::sum(), SubtreeAggregate::min(), SubtreeAggregate::max()] {
-            let node_inputs: Vec<(u64, i64)> =
-                values.iter().enumerate().map(|(v, &x)| (v as u64, x)).collect();
+        for problem in [
+            SubtreeAggregate::sum(),
+            SubtreeAggregate::min(),
+            SubtreeAggregate::max(),
+        ] {
+            let node_inputs: Vec<(u64, i64)> = values
+                .iter()
+                .enumerate()
+                .map(|(v, &x)| (v as u64, x))
+                .collect();
             // Identity element for auxiliary nodes keeps aggregates unchanged.
             let aux = match problem.op {
                 crate::aggregate::AggregateOp::Sum => 0,
@@ -302,7 +331,8 @@ fn subtree_aggregates_match_direct_computation() {
             }
             for v in 0..tree.len() {
                 assert_eq!(
-                    label_map[&(v as u64)], expected[v],
+                    label_map[&(v as u64)],
+                    expected[v],
                     "{} mismatch at node {v} on tree {i}",
                     problem.name()
                 );
@@ -331,20 +361,46 @@ fn expression_evaluation_matches_direct_evaluation() {
         for v in tree.postorder() {
             value[v] = match nodes[v] {
                 ExprNode::Const(c) => c,
-                ExprNode::Add => tree.children(v).iter().map(|&c| value[c]).fold(0, i64::wrapping_add),
-                ExprNode::Mul => tree.children(v).iter().map(|&c| value[c]).fold(1, i64::wrapping_mul),
+                ExprNode::Add => tree
+                    .children(v)
+                    .iter()
+                    .map(|&c| value[c])
+                    .fold(0, i64::wrapping_add),
+                ExprNode::Mul => tree
+                    .children(v)
+                    .iter()
+                    .map(|&c| value[c])
+                    .fold(1, i64::wrapping_mul),
             };
         }
-        let node_inputs: Vec<(u64, ExprNode)> =
-            nodes.iter().enumerate().map(|(v, n)| (v as u64, *n)).collect();
+        let node_inputs: Vec<(u64, ExprNode)> = nodes
+            .iter()
+            .enumerate()
+            .map(|(v, n)| (v as u64, *n))
+            .collect();
         // Expression trees are not binary adaptable in general (an auxiliary node would
         // need to know its operator), so run them without degree reduction.
         let threshold = tree.max_degree().max(4);
-        let (sol, _) = solve_mpc(&tree, &ExpressionEval, node_inputs, ExprNode::Const(0), vec![], threshold);
-        assert_eq!(sol.root_label, value[tree.root()], "expression value mismatch on tree {i}");
+        let (sol, _) = solve_mpc(
+            &tree,
+            &ExpressionEval,
+            node_inputs,
+            ExprNode::Const(0),
+            vec![],
+            threshold,
+        );
+        assert_eq!(
+            sol.root_label,
+            value[tree.root()],
+            "expression value mismatch on tree {i}"
+        );
         let label_map: std::collections::BTreeMap<u64, i64> = sol.labels.iter().cloned().collect();
         for v in 0..tree.len() {
-            assert_eq!(label_map[&(v as u64)], value[v], "subexpression mismatch at {v} on tree {i}");
+            assert_eq!(
+                label_map[&(v as u64)],
+                value[v],
+                "subexpression mismatch at {v} on tree {i}"
+            );
         }
     }
 }
@@ -363,7 +419,11 @@ fn tree_median_matches_sequential() {
         let (sol, _) = solve_mpc(&tree, &TreeMedian, node_inputs, None, vec![], threshold);
         let label_map: std::collections::BTreeMap<u64, i64> = sol.labels.iter().cloned().collect();
         for v in 0..tree.len() {
-            assert_eq!(label_map[&(v as u64)], expected[v], "median mismatch at {v} on tree {i}");
+            assert_eq!(
+                label_map[&(v as u64)],
+                expected[v],
+                "median mismatch at {v} on tree {i}"
+            );
         }
     }
 }
@@ -381,8 +441,11 @@ fn larger_trees_round_counts_depend_on_diameter() {
             .map(|w| w as i64)
             .collect();
         let engine = StateEngine::new(MaxWeightIndependentSet);
-        let node_inputs: Vec<(u64, i64)> =
-            weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect();
+        let node_inputs: Vec<(u64, i64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect();
         let (sol, r) = solve_mpc(tree, &engine, node_inputs, 0, vec![], 6);
         assert!(sol.root_summary.best(engine.problem()).unwrap() > 0);
         rounds.push(r);

@@ -113,10 +113,7 @@ pub fn normalize(ctx: &mut MpcContext, input: TreeInput) -> Option<NormalizedTre
 
 /// Identify the root of a directed child→parent edge list: the unique node that appears
 /// as a parent but never as a child. One join plus one all-reduce (`O(1)` rounds).
-fn find_root_of_edge_list(
-    ctx: &mut MpcContext,
-    edges: &DistVec<DirectedEdge>,
-) -> Option<NodeId> {
+fn find_root_of_edge_list(ctx: &mut MpcContext, edges: &DistVec<DirectedEdge>) -> Option<NodeId> {
     if edges.is_empty() {
         return None;
     }
@@ -137,9 +134,7 @@ fn find_root_of_edge_list(
     );
     // Exactly one distinct parent must be root-like; count the distinct candidates.
     let candidates = joined.filter_local(|(_, found)| found.is_none());
-    let distinct = ctx
-        .gather_groups(candidates, |(e, _)| e.parent)
-        .len();
+    let distinct = ctx.gather_groups(candidates, |(e, _)| e.parent).len();
     if root == NodeId::MAX || distinct != 1 {
         None
     } else {
@@ -282,10 +277,14 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         // Two roots in a pointer array.
-        assert!(normalize_input(TreeInput::PointersToParents(PointersToParents(vec![
-            None, None, Some(0)
-        ])))
-        .is_none());
+        assert!(
+            normalize_input(TreeInput::PointersToParents(PointersToParents(vec![
+                None,
+                None,
+                Some(0)
+            ])))
+            .is_none()
+        );
         // Unbalanced parentheses.
         assert!(normalize_input(TreeInput::StringOfParentheses(
             StringOfParentheses::parse("(()").unwrap()
@@ -293,9 +292,7 @@ mod tests {
         .is_none());
         // Empty inputs.
         assert!(normalize_input(TreeInput::ListOfEdges(ListOfEdges(vec![]))).is_none());
-        assert!(
-            normalize_input(TreeInput::PointersToParents(PointersToParents(vec![]))).is_none()
-        );
+        assert!(normalize_input(TreeInput::PointersToParents(PointersToParents(vec![]))).is_none());
     }
 
     #[test]

@@ -377,13 +377,21 @@ mod tests {
         // sequential matcher and rebuilt as a Tree for structural validation.
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for trial in 0..10 {
             let n = 30 + (next() % 100) as usize;
             let parents: Vec<Option<usize>> = (0..n)
-                .map(|v| if v == 0 { None } else { Some((next() as usize) % v) })
+                .map(|v| {
+                    if v == 0 {
+                        None
+                    } else {
+                        Some((next() as usize) % v)
+                    }
+                })
                 .collect();
             let tree = Tree::from_parents(parents);
             let s = StringOfParentheses::from_tree(&tree).render();

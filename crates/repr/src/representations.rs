@@ -351,9 +351,18 @@ mod tests {
 
     #[test]
     fn unbalanced_strings_rejected() {
-        assert!(StringOfParentheses::parse("(()").unwrap().to_edges_sequential().is_none());
-        assert!(StringOfParentheses::parse(")(").unwrap().to_edges_sequential().is_none());
-        assert!(StringOfParentheses::parse("()()").unwrap().to_edges_sequential().is_none());
+        assert!(StringOfParentheses::parse("(()")
+            .unwrap()
+            .to_edges_sequential()
+            .is_none());
+        assert!(StringOfParentheses::parse(")(")
+            .unwrap()
+            .to_edges_sequential()
+            .is_none());
+        assert!(StringOfParentheses::parse("()()")
+            .unwrap()
+            .to_edges_sequential()
+            .is_none());
         assert!(StringOfParentheses::parse("x").is_none());
     }
 

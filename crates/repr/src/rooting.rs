@@ -70,8 +70,7 @@ pub fn root_undirected(
     );
 
     // Arcs in both directions.
-    let arcs: DistVec<(NodeId, NodeId)> =
-        edges.flat_map_local(|(u, v)| vec![(u, v), (v, u)]);
+    let arcs: DistVec<(NodeId, NodeId)> = edges.flat_map_local(|(u, v)| vec![(u, v), (v, u)]);
 
     // Cyclic adjacency order: group arcs by their *target* so that machine holding node
     // v sees all arcs (u, v) and can compute, for each, the next neighbor after u.
@@ -100,12 +99,7 @@ pub fn root_undirected(
     // arc (root, first_neighbor_of_root).
     let start_arc = (root, first_neighbor_of_root);
 
-    let joined = ctx.join_lookup(
-        arcs,
-        |&(u, v)| (v, u),
-        &succ_table,
-        |&(key, _)| key,
-    );
+    let joined = ctx.join_lookup(arcs, |&(u, v)| (v, u), &succ_table, |&(key, _)| key);
     let mut valid = true;
     let states: DistVec<ArcState> = joined.map_local(|item| {
         let ((u, v), found) = item;
@@ -229,16 +223,18 @@ mod tests {
     #[test]
     fn roots_a_path() {
         let n = 40;
-        let parents: Vec<Option<usize>> =
-            (0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(v - 1) })
+            .collect();
         check_matches(&Tree::from_parents(parents));
     }
 
     #[test]
     fn roots_a_star() {
         let n = 50;
-        let parents: Vec<Option<usize>> =
-            (0..n).map(|v| if v == 0 { None } else { Some(0) }).collect();
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(0) })
+            .collect();
         check_matches(&Tree::from_parents(parents));
     }
 
@@ -252,7 +248,13 @@ mod tests {
         for _ in 0..8 {
             let n = 20 + (next() % 80) as usize;
             let parents: Vec<Option<usize>> = (0..n)
-                .map(|v| if v == 0 { None } else { Some((next() as usize) % v) })
+                .map(|v| {
+                    if v == 0 {
+                        None
+                    } else {
+                        Some((next() as usize) % v)
+                    }
+                })
                 .collect();
             check_matches(&Tree::from_parents(parents));
         }

@@ -30,7 +30,12 @@ impl Tree {
         for (v, p) in parents.iter().enumerate() {
             match p {
                 None => {
-                    assert!(root.is_none(), "multiple roots: {} and {}", root.unwrap(), v);
+                    assert!(
+                        root.is_none(),
+                        "multiple roots: {} and {}",
+                        root.unwrap(),
+                        v
+                    );
                     root = Some(v);
                 }
                 Some(p) => {
@@ -58,7 +63,10 @@ impl Tree {
                 queue.push_back(c);
             }
         }
-        assert_eq!(seen, n, "parent vector contains a cycle or disconnected part");
+        assert_eq!(
+            seen, n,
+            "parent vector contains a cycle or disconnected part"
+        );
         tree
     }
 
@@ -124,16 +132,15 @@ impl Tree {
 
     /// All leaves (nodes without children).
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&v| self.children[v].is_empty()).collect()
+        (0..self.len())
+            .filter(|&v| self.children[v].is_empty())
+            .collect()
     }
 
     /// The child→parent edges of the standard representation.
     pub fn edges(&self) -> Vec<DirectedEdge> {
         (0..self.len())
-            .filter_map(|v| {
-                self.parent[v]
-                    .map(|p| DirectedEdge::new(v as NodeId, p as NodeId))
-            })
+            .filter_map(|v| self.parent[v].map(|p| DirectedEdge::new(v as NodeId, p as NodeId)))
             .collect()
     }
 
@@ -169,8 +176,7 @@ impl Tree {
         dist[start] = 0;
         let mut best = (start, 0usize);
         while let Some(v) = queue.pop_front() {
-            let neighbors = self
-                .children[v]
+            let neighbors = self.children[v]
                 .iter()
                 .copied()
                 .chain(self.parent[v].into_iter());
@@ -313,8 +319,9 @@ mod tests {
     #[test]
     fn path_diameter() {
         let n = 50;
-        let parents: Vec<Option<usize>> =
-            (0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(v - 1) })
+            .collect();
         let t = Tree::from_parents(parents);
         assert_eq!(t.diameter(), n - 1);
         assert_eq!(t.height(), n - 1);

@@ -73,13 +73,21 @@ impl TreeShape {
 /// A path `0 → 1 → … → n-1` rooted at node 0 (node `i`'s parent is `i-1`).
 pub fn path(n: usize) -> Tree {
     assert!(n > 0);
-    Tree::from_parents((0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect())
+    Tree::from_parents(
+        (0..n)
+            .map(|v| if v == 0 { None } else { Some(v - 1) })
+            .collect(),
+    )
 }
 
 /// A star with center 0 and `n-1` leaves.
 pub fn star(n: usize) -> Tree {
     assert!(n > 0);
-    Tree::from_parents((0..n).map(|v| if v == 0 { None } else { Some(0) }).collect())
+    Tree::from_parents(
+        (0..n)
+            .map(|v| if v == 0 { None } else { Some(0) })
+            .collect(),
+    )
 }
 
 /// A balanced `k`-ary tree with `n` nodes (heap layout: parent of `v` is `(v-1)/k`).
@@ -138,7 +146,13 @@ pub fn random_recursive(n: usize, seed: u64) -> Tree {
     let mut rng = StdRng::seed_from_u64(seed);
     Tree::from_parents(
         (0..n)
-            .map(|v| if v == 0 { None } else { Some(rng.gen_range(0..v)) })
+            .map(|v| {
+                if v == 0 {
+                    None
+                } else {
+                    Some(rng.gen_range(0..v))
+                }
+            })
             .collect(),
     )
 }

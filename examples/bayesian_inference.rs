@@ -6,9 +6,9 @@
 //! pattern (subtree aggregation of observation statistics), to show the data flow the
 //! BP application would use.
 
+use mpc_tree_dp::gen::{shapes, GaussianTreeModel};
 use mpc_tree_dp::problems::SubtreeAggregate;
 use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, TreeInput};
-use mpc_tree_dp::gen::{shapes, GaussianTreeModel};
 
 fn main() {
     let tree = shapes::balanced_kary(2047, 2);

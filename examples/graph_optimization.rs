@@ -1,11 +1,11 @@
 //! Solve four classical graph optimization problems (Table 1) on the same tree, reusing
 //! one hierarchical clustering — the "compute the clustering once" message of the paper.
 
+use mpc_tree_dp::gen::{labels, shapes};
 use mpc_tree_dp::problems::{
     MaxWeightIndependentSet, MaxWeightMatching, MinWeightDominatingSet, MinWeightVertexCover,
 };
 use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
-use mpc_tree_dp::gen::{labels, shapes};
 
 fn main() {
     let tree = shapes::caterpillar(800, 3);
@@ -24,29 +24,47 @@ fn main() {
     println!("clustering built in {rounds_after_prepare} rounds; now solving 4 problems on it");
 
     let node_w = ctx.from_vec(
-        weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect::<Vec<_>>(),
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
     );
     let unit_nodes = ctx.from_vec((0..tree.len()).map(|v| (v as u64, ())).collect::<Vec<_>>());
     let edge_w = ctx.from_vec(
-        (1..tree.len()).map(|v| (v as u64, (v % 9 + 1) as i64)).collect::<Vec<_>>(),
+        (1..tree.len())
+            .map(|v| (v as u64, (v % 9 + 1) as i64))
+            .collect::<Vec<_>>(),
     );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
 
     let is = StateEngine::new(MaxWeightIndependentSet);
     let sol = prepared.solve(&mut ctx, &is, &node_w, 0, &no_edges);
-    println!("max-weight independent set : {}", sol.root_summary.best(is.problem()).unwrap());
+    println!(
+        "max-weight independent set : {}",
+        sol.root_summary.best(is.problem()).unwrap()
+    );
 
     let vc = StateEngine::new(MinWeightVertexCover);
     let sol = prepared.solve(&mut ctx, &vc, &node_w, 0, &no_edges);
-    println!("min-weight vertex cover    : {}", -sol.root_summary.best(vc.problem()).unwrap());
+    println!(
+        "min-weight vertex cover    : {}",
+        -sol.root_summary.best(vc.problem()).unwrap()
+    );
 
     let ds = StateEngine::new(MinWeightDominatingSet);
     let sol = prepared.solve(&mut ctx, &ds, &node_w, 0, &no_edges);
-    println!("min-weight dominating set  : {}", -sol.root_summary.best(ds.problem()).unwrap());
+    println!(
+        "min-weight dominating set  : {}",
+        -sol.root_summary.best(ds.problem()).unwrap()
+    );
 
     let mm = StateEngine::new(MaxWeightMatching);
     let sol = prepared.solve(&mut ctx, &mm, &unit_nodes, (), &edge_w);
-    println!("max-weight matching        : {}", sol.root_summary.best(mm.problem()).unwrap());
+    println!(
+        "max-weight matching        : {}",
+        sol.root_summary.best(mm.problem()).unwrap()
+    );
 
     println!(
         "total rounds {} (prepare {rounds_after_prepare}, per problem ≈ {})",

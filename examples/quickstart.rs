@@ -2,9 +2,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use mpc_tree_dp::gen::{labels, shapes};
 use mpc_tree_dp::problems::MaxWeightIndependentSet;
 use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
-use mpc_tree_dp::gen::{labels, shapes};
 
 fn main() {
     // A random tree with 4096 nodes and random node weights.
@@ -30,7 +30,11 @@ fn main() {
     // Step 3: solve MaxIS in O(1) additional rounds.
     let engine = StateEngine::new(MaxWeightIndependentSet);
     let inputs = ctx.from_vec(
-        weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect::<Vec<_>>(),
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
     );
     let no_edge_inputs = ctx.from_vec(Vec::<(u64, ())>::new());
     let solution = prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edge_inputs);

@@ -1,9 +1,9 @@
 //! Subtree accumulation (the generalization of prefix sums to rooted trees): compute the
 //! sum, minimum and maximum of the input labels in every subtree.
 
+use mpc_tree_dp::gen::{labels, shapes};
 use mpc_tree_dp::problems::SubtreeAggregate;
 use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, TreeInput};
-use mpc_tree_dp::gen::{labels, shapes};
 
 fn main() {
     let tree = shapes::balanced_kary(5000, 3);
@@ -19,7 +19,11 @@ fn main() {
     )
     .expect("well-formed tree");
     let inputs = ctx.from_vec(
-        values.iter().enumerate().map(|(v, &x)| (v as u64, x)).collect::<Vec<_>>(),
+        values
+            .iter()
+            .enumerate()
+            .map(|(v, &x)| (v as u64, x))
+            .collect::<Vec<_>>(),
     );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
     for (problem, aux, name) in [
@@ -30,5 +34,8 @@ fn main() {
         let sol = prepared.solve(&mut ctx, &problem, &inputs, aux, &no_edges);
         println!("subtree {name} at the root: {}", sol.root_label);
     }
-    println!("rounds: {} (clustering reused three times)", ctx.metrics().rounds);
+    println!(
+        "rounds: {} (clustering reused three times)",
+        ctx.metrics().rounds
+    );
 }

@@ -2,9 +2,9 @@
 //! its children's labels — a problem that is *not* binary adaptable, i.e. outside the
 //! scope of the Bateni et al. baseline, but solvable in our framework.
 
+use mpc_tree_dp::gen::{labels, shapes};
 use mpc_tree_dp::problems::{sequential_tree_median, TreeMedian};
 use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, TreeInput};
-use mpc_tree_dp::gen::{labels, shapes};
 
 fn main() {
     let tree = shapes::spider(8, 120);
@@ -17,7 +17,11 @@ fn main() {
     )
     .expect("well-formed tree");
     let inputs = ctx.from_vec(
-        leaf_vals.iter().enumerate().map(|(v, x)| (v as u64, *x)).collect::<Vec<_>>(),
+        leaf_vals
+            .iter()
+            .enumerate()
+            .map(|(v, x)| (v as u64, *x))
+            .collect::<Vec<_>>(),
     );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
     let sol = prepared.solve(&mut ctx, &TreeMedian, &inputs, None, &no_edges);

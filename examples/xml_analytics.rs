@@ -2,20 +2,24 @@
 //! its structure and compute per-subtree statistics (the introduction's motivating
 //! text-analytics scenario).
 
+use mpc_tree_dp::gen::{labels, shapes};
 use mpc_tree_dp::problems::{SubtreeAggregate, XmlValidation};
 use mpc_tree_dp::{prepare, MpcConfig, MpcContext, StateEngine, StringOfParentheses, TreeInput};
-use mpc_tree_dp::gen::{labels, shapes};
 use tree_repr::Tree;
 
 fn main() {
     // Generate a random document with 3000 elements and render it as tags/parentheses.
     let tree: Tree = shapes::random_recursive(3000, 11);
     let doc = StringOfParentheses::from_tree(&tree);
-    println!("document: {} parentheses ({} elements)", doc.0.len(), tree.len());
+    println!(
+        "document: {} parentheses ({} elements)",
+        doc.0.len(),
+        tree.len()
+    );
 
     let mut ctx = MpcContext::new(MpcConfig::new(doc.0.len(), 0.5));
-    let prepared = prepare(&mut ctx, TreeInput::StringOfParentheses(doc), None)
-        .expect("well-formed document");
+    let prepared =
+        prepare(&mut ctx, TreeInput::StringOfParentheses(doc), None).expect("well-formed document");
     println!("parsed + clustered in {} rounds", ctx.metrics().rounds);
 
     // Tag every element and validate the schema (a violation costs 1).

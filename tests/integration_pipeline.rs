@@ -38,11 +38,19 @@ fn end_to_end_max_is_on_medium_trees() {
         .expect("prepare");
         let engine = StateEngine::new(MaxWeightIndependentSet);
         let inputs = ctx.from_vec(
-            weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect::<Vec<_>>(),
+            weights
+                .iter()
+                .enumerate()
+                .map(|(v, &w)| (v as u64, w))
+                .collect::<Vec<_>>(),
         );
         let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
         let sol = prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
-        assert_eq!(sol.root_summary.best(engine.problem()).unwrap(), expected, "tree {i}");
+        assert_eq!(
+            sol.root_summary.best(engine.problem()).unwrap(),
+            expected,
+            "tree {i}"
+        );
         assert!(ctx.metrics().rounds > 0);
         // The clustering must be structurally valid.
         assert!(prepared
@@ -63,7 +71,11 @@ fn clustering_reuse_has_constant_marginal_cost() {
     )
     .expect("prepare");
     let engine = StateEngine::new(MaxWeightIndependentSet);
-    let inputs = ctx.from_vec((0..tree.len()).map(|v| (v as u64, 1i64)).collect::<Vec<_>>());
+    let inputs = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1i64))
+            .collect::<Vec<_>>(),
+    );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
     let mut per_solve = Vec::new();
     for _ in 0..3 {

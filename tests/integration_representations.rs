@@ -16,12 +16,30 @@ fn all_representations_yield_the_same_unweighted_optimum() {
     let inputs_of = |n: usize| (0..n).map(|v| (v as u64, 1i64)).collect::<Vec<_>>();
     let mut values = Vec::new();
     let reprs: Vec<(&str, TreeInput)> = vec![
-        ("list-of-edges", TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree))),
-        ("undirected", TreeInput::UndirectedEdges(UndirectedEdges::from_tree(&tree))),
-        ("parentheses", TreeInput::StringOfParentheses(StringOfParentheses::from_tree(&tree))),
-        ("bfs", TreeInput::BfsTraversal(BfsTraversal::from_tree(&tree))),
-        ("dfs", TreeInput::DfsTraversal(DfsTraversal::from_tree(&tree))),
-        ("parents", TreeInput::PointersToParents(PointersToParents::from_tree(&tree))),
+        (
+            "list-of-edges",
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        ),
+        (
+            "undirected",
+            TreeInput::UndirectedEdges(UndirectedEdges::from_tree(&tree)),
+        ),
+        (
+            "parentheses",
+            TreeInput::StringOfParentheses(StringOfParentheses::from_tree(&tree)),
+        ),
+        (
+            "bfs",
+            TreeInput::BfsTraversal(BfsTraversal::from_tree(&tree)),
+        ),
+        (
+            "dfs",
+            TreeInput::DfsTraversal(DfsTraversal::from_tree(&tree)),
+        ),
+        (
+            "parents",
+            TreeInput::PointersToParents(PointersToParents::from_tree(&tree)),
+        ),
     ];
     for (name, input) in reprs {
         let n_words = input.input_words().max(16);

@@ -22,12 +22,18 @@ fn table1_problems_run_on_the_standard_suite() {
             .map(|w| w as i64)
             .collect();
         let node_w = ctx.from_vec(
-            weights.iter().enumerate().map(|(v, &w)| (v as u64, w)).collect::<Vec<_>>(),
+            weights
+                .iter()
+                .enumerate()
+                .map(|(v, &w)| (v as u64, w))
+                .collect::<Vec<_>>(),
         );
         let unit = ctx.from_vec((0..tree.len()).map(|v| (v as u64, ())).collect::<Vec<_>>());
         let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
         let edge_w = ctx.from_vec(
-            (1..tree.len()).map(|v| (v as u64, (v % 7 + 1) as i64)).collect::<Vec<_>>(),
+            (1..tree.len())
+                .map(|v| (v as u64, (v % 7 + 1) as i64))
+                .collect::<Vec<_>>(),
         );
 
         let is = StateEngine::new(MaxWeightIndependentSet);
@@ -64,6 +70,11 @@ fn table1_problems_run_on_the_standard_suite() {
             .unwrap();
         assert!(mm_val >= 0);
         let agg = prepared.solve(&mut ctx, &SubtreeAggregate::sum(), &node_w, 0, &no_edges);
-        assert_eq!(agg.root_label, weights.iter().sum::<i64>(), "{}", entry.name);
+        assert_eq!(
+            agg.root_label,
+            weights.iter().sum::<i64>(),
+            "{}",
+            entry.name
+        );
     }
 }

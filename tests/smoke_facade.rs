@@ -1,0 +1,56 @@
+//! Workspace smoke test: the facade re-exports are reachable and a tiny
+//! end-to-end MaxIS solve agrees with the sequential oracle.
+
+use mpc_tree_dp::clustering::EdgeKind;
+use mpc_tree_dp::gen::shapes;
+use mpc_tree_dp::problems::MaxWeightIndependentSet;
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, Tree, TreeInput};
+
+#[test]
+fn facade_reexports_are_reachable() {
+    // Each line here fails to compile if the advertised re-export goes away.
+    let tree: Tree = shapes::path(4);
+    assert_eq!(tree.len(), 4);
+    let cfg = MpcConfig::new(16, 0.5);
+    let _ctx = MpcContext::new(cfg);
+    let _engine = StateEngine::new(MaxWeightIndependentSet);
+    let _ = prepare; // the pipeline entry point itself
+}
+
+#[test]
+fn maxis_on_path_matches_sequential_oracle() {
+    let tree = shapes::path(64);
+    let weights: Vec<i64> = (0..64).map(|v| 1 + (v % 5)).collect();
+
+    let engine = StateEngine::new(MaxWeightIndependentSet);
+    let seq = mpc_tree_dp::core::solve_sequential(
+        &engine,
+        &tree.edges(),
+        tree.root() as u64,
+        |v| weights[v as usize],
+        |_| (EdgeKind::Original, ()),
+    );
+    let expected = seq.root_summary.best(engine.problem()).unwrap();
+
+    let cfg = MpcConfig::new(128, 0.5)
+        .with_memory_slack(512.0)
+        .with_bandwidth_slack(512.0);
+    let mut ctx = MpcContext::new(cfg);
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        Some(4),
+    )
+    .unwrap();
+    let inputs = ctx.from_vec(
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let sol = prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
+    let value = sol.root_summary.best(engine.problem()).unwrap();
+    assert_eq!(value, expected);
+}

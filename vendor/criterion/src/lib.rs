@@ -1,0 +1,178 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal harness with the same API surface the `mpc-tree-dp-bench` crate
+//! uses: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros (benches are built
+//! with `harness = false`, exactly as with real criterion).
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples, and
+//! prints `min / median / mean` wall-clock times per iteration. No plotting,
+//! no statistics beyond that — enough to track trajectories between PRs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported so benches can prevent
+/// dead-code elimination of their results.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to each function registered with
+/// [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A benchmark identifier of the form `function-name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter (e.g. an input size) into an id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One warm-up pass, then the timed samples.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut samples = bencher.samples;
+        assert!(
+            !samples.is_empty(),
+            "benchmark {}/{id}: the bench closure must call Bencher::iter",
+            self.name
+        );
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "  {}/{id}: min {:?}, median {:?}, mean {:?} ({} samples)",
+            self.name,
+            samples[0],
+            median,
+            mean,
+            samples.len()
+        );
+    }
+}
+
+/// Times one closure per sample; handed to the bench body as `|b| b.iter(...)`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` and record it as a sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Collect benchmark functions into a named group runner (API-compatible
+/// subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
