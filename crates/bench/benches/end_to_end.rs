@@ -10,7 +10,8 @@ use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, Tree
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end-to-end");
     group.sample_size(10);
-    for n in [1usize << 12] {
+    {
+        let n = 1usize << 12;
         let tree = shapes::with_diameter(n, 16, 2);
         group.bench_with_input(BenchmarkId::new("framework-max-is", n), &tree, |b, tree| {
             b.iter(|| {

@@ -7,7 +7,9 @@ use mpc_tree_dp::baselines::bateni_max_is;
 use mpc_tree_dp::gen::{labels, shapes, suite::standard_suite};
 use mpc_tree_dp::problems::*;
 use mpc_tree_dp::repr::Tree;
-use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
+use mpc_tree_dp::{
+    prepare, IncrementalSolver, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput,
+};
 
 fn solve_is(tree: &Tree, delta: f64) -> (i64, u64, u64, u32) {
     let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), delta));
@@ -278,8 +280,6 @@ fn exp_reuse() {
             .collect::<Vec<_>>(),
     );
     let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
-    let problems: Vec<(&str, Box<dyn Fn(&mut MpcContext) -> u64>)> = Vec::new();
-    let _ = problems;
     for name in ["max-is", "min-vc", "min-ds", "subtree-sum"] {
         let before = ctx.metrics().rounds;
         match name {
@@ -401,15 +401,107 @@ fn exp_ablation() {
     }
 }
 
+/// Measure one incremental-vs-full comparison point: apply `batch_size` pseudo-random
+/// weight updates per requested batch size through one [`IncrementalSolver`] (the
+/// batches stream cumulatively, as a dynamic workload would), then measure one full
+/// re-solve on the final weights — the full path's cost is batch-independent, so it is
+/// measured once per tree and reused for every batch row. Returns the per-batch
+/// `(inc_rounds, inc_ms)` pairs plus `(full_rounds, full_ms)`. Panics if the two paths
+/// disagree on the final optimum (a correctness backstop for the benchmark itself).
+fn bench_incremental_tree(
+    tree: &Tree,
+    batch_sizes: &[usize],
+    seed: u64,
+) -> (Vec<(u64, f64)>, u64, f64) {
+    let n = tree.len();
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * n, 0.5));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+        None,
+    )
+    .expect("prepare");
+    let mut weights: Vec<i64> = labels::uniform_weights(n, 1, 30, seed)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let inputs = ctx.from_vec(
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let mut solver = IncrementalSolver::new(
+        &mut ctx,
+        &prepared,
+        StateEngine::new(MaxWeightIndependentSet),
+        &inputs,
+        0,
+        &no_edges,
+    );
+
+    let mut per_batch = Vec::with_capacity(batch_sizes.len());
+    for (step, &batch_size) in batch_sizes.iter().enumerate() {
+        let batch: Vec<(u64, i64)> = (0..batch_size)
+            .map(|i| {
+                let mix = (seed as usize)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(step * 97 + i * 40503);
+                (
+                    ((mix) % n) as u64,
+                    ((seed as usize + i * 7) % 30 + 1) as i64,
+                )
+            })
+            .collect();
+        for &(v, w) in &batch {
+            weights[v as usize] = w;
+        }
+        let t_inc = std::time::Instant::now();
+        let stats = solver.update_node_inputs(&mut ctx, &batch);
+        per_batch.push((stats.rounds, t_inc.elapsed().as_secs_f64() * 1e3));
+    }
+
+    let full_inputs = ctx.from_vec(
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
+    );
+    let rounds_before = ctx.metrics().rounds;
+    let t_full = std::time::Instant::now();
+    let full = prepared.solve(
+        &mut ctx,
+        &StateEngine::new(MaxWeightIndependentSet),
+        &full_inputs,
+        0,
+        &no_edges,
+    );
+    let full_ms = t_full.elapsed().as_secs_f64() * 1e3;
+    let full_rounds = ctx.metrics().rounds - rounds_before;
+
+    let p = MaxWeightIndependentSet;
+    assert_eq!(
+        solver.root_summary().best(&p),
+        full.root_summary.best(&p),
+        "incremental and full solves disagree"
+    );
+    (per_batch, full_rounds, full_ms)
+}
+
 /// Emit a machine-readable baseline: for each tree of the n = 1024 standard
 /// suite, prepare once and solve MaxIS and MinVC, recording MPC rounds and
-/// wall-clock time. `cargo run --release -p mpc-tree-dp-bench -- bench-json`
+/// wall-clock time; then compare incremental vs. full re-solves for update
+/// batches of size 1/16/256 (aggregated over the suite).
+/// `cargo run --release -p mpc-tree-dp-bench -- bench-json [--seed <u64>]`
 /// prints the JSON to stdout (redirect it to `BENCH_seed.json` or its
 /// successors to anchor perf trajectories across PRs).
-fn exp_bench_json() {
+fn exp_bench_json(seed: u64) {
     let n = 1024;
     let mut entries = Vec::new();
-    for entry in standard_suite(n, 7) {
+    for entry in standard_suite(n, seed) {
         let tree = &entry.tree;
         let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
 
@@ -423,7 +515,7 @@ fn exp_bench_json() {
         let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
         let prepare_rounds = ctx.metrics().rounds;
 
-        let w: Vec<i64> = labels::uniform_weights(tree.len(), 1, 30, 1)
+        let w: Vec<i64> = labels::uniform_weights(tree.len(), 1, 30, seed)
             .into_iter()
             .map(|x| x as i64)
             .collect();
@@ -484,26 +576,78 @@ fn exp_bench_json() {
             vc_ms,
         ));
     }
+    // Incremental vs. full re-solve, aggregated over the whole suite per batch size.
+    // The full re-solve cost is batch-independent, so it is measured once per tree
+    // and repeated verbatim in every batch row.
+    let batch_sizes = [1usize, 16, 256];
+    let mut inc_totals = vec![(0u64, 0f64); batch_sizes.len()];
+    let (mut full_rounds, mut full_ms) = (0u64, 0f64);
+    let mut trees = 0usize;
+    for entry in standard_suite(n, seed) {
+        let (per_batch, fr, fm) = bench_incremental_tree(&entry.tree, &batch_sizes, seed);
+        for (total, (r, m)) in inc_totals.iter_mut().zip(per_batch) {
+            total.0 += r;
+            total.1 += m;
+        }
+        full_rounds += fr;
+        full_ms += fm;
+        trees += 1;
+    }
+    let mut inc_entries = Vec::new();
+    for (&batch_size, &(inc_rounds, inc_ms)) in batch_sizes.iter().zip(&inc_totals) {
+        inc_entries.push(format!(
+            concat!(
+                "      {{\n",
+                "        \"batch\": {},\n",
+                "        \"trees\": {},\n",
+                "        \"incremental\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "        \"full\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }}\n",
+                "      }}"
+            ),
+            batch_size, trees, inc_rounds, inc_ms, full_rounds, full_ms,
+        ));
+    }
+
     println!(
         concat!(
             "{{\n",
-            "  \"schema\": \"mpc-tree-dp-bench/v1\",\n",
+            "  \"schema\": \"mpc-tree-dp-bench/v2\",\n",
             "  \"suite\": \"standard\",\n",
             "  \"n\": {},\n",
             "  \"delta\": 0.5,\n",
-            "  \"seed\": 7,\n",
-            "  \"entries\": [\n{}\n  ]\n",
+            "  \"seed\": {},\n",
+            "  \"entries\": [\n{}\n  ],\n",
+            "  \"incremental\": {{\n",
+            "    \"problem\": \"max_is\",\n",
+            "    \"batches\": [\n{}\n    ]\n",
+            "  }}\n",
             "}}"
         ),
         n,
-        entries.join(",\n")
+        seed,
+        entries.join(",\n"),
+        inc_entries.join(",\n")
     );
 }
 
 fn main() {
-    let filter: Option<String> = std::env::args().nth(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter: Option<String> = args.first().cloned();
     if filter.as_deref() == Some("bench-json") {
-        exp_bench_json();
+        // `--seed <u64>` makes the run reproducible end to end: suite trees, weights,
+        // and update batches all derive from it. The default matches BENCH_pr2.json.
+        // (BENCH_seed.json predates the unified seeding — it used a hard-coded weight
+        // seed of 1 — so its `value` fields differ from a default run; its round
+        // counts are still directly comparable.)
+        let seed = match args.iter().position(|a| a == "--seed") {
+            Some(i) => args
+                .get(i + 1)
+                .expect("--seed requires a value")
+                .parse::<u64>()
+                .expect("--seed takes an unsigned integer"),
+            None => 7,
+        };
+        exp_bench_json(seed);
         return;
     }
     let run = |id: &str| filter.as_deref().map(|f| f == id).unwrap_or(true);

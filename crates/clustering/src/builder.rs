@@ -51,6 +51,11 @@ struct Active {
     formed_at: u32,
 }
 
+/// Per-fragment product of the indegree-1 contraction pass: the membership
+/// assignments, the new cluster's active element, and the lookup request for the
+/// cluster's incoming edge.
+type FragProduct = (Vec<(ElementId, ElementId)>, Active, (ElementId, ElementId));
+
 impl Words for Active {
     fn words(&self) -> usize {
         12
@@ -249,32 +254,31 @@ pub fn build_clustering(
         let groups = ctx.gather_groups(pos_with_active, move |(p, _)| frag_key(p));
         // For every fragment: membership assignments, the new (uncolored, indegree-1)
         // cluster element, and a lookup request for its incoming edge.
-        let frag_products: DistVec<(Vec<(ElementId, ElementId)>, Active, (ElementId, ElementId))> =
-            groups.flat_map_local(|(_, members)| {
-                let mut members: Vec<(PathPosition, Active)> = members
-                    .into_iter()
-                    .filter_map(|(p, a)| a.map(|a| (p, a)))
-                    .collect();
-                if members.is_empty() {
-                    return Vec::new();
-                }
-                members.sort_by_key(|(p, _)| p.dist_down);
-                let (_, bottom_active) = members[0];
-                let (_, top_active) = *members.last().expect("non-empty fragment");
-                let cid = make_cluster_id(indeg1_layer, top_active.id);
-                let assignments: Vec<(ElementId, ElementId)> =
-                    members.iter().map(|(_, a)| (a.id, cid)).collect();
-                let cluster = Active {
-                    id: cid,
-                    kind: ElementKind::ClusterIndeg1,
-                    colored: false,
-                    parent: top_active.parent,
-                    out_edge: top_active.out_edge,
-                    in_edge: None,
-                    formed_at: indeg1_layer,
-                };
-                vec![(assignments, cluster, (cid, bottom_active.id))]
-            });
+        let frag_products: DistVec<FragProduct> = groups.flat_map_local(|(_, members)| {
+            let mut members: Vec<(PathPosition, Active)> = members
+                .into_iter()
+                .filter_map(|(p, a)| a.map(|a| (p, a)))
+                .collect();
+            if members.is_empty() {
+                return Vec::new();
+            }
+            members.sort_by_key(|(p, _)| p.dist_down);
+            let (_, bottom_active) = members[0];
+            let (_, top_active) = *members.last().expect("non-empty fragment");
+            let cid = make_cluster_id(indeg1_layer, top_active.id);
+            let assignments: Vec<(ElementId, ElementId)> =
+                members.iter().map(|(_, a)| (a.id, cid)).collect();
+            let cluster = Active {
+                id: cid,
+                kind: ElementKind::ClusterIndeg1,
+                colored: false,
+                parent: top_active.parent,
+                out_edge: top_active.out_edge,
+                in_edge: None,
+                formed_at: indeg1_layer,
+            };
+            vec![(assignments, cluster, (cid, bottom_active.id))]
+        });
         let assignments: DistVec<(ElementId, ElementId)> = frag_products
             .clone()
             .flat_map_local(|(assign, _, _)| assign);

@@ -364,9 +364,9 @@ mod tests {
             .map(|v| PathNode {
                 id: v,
                 up: v - 1,
-                up_is_path: v - 1 >= 1,
+                up_is_path: v > 1,
                 down: v + 1,
-                down_is_path: v + 1 <= 8,
+                down_is_path: v < 8,
             })
             .collect();
         let dv = c.from_vec(nodes);

@@ -57,9 +57,12 @@ pub mod problem;
 pub mod sequential;
 pub mod solver;
 pub mod state_dp;
+pub mod store;
 
 pub use pipeline::{prepare, prepare_and_solve, PipelineError, PreparedTree};
 pub use problem::{ClusterDp, ClusterView, Member, Payload};
 pub use sequential::{solve_sequential, SequentialSolution};
-pub use solver::{solve_dp, DpSolution, EdgeData};
+pub use solver::{label_layer, solve_dp, solve_dp_with_store, summarize_layer};
+pub use solver::{DpSolution, EdgeData, PayloadTable};
 pub use state_dp::{Score, StateDp, StateEngine, StateSummary};
+pub use store::SolverStore;

@@ -11,8 +11,9 @@
 //!    is the headline structural message of the paper.
 
 use crate::problem::ClusterDp;
-use crate::solver::{solve_dp, DpSolution, EdgeData};
-use mpc_engine::{DistVec, MpcContext};
+use crate::solver::{solve_dp, solve_dp_with_store, DpSolution, EdgeData};
+use crate::store::SolverStore;
+use mpc_engine::{DistVec, MpcContext, Words};
 use tree_clustering::{build_clustering, reduce_degrees, ClusterError, Clustering, EdgeKind};
 use tree_repr::{normalize, DirectedEdge, NodeId, TreeInput};
 
@@ -122,22 +123,59 @@ impl PreparedTree {
         edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
     ) -> DpSolution<P> {
         ctx.phase("dp-solve", |ctx| {
-            // Inputs for auxiliary nodes.
-            let aux_inputs: DistVec<(NodeId, P::NodeInput)> = self
-                .aux_to_original
-                .clone()
-                .map_local(|(aux, _)| (*aux, aux_input.clone()));
-            let all_inputs = node_inputs.clone().concat_local(aux_inputs);
-            // Edge data: kinds from the degree-reduced edge list, inputs from the caller.
-            let edge_data_raw =
-                ctx.join_lookup(self.edges.clone(), |(e, _)| e.child, edge_inputs, |x| x.0);
-            let edge_data: DistVec<EdgeData<P::EdgeInput>> =
-                edge_data_raw.map_local(|((edge, kind), input)| EdgeData {
-                    child: edge.child,
-                    kind: *kind,
-                    input: input.as_ref().map(|x| x.1.clone()).unwrap_or_default(),
-                });
+            let all_inputs = self.assemble_inputs(node_inputs, aux_input);
+            let edge_data = self.assemble_edge_data(ctx, edge_inputs);
             solve_dp(ctx, &self.clustering, problem, &all_inputs, &edge_data)
+        })
+    }
+
+    /// Like [`solve`](Self::solve), but additionally return the [`SolverStore`] of
+    /// per-cluster records so that batched input updates can be re-solved
+    /// incrementally (the `tree-dp-incremental` crate builds on this).
+    pub fn solve_with_store<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        problem: &P,
+        node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+        aux_input: P::NodeInput,
+        edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+    ) -> (DpSolution<P>, SolverStore<P>) {
+        ctx.phase("dp-solve", |ctx| {
+            let all_inputs = self.assemble_inputs(node_inputs, aux_input);
+            let edge_data = self.assemble_edge_data(ctx, edge_inputs);
+            solve_dp_with_store(ctx, &self.clustering, problem, &all_inputs, &edge_data)
+        })
+    }
+
+    /// The full per-node input table: the caller's original-node inputs plus
+    /// `aux_input` for every auxiliary node introduced by degree reduction
+    /// (machine-local, 0 rounds).
+    pub fn assemble_inputs<I: Clone>(
+        &self,
+        node_inputs: &DistVec<(NodeId, I)>,
+        aux_input: I,
+    ) -> DistVec<(NodeId, I)> {
+        let aux_inputs: DistVec<(NodeId, I)> = self
+            .aux_to_original
+            .clone()
+            .map_local(|(aux, _)| (*aux, aux_input.clone()));
+        node_inputs.clone().concat_local(aux_inputs)
+    }
+
+    /// The per-edge data table the solver consumes: kinds from the degree-reduced
+    /// edge list, inputs from the caller (edges without a caller record default to
+    /// `E::default()`).
+    pub fn assemble_edge_data<E: Clone + Default + Words + Send>(
+        &self,
+        ctx: &mut MpcContext,
+        edge_inputs: &DistVec<(NodeId, E)>,
+    ) -> DistVec<EdgeData<E>> {
+        let edge_data_raw =
+            ctx.join_lookup(self.edges.clone(), |(e, _)| e.child, edge_inputs, |x| x.0);
+        edge_data_raw.map_local(|((edge, kind), input)| EdgeData {
+            child: edge.child,
+            kind: *kind,
+            input: input.as_ref().map(|x| x.1.clone()).unwrap_or_default(),
         })
     }
 

@@ -10,9 +10,17 @@
 //! approach, and it can be repeated for any number of problems on the same clustering.
 
 use crate::problem::{ClusterDp, ClusterView, Member, Payload};
+use crate::store::SolverStore;
 use mpc_engine::{DistVec, MpcContext, Words};
 use tree_clustering::{Clustering, EdgeKind, Element, ElementId, ElementKind};
 use tree_repr::NodeId;
+
+/// The distributed payload table of a solve: one record per element — `Input` for
+/// original nodes, `Summary` for contracted clusters.
+pub type PayloadTable<P> = DistVec<(
+    ElementId,
+    Payload<<P as ClusterDp>::NodeInput, <P as ClusterDp>::Summary>,
+)>;
 
 /// Problem-specific data attached to an original edge, keyed by the edge's child
 /// endpoint: its kind (original vs. auxiliary) and the problem's edge input.
@@ -83,31 +91,62 @@ pub fn solve_dp<P: ClusterDp>(
     inputs: &DistVec<(NodeId, P::NodeInput)>,
     edge_data: &DistVec<EdgeData<P::EdgeInput>>,
 ) -> DpSolution<P> {
+    solve_dp_impl(ctx, clustering, problem, inputs, edge_data, None)
+}
+
+/// Like [`solve_dp`], but additionally retains the per-cluster views, payloads, and
+/// labels in a [`SolverStore`] so that later batched-input updates can be re-solved
+/// incrementally (see the `tree-dp-incremental` crate).
+pub fn solve_dp_with_store<P: ClusterDp>(
+    ctx: &mut MpcContext,
+    clustering: &Clustering,
+    problem: &P,
+    inputs: &DistVec<(NodeId, P::NodeInput)>,
+    edge_data: &DistVec<EdgeData<P::EdgeInput>>,
+) -> (DpSolution<P>, SolverStore<P>) {
+    let mut store = SolverStore::new(clustering.num_layers);
+    let solution = solve_dp_impl(
+        ctx,
+        clustering,
+        problem,
+        inputs,
+        edge_data,
+        Some(&mut store),
+    );
+    (solution, store)
+}
+
+fn solve_dp_impl<P: ClusterDp>(
+    ctx: &mut MpcContext,
+    clustering: &Clustering,
+    problem: &P,
+    inputs: &DistVec<(NodeId, P::NodeInput)>,
+    edge_data: &DistVec<EdgeData<P::EdgeInput>>,
+    mut store: Option<&mut SolverStore<P>>,
+) -> DpSolution<P> {
     // ---- bottom-up phase (Section 5.1) --------------------------------------------
-    let mut payloads: DistVec<(ElementId, Payload<P::NodeInput, P::Summary>)> = inputs
+    let mut payloads: PayloadTable<P> = inputs
         .clone()
         .map_local(|(id, input)| (*id, Payload::Input(input.clone())));
     let mut top_summary: Option<P::Summary> = None;
 
     let views_per_layer: Vec<u32> = (1..=clustering.num_layers).collect();
     for &layer in &views_per_layer {
-        let views = ctx.phase("dp-bottom-up", |ctx| {
-            build_views::<P>(ctx, clustering, layer, &payloads, edge_data)
+        let (views, summaries) = ctx.phase("dp-bottom-up", |ctx| {
+            summarize_layer(ctx, clustering, layer, problem, &payloads, edge_data)
         });
         if views.is_empty() {
             continue;
         }
-        let summaries: DistVec<(ElementId, Payload<P::NodeInput, P::Summary>)> =
-            views.map_local(|view| {
-                let summary = problem.summarize(view);
-                (view.cluster, Payload::Summary(summary))
-            });
         for (cid, payload) in summaries.iter() {
             if *cid == clustering.top_cluster {
                 if let Payload::Summary(s) = payload {
                     top_summary = Some(s.clone());
                 }
             }
+        }
+        if let Some(store) = store.as_deref_mut() {
+            store.record_views(layer, &views);
         }
         payloads = payloads.concat_local(summaries);
         ctx.check_memory(&payloads, "dp/payloads");
@@ -126,36 +165,87 @@ pub fn solve_dp<P: ClusterDp>(
         if views.is_empty() {
             continue;
         }
-        // Fetch the labels of every cluster's boundary edges (they were produced at
-        // higher layers, by the top-down invariant of Definition 9).
-        let with_out = ctx.join_lookup(views, |v| v.out_edge.child, &labels, |l| l.0);
-        let with_in = ctx.join_lookup(
-            with_out,
-            |(v, _)| v.in_edge.map(|e| e.child).unwrap_or(u64::MAX),
-            &labels,
-            |l| l.0,
-        );
-        let new_labels: DistVec<(NodeId, P::Label)> =
-            with_in.flat_map_local(|((view, out), in_lab)| {
-                let out_label = out.expect("boundary out-label present").1;
-                let in_label = in_lab.map(|l| l.1);
-                let member_labels = problem.label_members(&view, &out_label, in_label.as_ref());
-                view.members
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != view.top)
-                    .map(|(i, m)| (m.element.out_edge.child, member_labels[i].clone()))
-                    .collect::<Vec<_>>()
-            });
+        let new_labels = label_layer(ctx, problem, views, &labels);
         labels = labels.concat_local(new_labels);
         ctx.check_memory(&labels, "dp/labels");
     }
 
+    if let Some(store) = store {
+        store.record_payloads(&payloads);
+        store.record_labels(&labels);
+        store.set_root(root_label.clone(), root_summary.clone());
+    }
     DpSolution {
         labels,
         root_label,
         root_summary,
     }
+}
+
+/// One bottom-up step (Section 5.1): assemble the views of the clusters formed at
+/// `layer` and summarize each of them locally. Returns the views together with the new
+/// `(cluster, summary)` payload records; both are empty when no cluster forms at
+/// `layer`.
+pub fn summarize_layer<P: ClusterDp>(
+    ctx: &mut MpcContext,
+    clustering: &Clustering,
+    layer: u32,
+    problem: &P,
+    payloads: &PayloadTable<P>,
+    edge_data: &DistVec<EdgeData<P::EdgeInput>>,
+) -> (DistVec<ClusterView<P>>, PayloadTable<P>) {
+    let views = build_views::<P>(ctx, clustering, layer, payloads, edge_data);
+    if views.is_empty() {
+        return (views, ctx.empty());
+    }
+    // Summarize machine-locally without consuming the views. A view assembled here is
+    // already final: every member of a layer-`layer` cluster was formed at a strictly
+    // lower layer, so its payload (input or summary) can no longer change — which is
+    // why retained views can be reused by the top-down pass and by incremental
+    // re-solves.
+    let summaries = DistVec::from_chunks(
+        views
+            .chunks()
+            .iter()
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|view| (view.cluster, Payload::Summary(problem.summarize(view))))
+                    .collect()
+            })
+            .collect(),
+    );
+    (views, summaries)
+}
+
+/// One top-down step (Section 5.2): fetch the labels of every cluster's boundary
+/// edges (they were produced at higher layers, by the top-down invariant of
+/// Definition 9) and label all internal member edges locally. Returns the new
+/// `(edge child, label)` records.
+pub fn label_layer<P: ClusterDp>(
+    ctx: &mut MpcContext,
+    problem: &P,
+    views: DistVec<ClusterView<P>>,
+    labels: &DistVec<(NodeId, P::Label)>,
+) -> DistVec<(NodeId, P::Label)> {
+    let with_out = ctx.join_lookup(views, |v| v.out_edge.child, labels, |l| l.0);
+    let with_in = ctx.join_lookup(
+        with_out,
+        |(v, _)| v.in_edge.map(|e| e.child).unwrap_or(u64::MAX),
+        labels,
+        |l| l.0,
+    );
+    with_in.flat_map_local(|((view, out), in_lab)| {
+        let out_label = out.expect("boundary out-label present").1;
+        let in_label = in_lab.map(|l| l.1);
+        let member_labels = problem.label_members(&view, &out_label, in_label.as_ref());
+        view.members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != view.top)
+            .map(|(i, m)| (m.element.out_edge.child, member_labels[i].clone()))
+            .collect::<Vec<_>>()
+    })
 }
 
 /// Assemble the [`ClusterView`] of every cluster formed at `layer`, each fully contained
@@ -164,7 +254,7 @@ fn build_views<P: ClusterDp>(
     ctx: &mut MpcContext,
     clustering: &Clustering,
     layer: u32,
-    payloads: &DistVec<(ElementId, Payload<P::NodeInput, P::Summary>)>,
+    payloads: &PayloadTable<P>,
     edge_data: &DistVec<EdgeData<P::EdgeInput>>,
 ) -> DistVec<ClusterView<P>> {
     let members_at_layer = clustering

@@ -69,7 +69,7 @@ pub trait StateDp {
 
 /// Summary produced by the engine: optimal scores indexed by the state of the cluster's
 /// top node and (for indegree-1 clusters) the state of its attach node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateSummary {
     /// Number of per-node states.
     pub states: usize,

@@ -7,11 +7,13 @@
 //! * [`repr`] — tree representations and their normalization (Section 3),
 //! * [`clustering`] — the `O(log D)`-round hierarchical clustering (Section 4),
 //! * [`core`] — the DP framework and solver (Definition 1, Section 5),
+//! * [`incremental`] — batched input updates re-solved on the cached clustering,
 //! * [`problems`] — the Table-1 problem library,
 //! * [`baselines`] — the Bateni-et-al.-style `O(log n)` baseline and ablations,
 //! * [`gen`] — synthetic workload generators.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/streaming_updates.rs` for the incremental-update workflow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,10 +22,12 @@ pub use mpc_engine as mpc;
 pub use tree_clustering as clustering;
 pub use tree_dp_baselines as baselines;
 pub use tree_dp_core as core;
+pub use tree_dp_incremental as incremental;
 pub use tree_dp_problems as problems;
 pub use tree_gen as gen;
 pub use tree_repr as repr;
 
 pub use mpc_engine::{MpcConfig, MpcContext};
 pub use tree_dp_core::{prepare, ClusterDp, DpSolution, PreparedTree, StateDp, StateEngine};
+pub use tree_dp_incremental::{IncrementalSolver, UpdateStats};
 pub use tree_repr::{ListOfEdges, StringOfParentheses, Tree, TreeInput};

@@ -1,0 +1,629 @@
+//! The incremental solver: initial cached solve plus batched re-solves along dirty
+//! root-paths (see the crate docs for the three-phase round structure).
+
+use crate::topology::Topology;
+use mpc_engine::{DistVec, MpcContext, Words};
+use std::collections::{BTreeMap, BTreeSet};
+use tree_clustering::ElementId;
+use tree_dp_core::{ClusterDp, DpSolution, Payload, PreparedTree, SolverStore};
+use tree_repr::NodeId;
+
+/// What one update batch cost and touched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateStats {
+    /// Number of update records in the batch.
+    pub batch_size: usize,
+    /// Clusters re-summarized in the bottom-up pass (the dirty root-paths).
+    pub resummarized: usize,
+    /// Summaries that actually changed (dirt that kept propagating upward).
+    pub summaries_changed: usize,
+    /// Clusters re-labeled in the top-down pass (the affected frontier).
+    pub relabeled: usize,
+    /// Edge labels that actually changed.
+    pub labels_changed: usize,
+    /// MPC rounds charged for this batch (across `inc-dirty`, `inc-up`, `inc-down`).
+    pub rounds: u64,
+    /// Words sent for this batch.
+    pub words_sent: u64,
+}
+
+/// An incremental DP solver over a prepared (clustered) tree.
+///
+/// Construction performs one full solve while caching per-cluster views, payloads, and
+/// labels per layer; [`update_node_inputs`](Self::update_node_inputs) and
+/// [`update_edge_inputs`](Self::update_edge_inputs) then re-solve batched input
+/// changes by re-processing only the dirty clusters. The cached solution is always
+/// identical to what a fresh [`solve_dp`](tree_dp_core::solve_dp) on the current
+/// inputs would produce.
+pub struct IncrementalSolver<P: ClusterDp>
+where
+    P::Summary: PartialEq,
+    P::Label: PartialEq,
+{
+    problem: P,
+    store: SolverStore<P>,
+    topo: Topology,
+    num_layers: u32,
+    top_cluster: ElementId,
+    root: NodeId,
+}
+
+impl<P: ClusterDp> IncrementalSolver<P>
+where
+    P::Summary: PartialEq,
+    P::Label: PartialEq,
+{
+    /// Solve the problem once on `prepared` (same contract as
+    /// [`PreparedTree::solve`]), caching all per-cluster records for later updates.
+    ///
+    /// * `node_inputs` — inputs of the *original* nodes.
+    /// * `aux_input` — the input of every auxiliary node introduced by degree
+    ///   reduction (never touched by updates; auxiliary copies keep it).
+    /// * `edge_inputs` — optional per-edge inputs keyed by the edge's child endpoint.
+    pub fn new(
+        ctx: &mut MpcContext,
+        prepared: &PreparedTree,
+        problem: P,
+        node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+        aux_input: P::NodeInput,
+        edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+    ) -> Self {
+        let (_, store) =
+            prepared.solve_with_store(ctx, &problem, node_inputs, aux_input, edge_inputs);
+        let topo = Topology::build(&store);
+        Self {
+            problem,
+            store,
+            topo,
+            num_layers: prepared.num_layers(),
+            top_cluster: prepared.clustering.top_cluster,
+            root: prepared.clustering.root,
+        }
+    }
+
+    /// Apply a batch of node-input changes (keyed by *original* node id; unknown ids
+    /// are ignored) and re-solve incrementally.
+    pub fn update_node_inputs(
+        &mut self,
+        ctx: &mut MpcContext,
+        updates: &[(NodeId, P::NodeInput)],
+    ) -> UpdateStats {
+        self.apply_batch(ctx, updates, &[])
+    }
+
+    /// Apply a batch of edge-input changes (keyed by the edge's child endpoint;
+    /// unknown keys are ignored) and re-solve incrementally.
+    pub fn update_edge_inputs(
+        &mut self,
+        ctx: &mut MpcContext,
+        updates: &[(NodeId, P::EdgeInput)],
+    ) -> UpdateStats {
+        self.apply_batch(ctx, &[], updates)
+    }
+
+    /// Apply one mixed batch of node- and edge-input changes.
+    ///
+    /// The three phases charge rounds for the deterministic MPC implementation whose
+    /// data movement they simulate on the cached records: `inc-dirty` routes the batch
+    /// to the machines holding the affected views (1 round — the addresses are known
+    /// from the cached clustering), `inc-up` forwards changed summaries to the parent
+    /// clusters' machines (1 round per layer that produced a change), and `inc-down`
+    /// forwards changed boundary labels to the reading clusters' machines (1 round per
+    /// layer that produced a change). Local recomputation is free in the MPC model.
+    pub fn apply_batch(
+        &mut self,
+        ctx: &mut MpcContext,
+        node_updates: &[(NodeId, P::NodeInput)],
+        edge_updates: &[(NodeId, P::EdgeInput)],
+    ) -> UpdateStats {
+        let rounds_before = ctx.metrics().rounds;
+        let words_before = ctx.metrics().total_words_sent;
+        let mut stats = UpdateStats {
+            batch_size: node_updates.len() + edge_updates.len(),
+            ..UpdateStats::default()
+        };
+
+        // Clusters that must be re-summarized, keyed by the layer their view is
+        // processed at. Dirt from changed summaries is pushed into higher layers as
+        // the bottom-up pass ascends.
+        let mut pending_dirty: BTreeMap<u32, BTreeSet<ElementId>> = BTreeMap::new();
+
+        // ---- phase 1: route the batch, patch the cached views ----------------------
+        ctx.phase("inc-dirty", |ctx| {
+            let mut batch_words = 0usize;
+            for (node, input) in node_updates {
+                batch_words += 1 + input.words();
+                if self.store.payload(*node).is_none() {
+                    continue;
+                }
+                self.store.set_payload(*node, Payload::Input(input.clone()));
+                if let Some(site) = self.topo.member_site.get(node).copied() {
+                    if let Some(view) = self.store.view_mut(site.layer, site.cluster) {
+                        view.members[site.index].payload = Payload::Input(input.clone());
+                    }
+                    pending_dirty
+                        .entry(site.layer)
+                        .or_default()
+                        .insert(site.cluster);
+                }
+            }
+            for (child, input) in edge_updates {
+                batch_words += 1 + input.words();
+                let member_sites = self.topo.out_edge_sites.get(child).cloned();
+                for site in member_sites.into_iter().flatten() {
+                    if let Some(view) = self.store.view_mut(site.layer, site.cluster) {
+                        view.members[site.index].out_input = input.clone();
+                    }
+                    pending_dirty
+                        .entry(site.layer)
+                        .or_default()
+                        .insert(site.cluster);
+                }
+                let in_sites = self.topo.in_edge_sites.get(child).cloned();
+                for (cluster, layer) in in_sites.into_iter().flatten() {
+                    if let Some(view) = self.store.view_mut(layer, cluster) {
+                        view.in_input = Some(input.clone());
+                    }
+                    pending_dirty.entry(layer).or_default().insert(cluster);
+                }
+            }
+            if batch_words > 0 {
+                charge_routing_round(ctx, batch_words, "inc-dirty/route");
+            }
+        });
+
+        // ---- phase 2: bottom-up along the dirty root-paths -------------------------
+        let mut dirty_per_layer: Vec<BTreeSet<ElementId>> =
+            vec![BTreeSet::new(); self.num_layers as usize + 1];
+        let mut root_summary_changed = false;
+        ctx.phase("inc-up", |ctx| {
+            for layer in 1..=self.num_layers {
+                let dirty = pending_dirty.remove(&layer).unwrap_or_default();
+                if dirty.is_empty() {
+                    continue;
+                }
+                let mut changed_words = 0usize;
+                for &cluster in &dirty {
+                    let view = self
+                        .store
+                        .view(layer, cluster)
+                        .expect("dirty cluster has a cached view");
+                    let new_summary = self.problem.summarize(view);
+                    stats.resummarized += 1;
+                    let changed = match self.store.payload(cluster) {
+                        Some(Payload::Summary(old)) => *old != new_summary,
+                        _ => true,
+                    };
+                    if !changed {
+                        continue;
+                    }
+                    stats.summaries_changed += 1;
+                    changed_words += 1 + new_summary.words();
+                    self.store
+                        .set_payload(cluster, Payload::Summary(new_summary.clone()));
+                    if cluster == self.top_cluster {
+                        self.store.set_root_summary(new_summary);
+                        root_summary_changed = true;
+                    } else if let Some(site) = self.topo.member_site.get(&cluster).copied() {
+                        if let Some(parent_view) = self.store.view_mut(site.layer, site.cluster) {
+                            parent_view.members[site.index].payload = Payload::Summary(new_summary);
+                        }
+                        pending_dirty
+                            .entry(site.layer)
+                            .or_default()
+                            .insert(site.cluster);
+                    }
+                }
+                // Changed summaries travel to the parent clusters' machines; a layer
+                // whose recomputations all came out unchanged sends nothing.
+                if changed_words > 0 {
+                    charge_routing_round(ctx, changed_words, "inc-up/forward");
+                }
+                dirty_per_layer[layer as usize] = dirty;
+            }
+        });
+
+        // ---- phase 3: top-down over the affected frontier --------------------------
+        ctx.phase("inc-down", |ctx| {
+            // Clusters whose boundary labels changed, keyed by their processed layer.
+            let mut pending_relabel: BTreeMap<u32, BTreeSet<ElementId>> = BTreeMap::new();
+            if root_summary_changed {
+                let new_root = self.problem.label_root(self.store.root_summary());
+                if *self.store.root_label() != new_root {
+                    stats.labels_changed += 1;
+                    self.store.set_root_label(new_root.clone());
+                    self.store.set_label(self.root, new_root);
+                    mark_label_readers(&self.topo, self.root, &mut pending_relabel);
+                }
+            }
+            for layer in (1..=self.num_layers).rev() {
+                let mut affected = std::mem::take(&mut dirty_per_layer[layer as usize]);
+                if let Some(extra) = pending_relabel.remove(&layer) {
+                    affected.extend(extra);
+                }
+                if affected.is_empty() {
+                    continue;
+                }
+                let mut changed_words = 0usize;
+                for &cluster in &affected {
+                    let site = self.topo.cluster_site[&cluster];
+                    let out_label = self
+                        .store
+                        .label(site.out_child)
+                        .expect("boundary out-label cached")
+                        .clone();
+                    let in_label = site.in_child.and_then(|c| self.store.label(c)).cloned();
+                    stats.relabeled += 1;
+                    let changed: Vec<(NodeId, P::Label)> = {
+                        let view = self
+                            .store
+                            .view(layer, cluster)
+                            .expect("affected cluster has a cached view");
+                        let member_labels =
+                            self.problem
+                                .label_members(view, &out_label, in_label.as_ref());
+                        view.members
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != view.top)
+                            .filter_map(|(i, member)| {
+                                let child = member.element.out_edge.child;
+                                if self.store.label(child) == Some(&member_labels[i]) {
+                                    None
+                                } else {
+                                    Some((child, member_labels[i].clone()))
+                                }
+                            })
+                            .collect()
+                    };
+                    for (child, label) in changed {
+                        stats.labels_changed += 1;
+                        changed_words += 1 + label.words();
+                        self.store.set_label(child, label);
+                        mark_label_readers(&self.topo, child, &mut pending_relabel);
+                    }
+                }
+                // Changed labels travel to the reading clusters' machines; a layer
+                // whose re-labelings all came out unchanged sends nothing.
+                if changed_words > 0 {
+                    charge_routing_round(ctx, changed_words, "inc-down/forward");
+                }
+            }
+        });
+
+        stats.rounds = ctx.metrics().rounds - rounds_before;
+        stats.words_sent = ctx.metrics().total_words_sent - words_before;
+        stats
+    }
+
+    /// The wrapped problem.
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    /// The summary of the top cluster on the current inputs (e.g. the optimum value).
+    pub fn root_summary(&self) -> &P::Summary {
+        self.store.root_summary()
+    }
+
+    /// The label of the virtual root edge on the current inputs.
+    pub fn root_label(&self) -> &P::Label {
+        self.store.root_label()
+    }
+
+    /// The label of the edge whose child endpoint is `child`.
+    pub fn label(&self, child: NodeId) -> Option<&P::Label> {
+        self.store.label(child)
+    }
+
+    /// All labels on the current inputs, keyed by edge child endpoint.
+    pub fn labels(&self) -> &BTreeMap<NodeId, P::Label> {
+        self.store.labels()
+    }
+
+    /// Materialize the current solution as a [`DpSolution`] distributed over the
+    /// machines of `ctx` (host-side convenience, 0 rounds).
+    pub fn solution(&self, ctx: &MpcContext) -> DpSolution<P> {
+        self.store.to_solution(ctx)
+    }
+
+    /// The underlying per-cluster record store.
+    pub fn store(&self) -> &SolverStore<P> {
+        &self.store
+    }
+}
+
+/// Mark every cluster that reads the label of the edge with child endpoint `child` for
+/// re-labeling. Readers always sit at strictly lower layers than the producer (the
+/// top-down invariant), so one descending pass picks them all up.
+fn mark_label_readers(
+    topo: &Topology,
+    child: NodeId,
+    pending_relabel: &mut BTreeMap<u32, BTreeSet<ElementId>>,
+) {
+    for &(cluster, layer) in topo.label_readers.get(&child).into_iter().flatten() {
+        pending_relabel.entry(layer).or_default().insert(cluster);
+    }
+}
+
+/// Charge one routing round that moves `words` words in total, spread evenly over the
+/// machines (the cached records are balanced across machines by the initial solve).
+fn charge_routing_round(ctx: &mut MpcContext, words: usize, what: &str) {
+    let machines = ctx.config().num_machines();
+    let per_machine = words.div_ceil(machines.max(1));
+    ctx.charge_rounds(1);
+    let volumes = vec![per_machine; machines];
+    ctx.record_comm(&volumes, &volumes, what);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_engine::MpcConfig;
+    use tree_dp_core::{prepare, StateEngine};
+    use tree_dp_problems::{MaxWeightIndependentSet, MaxWeightMatching};
+    use tree_gen::shapes;
+    use tree_repr::{ListOfEdges, Tree, TreeInput};
+
+    fn ctx_for(n: usize) -> MpcContext {
+        MpcContext::new(
+            MpcConfig::new((2 * n).max(16), 0.5)
+                .with_memory_slack(512.0)
+                .with_bandwidth_slack(512.0),
+        )
+    }
+
+    fn test_trees() -> Vec<(&'static str, Tree)> {
+        vec![
+            ("path", shapes::path(96)),
+            ("balanced-ternary", shapes::balanced_kary(121, 3)),
+            ("caterpillar", shapes::caterpillar(24, 3)),
+            ("star", shapes::star(64)),
+            ("random", shapes::random_recursive(100, 5)),
+        ]
+    }
+
+    #[test]
+    fn node_update_batches_match_full_resolve() {
+        for (name, tree) in test_trees() {
+            let mut ctx = ctx_for(tree.len());
+            let prepared = prepare(
+                &mut ctx,
+                TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+                Some(4),
+            )
+            .unwrap();
+            let mut weights: Vec<i64> = (0..tree.len() as i64).map(|v| 1 + v * 7 % 13).collect();
+            let inputs = ctx.from_vec(
+                weights
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &w)| (v as u64, w))
+                    .collect::<Vec<_>>(),
+            );
+            let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+            let mut inc = IncrementalSolver::new(
+                &mut ctx,
+                &prepared,
+                StateEngine::new(MaxWeightIndependentSet),
+                &inputs,
+                0,
+                &no_edges,
+            );
+            for round in 0usize..6 {
+                let batch: Vec<(u64, i64)> = (0..=round)
+                    .map(|i| {
+                        (
+                            ((round * 31 + i * 17) % tree.len()) as u64,
+                            ((round * 13 + i * 5) % 40) as i64,
+                        )
+                    })
+                    .collect();
+                for &(v, w) in &batch {
+                    weights[v as usize] = w;
+                }
+                inc.update_node_inputs(&mut ctx, &batch);
+
+                let fresh_inputs = ctx.from_vec(
+                    weights
+                        .iter()
+                        .enumerate()
+                        .map(|(v, &w)| (v as u64, w))
+                        .collect::<Vec<_>>(),
+                );
+                let fresh = prepared.solve(
+                    &mut ctx,
+                    &StateEngine::new(MaxWeightIndependentSet),
+                    &fresh_inputs,
+                    0,
+                    &no_edges,
+                );
+                let fresh_labels: BTreeMap<u64, usize> = fresh.labels.iter().cloned().collect();
+                assert_eq!(inc.labels(), &fresh_labels, "{name} round {round}");
+                assert_eq!(
+                    inc.root_summary(),
+                    &fresh.root_summary,
+                    "{name} round {round}"
+                );
+                assert_eq!(inc.root_label(), &fresh.root_label, "{name} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_update_batches_match_full_resolve() {
+        for (name, tree) in test_trees() {
+            let mut ctx = ctx_for(tree.len());
+            let prepared = prepare(
+                &mut ctx,
+                TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+                Some(4),
+            )
+            .unwrap();
+            let unit = ctx.from_vec((0..tree.len()).map(|v| (v as u64, ())).collect::<Vec<_>>());
+            let mut edge_w: Vec<i64> = (0..tree.len() as i64).map(|v| 1 + v % 7).collect();
+            let edges_dv = ctx.from_vec(
+                (1..tree.len())
+                    .map(|v| (v as u64, edge_w[v]))
+                    .collect::<Vec<_>>(),
+            );
+            let mut inc = IncrementalSolver::new(
+                &mut ctx,
+                &prepared,
+                StateEngine::new(MaxWeightMatching),
+                &unit,
+                (),
+                &edges_dv,
+            );
+            for round in 0usize..5 {
+                let batch: Vec<(u64, i64)> = (0..=round)
+                    .map(|i| {
+                        (
+                            (1 + (round * 29 + i * 11) % (tree.len() - 1)) as u64,
+                            ((round * 7 + i * 3) % 20) as i64,
+                        )
+                    })
+                    .collect();
+                for &(v, w) in &batch {
+                    edge_w[v as usize] = w;
+                }
+                inc.update_edge_inputs(&mut ctx, &batch);
+
+                let fresh_edges = ctx.from_vec(
+                    (1..tree.len())
+                        .map(|v| (v as u64, edge_w[v]))
+                        .collect::<Vec<_>>(),
+                );
+                let fresh = prepared.solve(
+                    &mut ctx,
+                    &StateEngine::new(MaxWeightMatching),
+                    &unit,
+                    (),
+                    &fresh_edges,
+                );
+                let fresh_labels: BTreeMap<u64, usize> = fresh.labels.iter().cloned().collect();
+                assert_eq!(inc.labels(), &fresh_labels, "{name} round {round}");
+                assert_eq!(
+                    inc.root_summary(),
+                    &fresh.root_summary,
+                    "{name} round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_update_charges_fewer_rounds_than_full_solve() {
+        let tree = shapes::random_recursive(1024, 9);
+        let mut ctx = ctx_for(tree.len());
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            None,
+        )
+        .unwrap();
+        let inputs = ctx.from_vec(
+            (0..tree.len())
+                .map(|v| (v as u64, 1i64))
+                .collect::<Vec<_>>(),
+        );
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let mut inc = IncrementalSolver::new(
+            &mut ctx,
+            &prepared,
+            StateEngine::new(MaxWeightIndependentSet),
+            &inputs,
+            0,
+            &no_edges,
+        );
+        let stats = inc.update_node_inputs(&mut ctx, &[(17, 50)]);
+
+        let before = ctx.metrics().rounds;
+        let fresh_inputs = ctx.from_vec(
+            (0..tree.len())
+                .map(|v| (v as u64, if v == 17 { 50i64 } else { 1 }))
+                .collect::<Vec<_>>(),
+        );
+        let fresh = prepared.solve(
+            &mut ctx,
+            &StateEngine::new(MaxWeightIndependentSet),
+            &fresh_inputs,
+            0,
+            &no_edges,
+        );
+        let full_rounds = ctx.metrics().rounds - before;
+        assert_eq!(inc.root_summary(), &fresh.root_summary);
+        assert!(
+            stats.rounds * 4 <= full_rounds,
+            "incremental {} rounds vs full {} rounds",
+            stats.rounds,
+            full_rounds
+        );
+        assert!(stats.rounds > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let tree = shapes::path(32);
+        let mut ctx = ctx_for(tree.len());
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(4),
+        )
+        .unwrap();
+        let inputs = ctx.from_vec(
+            (0..tree.len())
+                .map(|v| (v as u64, 1i64))
+                .collect::<Vec<_>>(),
+        );
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let mut inc = IncrementalSolver::new(
+            &mut ctx,
+            &prepared,
+            StateEngine::new(MaxWeightIndependentSet),
+            &inputs,
+            0,
+            &no_edges,
+        );
+        let stats = inc.update_node_inputs(&mut ctx, &[]);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.words_sent, 0);
+        assert_eq!(stats.resummarized, 0);
+    }
+
+    #[test]
+    fn update_restoring_old_input_stops_propagating() {
+        let tree = shapes::path(64);
+        let mut ctx = ctx_for(tree.len());
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(4),
+        )
+        .unwrap();
+        let inputs = ctx.from_vec(
+            (0..tree.len())
+                .map(|v| (v as u64, 1i64))
+                .collect::<Vec<_>>(),
+        );
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let mut inc = IncrementalSolver::new(
+            &mut ctx,
+            &prepared,
+            StateEngine::new(MaxWeightIndependentSet),
+            &inputs,
+            0,
+            &no_edges,
+        );
+        // Writing the same input back dirties one cluster, whose summary does not
+        // change — so nothing propagates and nothing is re-labeled.
+        let stats = inc.update_node_inputs(&mut ctx, &[(30, 1)]);
+        assert!(stats.resummarized >= 1);
+        assert_eq!(stats.summaries_changed, 0);
+        assert_eq!(stats.labels_changed, 0);
+        // Only the inc-dirty routing round is charged: no summary or label changed,
+        // so neither inc-up nor inc-down moves any data.
+        assert_eq!(stats.rounds, 1);
+    }
+}

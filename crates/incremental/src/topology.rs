@@ -1,0 +1,103 @@
+//! Host-side indexes over the cached clustering: where every element sits as a member,
+//! which cluster views read which edge inputs, and which clusters read which labels.
+//!
+//! These indexes are what makes dirty propagation cheap: an update batch names node
+//! ids and edge child endpoints, and the topology maps them straight to the cached
+//! [`ClusterView`]s that have to be patched and re-processed. They depend only on the
+//! clustering (not on inputs), so they are built once per [`IncrementalSolver`]
+//! (from the views retained by the initial solve) and reused for every batch.
+//!
+//! [`IncrementalSolver`]: crate::IncrementalSolver
+//! [`ClusterView`]: tree_dp_core::ClusterView
+
+use std::collections::BTreeMap;
+use tree_clustering::ElementId;
+use tree_dp_core::{ClusterDp, SolverStore};
+use tree_repr::NodeId;
+
+/// Where an element sits as a member of its absorbing cluster's cached view.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemberSite {
+    /// Layer at which the absorbing cluster's view is processed.
+    pub layer: u32,
+    /// The absorbing cluster.
+    pub cluster: ElementId,
+    /// Index into the view's `members`.
+    pub index: usize,
+}
+
+/// The boundary edges of one cached cluster view (the labels its top-down step reads).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClusterSite {
+    /// Child endpoint of the cluster's outgoing edge (whose label is its out-label).
+    pub out_child: NodeId,
+    /// Child endpoint of the cluster's incoming edge, for indegree-1 clusters.
+    pub in_child: Option<NodeId>,
+}
+
+/// All dirty-propagation indexes (see the module docs).
+pub(crate) struct Topology {
+    /// Element id → its member site in the absorbing cluster's view.
+    pub member_site: BTreeMap<ElementId, MemberSite>,
+    /// Cluster id → its own processed layer and boundary edges.
+    pub cluster_site: BTreeMap<ElementId, ClusterSite>,
+    /// Edge child → member sites whose `out_input` carries that edge's input.
+    pub out_edge_sites: BTreeMap<NodeId, Vec<MemberSite>>,
+    /// Edge child → views whose `in_input` carries that edge's input.
+    pub in_edge_sites: BTreeMap<NodeId, Vec<(ElementId, u32)>>,
+    /// Edge child → clusters that read that edge's *label* in their top-down step.
+    /// A label produced at layer `ℓ` is only ever read at layers `< ℓ` (the top-down
+    /// invariant of Definition 9), which is what makes one descending pass sufficient.
+    pub label_readers: BTreeMap<NodeId, Vec<(ElementId, u32)>>,
+}
+
+impl Topology {
+    /// Build the indexes from the views retained by the initial solve.
+    pub fn build<P: ClusterDp>(store: &SolverStore<P>) -> Self {
+        let mut topo = Topology {
+            member_site: BTreeMap::new(),
+            cluster_site: BTreeMap::new(),
+            out_edge_sites: BTreeMap::new(),
+            in_edge_sites: BTreeMap::new(),
+            label_readers: BTreeMap::new(),
+        };
+        for layer in 1..=store.num_layers() {
+            for (&cid, view) in store.views_at(layer) {
+                topo.cluster_site.insert(
+                    cid,
+                    ClusterSite {
+                        out_child: view.out_edge.child,
+                        in_child: view.in_edge.map(|e| e.child),
+                    },
+                );
+                topo.label_readers
+                    .entry(view.out_edge.child)
+                    .or_default()
+                    .push((cid, layer));
+                if let Some(in_edge) = view.in_edge {
+                    topo.label_readers
+                        .entry(in_edge.child)
+                        .or_default()
+                        .push((cid, layer));
+                    topo.in_edge_sites
+                        .entry(in_edge.child)
+                        .or_default()
+                        .push((cid, layer));
+                }
+                for (index, member) in view.members.iter().enumerate() {
+                    let site = MemberSite {
+                        layer,
+                        cluster: cid,
+                        index,
+                    };
+                    topo.member_site.insert(member.element.id, site);
+                    topo.out_edge_sites
+                        .entry(member.element.out_edge.child)
+                        .or_default()
+                        .push(site);
+                }
+            }
+        }
+        topo
+    }
+}

@@ -107,7 +107,7 @@ impl MpcConfig {
     /// the total distributed memory is `Θ(n)`.
     pub fn num_machines(&self) -> usize {
         let per = self.n_delta();
-        (self.n + per - 1) / per + 1
+        self.n.div_ceil(per) + 1
     }
 
     /// Number of words a machine ideally holds when a [`DistVec`](crate::DistVec) of

@@ -261,7 +261,7 @@ impl MpcContext {
     {
         let machines = self.cfg.num_machines();
         let total = dv.len();
-        let per = ((total + machines - 1) / machines).max(1);
+        let per = total.div_ceil(machines).max(1);
         let mut sends = vec![0usize; machines];
         let mut recvs = vec![0usize; machines];
         let mut out: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();

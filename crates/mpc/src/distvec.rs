@@ -24,7 +24,7 @@ impl<T> DistVec<T> {
     /// Distribute `data` evenly across the machines of `cfg`, preserving order.
     pub fn from_vec_cfg(cfg: &MpcConfig, data: Vec<T>) -> Self {
         let machines = cfg.num_machines();
-        let per = ((data.len() + machines - 1) / machines).max(1);
+        let per = data.len().div_ceil(machines).max(1);
         let mut chunks: Vec<Vec<T>> = Vec::with_capacity(machines);
         let mut it = data.into_iter();
         for _ in 0..machines {

@@ -20,6 +20,34 @@ pub fn worker_threads() -> usize {
 /// Threshold below which parallel helpers run sequentially.
 const SEQ_THRESHOLD: usize = 4;
 
+/// Decide the per-thread chunk size for a workload of `len` items, or `None` when the
+/// workload should run sequentially (parallelism disabled, a single-threaded host, or
+/// an input too small to amortize thread startup). Shared by every `par_*` helper.
+fn plan_chunks(parallel: bool, len: usize) -> Option<usize> {
+    let threads = worker_threads();
+    if !parallel || threads <= 1 || len < SEQ_THRESHOLD {
+        None
+    } else {
+        Some(len.div_ceil(threads))
+    }
+}
+
+/// The shared fan-out skeleton: run `work(base_index, chunk)` for every chunk on its
+/// own scoped thread, where `base_index` is the global index of the chunk's first
+/// element (chunks must all have length `chunk_size`, except possibly the last).
+fn fan_out<C, W>(chunk_size: usize, chunks: impl Iterator<Item = C>, work: W)
+where
+    C: Send,
+    W: Fn(usize, C) + Sync,
+{
+    std::thread::scope(|scope| {
+        for (c, chunk) in chunks.enumerate() {
+            let work = &work;
+            scope.spawn(move || work(c * chunk_size, chunk));
+        }
+    });
+}
+
 /// Apply `f` to every element of `items` in place, potentially in parallel.
 ///
 /// `f` receives the element index and a mutable reference to the element.
@@ -28,24 +56,18 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
-    let threads = worker_threads();
-    if !parallel || threads <= 1 || items.len() < SEQ_THRESHOLD {
-        for (i, item) in items.iter_mut().enumerate() {
-            f(i, item);
+    match plan_chunks(parallel, items.len()) {
+        None => {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
         }
-        return;
+        Some(chunk) => fan_out(chunk, items.chunks_mut(chunk), |base, slice: &mut [T]| {
+            for (i, item) in slice.iter_mut().enumerate() {
+                f(base + i, item);
+            }
+        }),
     }
-    let chunk = (items.len() + threads - 1) / threads;
-    std::thread::scope(|scope| {
-        for (c, slice) in items.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (i, item) in slice.iter_mut().enumerate() {
-                    f(c * chunk + i, item);
-                }
-            });
-        }
-    });
 }
 
 /// Map every element of `items` to a new value, preserving order, potentially in
@@ -56,28 +78,25 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let threads = worker_threads();
-    if !parallel || threads <= 1 || items.len() < SEQ_THRESHOLD {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let chunk = (items.len() + threads - 1) / threads;
-    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        for (c, (slice_in, slice_out)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
-            let f = &f;
-            let base = c * chunk;
-            scope.spawn(move || {
-                for (i, (t, o)) in slice_in.iter().zip(slice_out.iter_mut()).enumerate() {
-                    *o = Some(f(base + i, t));
-                }
-            });
+    match plan_chunks(parallel, items.len()) {
+        None => items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
+        Some(chunk) => {
+            let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+            out.resize_with(items.len(), || None);
+            fan_out(
+                chunk,
+                items.chunks(chunk).zip(out.chunks_mut(chunk)),
+                |base, (slice_in, slice_out): (&[T], &mut [Option<U>])| {
+                    for (i, (t, o)) in slice_in.iter().zip(slice_out.iter_mut()).enumerate() {
+                        *o = Some(f(base + i, t));
+                    }
+                },
+            );
+            out.into_iter()
+                .map(|o| o.expect("par_map filled"))
+                .collect()
         }
-    });
-    out.into_iter()
-        .map(|o| o.expect("par_map filled"))
-        .collect()
+    }
 }
 
 #[cfg(test)]

@@ -27,8 +27,8 @@ impl MpcContext {
         for chunk in dv.into_chunks() {
             all.extend(chunk);
         }
-        all.sort_by(|a, b| key(a).cmp(&key(b)));
-        let per = ((all.len() + machines - 1) / machines).max(1);
+        all.sort_by_key(|a| key(a));
+        let per = all.len().div_ceil(machines).max(1);
         let mut chunks: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
         for (i, item) in all.into_iter().enumerate() {
             chunks[(i / per).min(machines - 1)].push(item);
@@ -87,12 +87,12 @@ impl MpcContext {
     {
         // Build the lookup structure (represents the sort-merge of table and requests).
         let mut table_sorted: Vec<&V> = table.iter().collect();
-        table_sorted.sort_by(|a, b| table_key(a).cmp(&table_key(b)));
+        table_sorted.sort_by_key(|a| table_key(a));
 
         let table_words = table.total_words();
         let req_words = requests.total_words();
         let machines = self.config().num_machines();
-        let per_machine_moved = ((table_words + req_words) + machines - 1) / machines.max(1);
+        let per_machine_moved = (table_words + req_words).div_ceil(machines.max(1));
 
         let chunks: Vec<Vec<(T, Option<V>)>> = requests
             .into_chunks()
@@ -145,7 +145,7 @@ impl MpcContext {
         for chunk in dv.into_chunks() {
             all.extend(chunk);
         }
-        all.sort_by(|a, b| key(a).cmp(&key(b)));
+        all.sort_by_key(|a| key(a));
         let mut groups: Vec<(K, Vec<T>)> = Vec::new();
         for item in all {
             let k = key(&item);
@@ -156,7 +156,7 @@ impl MpcContext {
         }
         // Distribute whole groups over machines, keeping chunks balanced by word count.
         let total_words: usize = groups.iter().map(Words::words).sum();
-        let target = ((total_words + machines - 1) / machines).max(1);
+        let target = total_words.div_ceil(machines).max(1);
         let mut chunks: Vec<Vec<(K, Vec<T>)>> = (0..machines).map(|_| Vec::new()).collect();
         let mut machine = 0usize;
         let mut filled = 0usize;

@@ -14,7 +14,7 @@ pub trait Words {
     where
         Self: Sized,
     {
-        (std::mem::size_of::<Self>() + 7) / 8
+        std::mem::size_of::<Self>().div_ceil(8)
     }
 }
 
@@ -61,7 +61,7 @@ impl<T: Words> Words for Box<T> {
 
 impl Words for String {
     fn words(&self) -> usize {
-        1 + (self.len() + 7) / 8
+        1 + self.len().div_ceil(8)
     }
 }
 

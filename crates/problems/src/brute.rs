@@ -12,9 +12,9 @@ pub fn max_weight_independent_set(tree: &Tree, weights: &[i64]) -> i64 {
     for mask in 0u64..(1 << n) {
         let mut ok = true;
         let mut w = 0;
-        for v in 0..n {
+        for (v, &weight) in weights.iter().enumerate() {
             if mask >> v & 1 == 1 {
-                w += weights[v];
+                w += weight;
                 if let Some(p) = tree.parent(v) {
                     if mask >> p & 1 == 1 {
                         ok = false;
@@ -38,9 +38,9 @@ pub fn min_weight_vertex_cover(tree: &Tree, weights: &[i64]) -> i64 {
     for mask in 0u64..(1 << n) {
         let mut ok = true;
         let mut w = 0;
-        for v in 0..n {
+        for (v, &weight) in weights.iter().enumerate() {
             if mask >> v & 1 == 1 {
-                w += weights[v];
+                w += weight;
             }
             if let Some(p) = tree.parent(v) {
                 if mask >> v & 1 == 0 && mask >> p & 1 == 0 {
@@ -62,9 +62,9 @@ pub fn min_weight_dominating_set(tree: &Tree, weights: &[i64]) -> i64 {
     let mut best = i64::MAX;
     for mask in 0u64..(1 << n) {
         let mut w = 0;
-        for v in 0..n {
+        for (v, &weight) in weights.iter().enumerate() {
             if mask >> v & 1 == 1 {
-                w += weights[v];
+                w += weight;
             }
         }
         if w >= best {
@@ -230,7 +230,7 @@ mod tests {
         let w5 = vec![1i64; 5];
         assert_eq!(max_weight_independent_set(&star5, &w5), 4);
         assert_eq!(min_weight_dominating_set(&star5, &w5), 1);
-        assert_eq!(max_weight_matching(&path4, &vec![1; 4]), 2);
+        assert_eq!(max_weight_matching(&path4, &[1; 4]), 2);
         assert_eq!(count_matchings_mod(&shapes::path(3), 1000), 3);
         assert_eq!(min_sum_coloring(&shapes::path(3), 3), 4);
         assert_eq!(longest_path(&shapes::star(7)), 2);

@@ -72,10 +72,10 @@ fn is_value_and_valid(
 ) -> (i64, bool) {
     let mut total = 0;
     let mut valid = true;
-    for v in 0..tree.len() {
+    for (v, &weight) in weights.iter().enumerate().take(tree.len()) {
         let in_set = labels.get(&(v as u64)).copied().unwrap_or(0) == 1;
         if in_set {
-            total += weights[v];
+            total += weight;
             if let Some(p) = tree.parent(v) {
                 if labels.get(&(p as u64)).copied().unwrap_or(0) == 1 {
                     valid = false;

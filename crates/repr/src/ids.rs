@@ -51,7 +51,7 @@ mod tests {
 
     #[test]
     fn edges_order_by_child_then_parent() {
-        let mut v = vec![
+        let mut v = [
             DirectedEdge::new(2, 0),
             DirectedEdge::new(1, 5),
             DirectedEdge::new(1, 2),

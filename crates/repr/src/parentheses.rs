@@ -133,7 +133,7 @@ pub fn match_parentheses_mpc(
 
     while levels.last().expect("at least level 0").len() > 1 {
         let prev = levels.last().expect("level exists").clone();
-        let num_groups = (prev.len() + group_size - 1) / group_size;
+        let num_groups = prev.len().div_ceil(group_size);
 
         // Resolve pendings whose parent lies inside their group at this level.
         let mut still_unresolved = Vec::new();
@@ -173,8 +173,8 @@ pub fn match_parentheses_mpc(
             let end = (start + group_size).min(prev.len());
             let mut c_total = 0u64;
             let mut segments: Vec<(usize, u64)> = Vec::new();
-            for x in start..end {
-                let s = prev[x].summary;
+            for (x, info) in prev.iter().enumerate().take(end).skip(start) {
+                let s = info.summary;
                 // The closes of x pop survivors of earlier sub-chunks in this group.
                 let mut to_pop = s.c;
                 while to_pop > 0 {
@@ -237,7 +237,7 @@ pub fn match_parentheses_mpc(
         }
     }
     for &(machine, idx, child) in &resolved {
-        tuples.push((machine as u64, idx as u64, 2, child));
+        tuples.push((machine as u64, idx, 2, child));
     }
     let tuple_dv = ctx.from_vec(tuples);
     let grouped = ctx.gather_groups(tuple_dv, |t| (t.0, t.1));

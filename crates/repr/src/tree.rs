@@ -176,10 +176,7 @@ impl Tree {
         dist[start] = 0;
         let mut best = (start, 0usize);
         while let Some(v) = queue.pop_front() {
-            let neighbors = self.children[v]
-                .iter()
-                .copied()
-                .chain(self.parent[v].into_iter());
+            let neighbors = self.children[v].iter().copied().chain(self.parent[v]);
             for u in neighbors {
                 if dist[u] == usize::MAX {
                     dist[u] = dist[v] + 1;

@@ -98,8 +98,8 @@ mod tests {
     fn leaf_values_only_on_leaves() {
         let t = shapes::caterpillar(10, 2);
         let vals = leaf_values(&t, 100, 4);
-        for v in 0..t.len() {
-            assert_eq!(vals[v].is_some(), t.children(v).is_empty());
+        for (v, val) in vals.iter().enumerate() {
+            assert_eq!(val.is_some(), t.children(v).is_empty());
         }
     }
 

@@ -258,7 +258,7 @@ mod tests {
         #[test]
         fn macro_runs_cases(x in 0u64..100, y in 1u64..=5) {
             prop_assert!(x < 100);
-            prop_assert!(y >= 1 && y <= 5);
+            prop_assert!((1..=5).contains(&y));
             prop_assert_eq!(x + y, y + x);
         }
     }
