@@ -412,9 +412,10 @@ fn bench_incremental_tree(
     tree: &Tree,
     batch_sizes: &[usize],
     seed: u64,
+    parallel: bool,
 ) -> (Vec<(u64, f64)>, u64, f64) {
     let n = tree.len();
-    let mut ctx = MpcContext::new(MpcConfig::new(2 * n, 0.5));
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * n, 0.5).with_parallel(parallel));
     let prepared = prepare(
         &mut ctx,
         TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
@@ -491,19 +492,109 @@ fn bench_incremental_tree(
     (per_batch, full_rounds, full_ms)
 }
 
-/// Emit a machine-readable baseline: for each tree of the n = 1024 standard
-/// suite, prepare once and solve MaxIS and MinVC, recording MPC rounds and
-/// wall-clock time; then compare incremental vs. full re-solves for update
-/// batches of size 1/16/256 (aggregated over the suite).
-/// `cargo run --release -p mpc-tree-dp-bench -- bench-json [--seed <u64>]`
-/// prints the JSON to stdout (redirect it to `BENCH_seed.json` or its
-/// successors to anchor perf trajectories across PRs).
-fn exp_bench_json(seed: u64) {
-    let n = 1024;
+/// Measure `prepare` + one MaxIS solve on `tree` under the given parallel mode,
+/// returning `(wall_ms, rounds, words_sent, optimum)`.
+fn time_prepare_and_solve(tree: &Tree, seed: u64, parallel: bool) -> (f64, u64, u64, i64) {
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5).with_parallel(parallel));
+    let w: Vec<i64> = labels::uniform_weights(tree.len(), 1, 30, seed)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let t0 = std::time::Instant::now();
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+        None,
+    )
+    .expect("prepare");
+    let node_w = ctx.from_vec(
+        w.iter()
+            .enumerate()
+            .map(|(v, &x)| (v as u64, x))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let p = StateEngine::new(MaxWeightIndependentSet);
+    let sol = prepared.solve(&mut ctx, &p, &node_w, 0, &no_edges);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let value = sol.root_summary.best(p.problem()).unwrap();
+    (
+        wall_ms,
+        ctx.metrics().rounds,
+        ctx.metrics().total_words_sent,
+        value,
+    )
+}
+
+/// The parallel-vs-sequential comparison section: run `prepare` + MaxIS over the whole
+/// suite once with parallel local execution and once without, and demand bit-identical
+/// model metrics (rounds and words sent) — `MpcConfig::parallel` may only change
+/// wall-clock time. Panics if the two modes diverge in metrics or optima.
+fn bench_parallel_modes(n: usize, seed: u64) -> String {
+    let (mut par_ms, mut seq_ms) = (0f64, 0f64);
+    let (mut par_rounds, mut seq_rounds) = (0u64, 0u64);
+    let (mut par_words, mut seq_words) = (0u64, 0u64);
+    let mut trees = 0usize;
+    for entry in standard_suite(n, seed) {
+        let (pm, pr, pw, pv) = time_prepare_and_solve(&entry.tree, seed, true);
+        let (sm, sr, sw, sv) = time_prepare_and_solve(&entry.tree, seed, false);
+        assert_eq!(
+            (pr, pw, pv),
+            (sr, sw, sv),
+            "parallel and sequential modes diverged on {}",
+            entry.name
+        );
+        par_ms += pm;
+        seq_ms += sm;
+        par_rounds += pr;
+        seq_rounds += sr;
+        par_words += pw;
+        seq_words += sw;
+        trees += 1;
+    }
+    format!(
+        concat!(
+            "  \"parallel\": {{\n",
+            "    \"workload\": \"prepare + max_is over the standard suite\",\n",
+            "    \"n\": {},\n",
+            "    \"trees\": {},\n",
+            "    \"worker_threads\": {},\n",
+            "    \"parallel\": {{ \"wall_ms\": {:.3}, \"rounds\": {}, \"words_sent\": {} }},\n",
+            "    \"sequential\": {{ \"wall_ms\": {:.3}, \"rounds\": {}, \"words_sent\": {} }},\n",
+            "    \"speedup\": {:.3},\n",
+            "    \"metrics_identical\": true\n",
+            "  }}"
+        ),
+        n,
+        trees,
+        mpc_tree_dp::mpc::par::worker_threads(),
+        par_ms,
+        par_rounds,
+        par_words,
+        seq_ms,
+        seq_rounds,
+        seq_words,
+        seq_ms / par_ms.max(1e-9),
+    )
+}
+
+/// Emit a machine-readable baseline: for each tree of the standard suite at
+/// size `--n` (default 1024), prepare once and solve MaxIS and MinVC,
+/// recording MPC rounds and wall-clock time; compare incremental vs. full
+/// re-solves for update batches of size 1/16/256 (aggregated over the suite;
+/// only at `n ≤ 2048` to keep large tiers tractable); and compare parallel
+/// vs. sequential machine-local execution on prepare + MaxIS.
+/// `cargo run --release -p mpc-tree-dp-bench -- bench-json [--seed <u64>]
+/// [--n <usize>] [--no-parallel]` prints the JSON to stdout (redirect it to
+/// `BENCH_seed.json` or its successors to anchor perf trajectories across
+/// PRs; `BENCH_pr3.json` is the `--n 65536` tier). `--no-parallel` forces the
+/// suite/incremental measurements onto the sequential path (the comparison
+/// section always measures both modes).
+fn exp_bench_json(seed: u64, n: usize, parallel: bool) {
     let mut entries = Vec::new();
     for entry in standard_suite(n, seed) {
         let tree = &entry.tree;
-        let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+        let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5).with_parallel(parallel));
 
         let t0 = std::time::Instant::now();
         let prepared = prepare(
@@ -578,55 +669,73 @@ fn exp_bench_json(seed: u64) {
     }
     // Incremental vs. full re-solve, aggregated over the whole suite per batch size.
     // The full re-solve cost is batch-independent, so it is measured once per tree
-    // and repeated verbatim in every batch row.
-    let batch_sizes = [1usize, 16, 256];
-    let mut inc_totals = vec![(0u64, 0f64); batch_sizes.len()];
-    let (mut full_rounds, mut full_ms) = (0u64, 0f64);
-    let mut trees = 0usize;
-    for entry in standard_suite(n, seed) {
-        let (per_batch, fr, fm) = bench_incremental_tree(&entry.tree, &batch_sizes, seed);
-        for (total, (r, m)) in inc_totals.iter_mut().zip(per_batch) {
-            total.0 += r;
-            total.1 += m;
+    // and repeated verbatim in every batch row. Skipped for large tiers (the section
+    // exists to track the incremental path's round counts, which are size-stable).
+    let incremental_section = if n <= 2048 {
+        let batch_sizes = [1usize, 16, 256];
+        let mut inc_totals = vec![(0u64, 0f64); batch_sizes.len()];
+        let (mut full_rounds, mut full_ms) = (0u64, 0f64);
+        let mut trees = 0usize;
+        for entry in standard_suite(n, seed) {
+            let (per_batch, fr, fm) =
+                bench_incremental_tree(&entry.tree, &batch_sizes, seed, parallel);
+            for (total, (r, m)) in inc_totals.iter_mut().zip(per_batch) {
+                total.0 += r;
+                total.1 += m;
+            }
+            full_rounds += fr;
+            full_ms += fm;
+            trees += 1;
         }
-        full_rounds += fr;
-        full_ms += fm;
-        trees += 1;
-    }
-    let mut inc_entries = Vec::new();
-    for (&batch_size, &(inc_rounds, inc_ms)) in batch_sizes.iter().zip(&inc_totals) {
-        inc_entries.push(format!(
+        let mut inc_entries = Vec::new();
+        for (&batch_size, &(inc_rounds, inc_ms)) in batch_sizes.iter().zip(&inc_totals) {
+            inc_entries.push(format!(
+                concat!(
+                    "      {{\n",
+                    "        \"batch\": {},\n",
+                    "        \"trees\": {},\n",
+                    "        \"incremental\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                    "        \"full\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }}\n",
+                    "      }}"
+                ),
+                batch_size, trees, inc_rounds, inc_ms, full_rounds, full_ms,
+            ));
+        }
+        format!(
             concat!(
-                "      {{\n",
-                "        \"batch\": {},\n",
-                "        \"trees\": {},\n",
-                "        \"incremental\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
-                "        \"full\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }}\n",
-                "      }}"
+                "  \"incremental\": {{\n",
+                "    \"problem\": \"max_is\",\n",
+                "    \"batches\": [\n{}\n    ]\n",
+                "  }}"
             ),
-            batch_size, trees, inc_rounds, inc_ms, full_rounds, full_ms,
-        ));
-    }
+            inc_entries.join(",\n")
+        )
+    } else {
+        "  \"incremental\": null".to_string()
+    };
+
+    let parallel_section = bench_parallel_modes(n, seed);
 
     println!(
         concat!(
             "{{\n",
-            "  \"schema\": \"mpc-tree-dp-bench/v2\",\n",
+            "  \"schema\": \"mpc-tree-dp-bench/v3\",\n",
             "  \"suite\": \"standard\",\n",
             "  \"n\": {},\n",
             "  \"delta\": 0.5,\n",
             "  \"seed\": {},\n",
+            "  \"suite_parallel\": {},\n",
             "  \"entries\": [\n{}\n  ],\n",
-            "  \"incremental\": {{\n",
-            "    \"problem\": \"max_is\",\n",
-            "    \"batches\": [\n{}\n    ]\n",
-            "  }}\n",
+            "{},\n",
+            "{}\n",
             "}}"
         ),
         n,
         seed,
+        parallel,
         entries.join(",\n"),
-        inc_entries.join(",\n")
+        incremental_section,
+        parallel_section,
     );
 }
 
@@ -639,15 +748,23 @@ fn main() {
         // (BENCH_seed.json predates the unified seeding — it used a hard-coded weight
         // seed of 1 — so its `value` fields differ from a default run; its round
         // counts are still directly comparable.)
-        let seed = match args.iter().position(|a| a == "--seed") {
-            Some(i) => args
-                .get(i + 1)
-                .expect("--seed requires a value")
-                .parse::<u64>()
-                .expect("--seed takes an unsigned integer"),
-            None => 7,
+        // `--n <usize>` picks the suite size (default 1024; `BENCH_pr3.json` uses
+        // 65536), and `--no-parallel` forces the suite and incremental measurements
+        // onto the sequential machine-local path.
+        let flag_value = |name: &str| {
+            args.iter().position(|a| a == name).map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("{name} takes an unsigned integer"))
+            })
         };
-        exp_bench_json(seed);
+        let seed = flag_value("--seed").unwrap_or(7);
+        let n = flag_value("--n").unwrap_or(1024) as usize;
+        // The bench sets `with_parallel` explicitly on every config, so honor the
+        // process-wide MPC_NO_PARALLEL override here as well as the CLI flag.
+        let parallel = !args.iter().any(|a| a == "--no-parallel") && !MpcConfig::env_no_parallel();
+        exp_bench_json(seed, n, parallel);
         return;
     }
     let run = |id: &str| filter.as_deref().map(|f| f == id).unwrap_or(true);

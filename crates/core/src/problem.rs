@@ -130,16 +130,22 @@ impl<P: ClusterDp + ?Sized> ClusterView<P> {
 /// * [`label_root`](Self::label_root) labels the virtual edge of the top cluster,
 /// * [`label_members`](Self::label_members) labels all internal edges of a cluster given
 ///   the labels of its boundary edges (Fig. 3).
-pub trait ClusterDp {
+///
+/// Problems and their associated types must be `Sync`/`Send`: the solver fans the
+/// per-cluster `summarize`/`label_members` calls of one layer out over OS threads when
+/// `MpcConfig::parallel` is set (clusters within a layer are independent, so this
+/// never changes results). Plain-data problem types satisfy these bounds
+/// automatically.
+pub trait ClusterDp: Sync {
     /// Input attached to every original node (e.g. a weight).
-    type NodeInput: Clone + Words + Send;
+    type NodeInput: Clone + Words + Send + Sync;
     /// Input attached to every original edge, keyed by the edge's child endpoint
     /// (use `()` when edges carry no data).
-    type EdgeInput: Clone + Default + Words + Send;
+    type EdgeInput: Clone + Default + Words + Send + Sync;
     /// The `O(1)`-word cluster summary `f(C)`.
-    type Summary: Clone + Words + Send;
+    type Summary: Clone + Words + Send + Sync;
     /// The per-edge output label.
-    type Label: Clone + Words + Send;
+    type Label: Clone + Words + Send + Sync;
 
     /// Summarize a cluster from its members (bottom-up step, Fig. 2).
     fn summarize(&self, view: &ClusterView<Self>) -> Self::Summary;

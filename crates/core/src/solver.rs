@@ -11,6 +11,7 @@
 
 use crate::problem::{ClusterDp, ClusterView, Member, Payload};
 use crate::store::SolverStore;
+use mpc_engine::par::{par_map, worth_parallelizing};
 use mpc_engine::{DistVec, MpcContext, Words};
 use tree_clustering::{Clustering, EdgeKind, Element, ElementId, ElementKind};
 use tree_repr::NodeId;
@@ -125,9 +126,10 @@ fn solve_dp_impl<P: ClusterDp>(
     mut store: Option<&mut SolverStore<P>>,
 ) -> DpSolution<P> {
     // ---- bottom-up phase (Section 5.1) --------------------------------------------
+    let parallel = ctx.config().parallel;
     let mut payloads: PayloadTable<P> = inputs
         .clone()
-        .map_local(|(id, input)| (*id, Payload::Input(input.clone())));
+        .map_local_par(parallel, |(id, input)| (*id, Payload::Input(input.clone())));
     let mut top_summary: Option<P::Summary> = None;
 
     let views_per_layer: Vec<u32> = (1..=clustering.num_layers).collect();
@@ -202,19 +204,18 @@ pub fn summarize_layer<P: ClusterDp>(
     // already final: every member of a layer-`layer` cluster was formed at a strictly
     // lower layer, so its payload (input or summary) can no longer change — which is
     // why retained views can be reused by the top-down pass and by incremental
-    // re-solves.
-    let summaries = DistVec::from_chunks(
-        views
-            .chunks()
-            .iter()
-            .map(|chunk| {
-                chunk
-                    .iter()
-                    .map(|view| (view.cluster, Payload::Summary(problem.summarize(view))))
-                    .collect()
-            })
-            .collect(),
-    );
+    // re-solves. Clusters of one layer are independent, so the per-machine summarize
+    // calls fan out over threads when parallel execution is enabled.
+    let summaries = DistVec::from_chunks(par_map(
+        worth_parallelizing(ctx.config().parallel, views.len()),
+        views.chunks(),
+        |_, chunk| {
+            chunk
+                .iter()
+                .map(|view| (view.cluster, Payload::Summary(problem.summarize(view))))
+                .collect()
+        },
+    ));
     (views, summaries)
 }
 
@@ -228,6 +229,7 @@ pub fn label_layer<P: ClusterDp>(
     views: DistVec<ClusterView<P>>,
     labels: &DistVec<(NodeId, P::Label)>,
 ) -> DistVec<(NodeId, P::Label)> {
+    let parallel = ctx.config().parallel;
     let with_out = ctx.join_lookup(views, |v| v.out_edge.child, labels, |l| l.0);
     let with_in = ctx.join_lookup(
         with_out,
@@ -235,10 +237,11 @@ pub fn label_layer<P: ClusterDp>(
         labels,
         |l| l.0,
     );
-    with_in.flat_map_local(|((view, out), in_lab)| {
-        let out_label = out.expect("boundary out-label present").1;
-        let in_label = in_lab.map(|l| l.1);
-        let member_labels = problem.label_members(&view, &out_label, in_label.as_ref());
+    // Per-cluster labeling is independent within a layer: fan it out over threads.
+    with_in.flat_map_local_par(parallel, |((view, out), in_lab)| {
+        let out_label = &out.as_ref().expect("boundary out-label present").1;
+        let in_label = in_lab.as_ref().map(|l| &l.1);
+        let member_labels = problem.label_members(view, out_label, in_label);
         view.members
             .iter()
             .enumerate()
@@ -271,22 +274,24 @@ fn build_views<P: ClusterDp>(
         edge_data,
         |d| d.child,
     );
-    let member_recs: DistVec<MemberRec<P>> = with_edge.map_local(|((element, payload), edge)| {
-        let payload = payload
-            .as_ref()
-            .map(|p| p.1.clone())
-            .expect("every member has a payload (input or summary)");
-        let (out_kind, out_input) = edge
-            .as_ref()
-            .map(|d| (d.kind, d.input.clone()))
-            .unwrap_or((EdgeKind::Original, P::EdgeInput::default()));
-        MemberRec {
-            element: *element,
-            payload,
-            out_kind,
-            out_input,
-        }
-    });
+    let parallel = ctx.config().parallel;
+    let member_recs: DistVec<MemberRec<P>> =
+        with_edge.map_local_par(parallel, |((element, payload), edge)| {
+            let payload = payload
+                .as_ref()
+                .map(|p| p.1.clone())
+                .expect("every member has a payload (input or summary)");
+            let (out_kind, out_input) = edge
+                .as_ref()
+                .map(|d| (d.kind, d.input.clone()))
+                .unwrap_or((EdgeKind::Original, P::EdgeInput::default()));
+            MemberRec {
+                element: *element,
+                payload,
+                out_kind,
+                out_input,
+            }
+        });
     let grouped = ctx.gather_groups(member_recs, |m| m.element.absorbed_into);
     // Attach the cluster's own element record and the data of its incoming edge.
     let with_cluster = ctx.join_lookup(grouped, |(cid, _)| *cid, &clustering.elements, |e| e.id);
@@ -302,10 +307,13 @@ fn build_views<P: ClusterDp>(
         edge_data,
         |d| d.child,
     );
-    let views = with_in_edge.map_local(|(((cid, members), cluster), in_edge_data)| {
-        let cluster = cluster.as_ref().expect("cluster element exists");
-        assemble_view::<P>(*cid, cluster, members.clone(), in_edge_data.clone())
-    });
+    // Assembling a member tree is quadratic in the cluster size — the heaviest
+    // machine-local step of a solve, and every cluster is independent.
+    let views =
+        with_in_edge.map_local_par(parallel, |(((cid, members), cluster), in_edge_data)| {
+            let cluster = cluster.as_ref().expect("cluster element exists");
+            assemble_view::<P>(*cid, cluster, members.clone(), in_edge_data.clone())
+        });
     ctx.check_memory(&views, "dp/views");
     views
 }

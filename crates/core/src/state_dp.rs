@@ -25,11 +25,14 @@ use tree_clustering::{EdgeKind, ElementKind};
 pub type Score = i64;
 
 /// A finite-state, additive-score tree DP problem.
-pub trait StateDp {
+///
+/// `Sync` bounds mirror [`ClusterDp`]: the solver may evaluate independent clusters of
+/// one layer on multiple threads (see `crates/mpc/src/par.rs`).
+pub trait StateDp: Sync {
     /// Per-node input (weights, colors, observations, ...).
-    type NodeInput: Clone + Words + Send;
+    type NodeInput: Clone + Words + Send + Sync;
     /// Per-edge input keyed by the edge's child endpoint (`()` if unused).
-    type EdgeInput: Clone + Default + Words + Send;
+    type EdgeInput: Clone + Default + Words + Send + Sync;
 
     /// Number of per-node states (a small constant).
     fn num_states(&self) -> usize;

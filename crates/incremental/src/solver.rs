@@ -2,6 +2,7 @@
 //! root-paths (see the crate docs for the three-phase round structure).
 
 use crate::topology::Topology;
+use mpc_engine::par::{par_map, worth_parallelizing};
 use mpc_engine::{DistVec, MpcContext, Words};
 use std::collections::{BTreeMap, BTreeSet};
 use tree_clustering::ElementId;
@@ -118,6 +119,7 @@ where
     ) -> UpdateStats {
         let rounds_before = ctx.metrics().rounds;
         let words_before = ctx.metrics().total_words_sent;
+        let parallel = ctx.config().parallel;
         let mut stats = UpdateStats {
             batch_size: node_updates.len() + edge_updates.len(),
             ..UpdateStats::default()
@@ -183,12 +185,22 @@ where
                     continue;
                 }
                 let mut changed_words = 0usize;
-                for &cluster in &dirty {
-                    let view = self
-                        .store
-                        .view(layer, cluster)
-                        .expect("dirty cluster has a cached view");
-                    let new_summary = self.problem.summarize(view);
+                // Dirty clusters of one layer are independent: re-summarize them
+                // concurrently (reads only), then apply the changes in cluster order
+                // so propagation and accounting match the sequential path exactly.
+                let dirty_vec: Vec<ElementId> = dirty.iter().copied().collect();
+                let new_summaries: Vec<(ElementId, P::Summary)> = {
+                    let store = &self.store;
+                    let problem = &self.problem;
+                    let par = worth_parallelizing(parallel, dirty_vec.len());
+                    par_map(par, &dirty_vec, |_, &cluster| {
+                        let view = store
+                            .view(layer, cluster)
+                            .expect("dirty cluster has a cached view");
+                        (cluster, problem.summarize(view))
+                    })
+                };
+                for (cluster, new_summary) in new_summaries {
                     stats.resummarized += 1;
                     let changed = match self.store.payload(cluster) {
                         Some(Payload::Summary(old)) => *old != new_summary,
@@ -245,37 +257,43 @@ where
                     continue;
                 }
                 let mut changed_words = 0usize;
-                for &cluster in &affected {
-                    let site = self.topo.cluster_site[&cluster];
-                    let out_label = self
-                        .store
-                        .label(site.out_child)
-                        .expect("boundary out-label cached")
-                        .clone();
-                    let in_label = site.in_child.and_then(|c| self.store.label(c)).cloned();
-                    stats.relabeled += 1;
-                    let changed: Vec<(NodeId, P::Label)> = {
-                        let view = self
-                            .store
+                // Affected clusters of one layer are independent (their boundary
+                // labels were produced at strictly higher layers, and the labels they
+                // write are keyed by disjoint member edges), so re-label them
+                // concurrently and apply the changes in cluster order.
+                let affected_vec: Vec<ElementId> = affected.iter().copied().collect();
+                let per_cluster: Vec<Vec<(NodeId, P::Label)>> = {
+                    let store = &self.store;
+                    let topo = &self.topo;
+                    let problem = &self.problem;
+                    let par = worth_parallelizing(parallel, affected_vec.len());
+                    par_map(par, &affected_vec, |_, &cluster| {
+                        let site = topo.cluster_site[&cluster];
+                        let out_label = store
+                            .label(site.out_child)
+                            .expect("boundary out-label cached");
+                        let in_label = site.in_child.and_then(|c| store.label(c));
+                        let view = store
                             .view(layer, cluster)
                             .expect("affected cluster has a cached view");
-                        let member_labels =
-                            self.problem
-                                .label_members(view, &out_label, in_label.as_ref());
+                        let member_labels = problem.label_members(view, out_label, in_label);
                         view.members
                             .iter()
                             .enumerate()
                             .filter(|(i, _)| *i != view.top)
                             .filter_map(|(i, member)| {
                                 let child = member.element.out_edge.child;
-                                if self.store.label(child) == Some(&member_labels[i]) {
+                                if store.label(child) == Some(&member_labels[i]) {
                                     None
                                 } else {
                                     Some((child, member_labels[i].clone()))
                                 }
                             })
                             .collect()
-                    };
+                    })
+                };
+                stats.relabeled += affected_vec.len();
+                for changed in per_cluster {
                     for (child, label) in changed {
                         stats.labels_changed += 1;
                         changed_words += 1 + label.words();

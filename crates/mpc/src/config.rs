@@ -20,7 +20,9 @@ pub struct MpcConfig {
     /// If `true`, memory / bandwidth violations abort the computation with an error;
     /// otherwise they are recorded in [`Metrics`](crate::Metrics) and execution continues.
     pub strict: bool,
-    /// Execute machine-local computation on multiple OS threads.
+    /// Execute machine-local computation on multiple OS threads (see
+    /// [`par::worker_threads`](crate::par::worker_threads) for the thread count).
+    /// Never affects results or metrics — only wall-clock time.
     pub parallel: bool,
 }
 
@@ -28,6 +30,13 @@ impl MpcConfig {
     /// Create a configuration with default slack constants (`memory_slack = 32`,
     /// `bandwidth_slack = 32` — the Θ(·) constants absorb the fact that records span
     /// several words), non-strict accounting, and parallel local execution.
+    ///
+    /// Setting the `MPC_NO_PARALLEL` environment variable (to any non-empty value)
+    /// turns parallel local execution off for every configuration built through this
+    /// constructor — a process-wide override used by CI to keep the sequential path
+    /// green and by anyone who wants deterministic single-threaded profiling without
+    /// touching call sites. [`with_parallel`](Self::with_parallel) still wins when
+    /// called explicitly afterwards.
     ///
     /// # Panics
     /// Panics if `delta` is not in `(0, 1)` or `n == 0`.
@@ -43,8 +52,16 @@ impl MpcConfig {
             memory_slack: 32.0,
             bandwidth_slack: 32.0,
             strict: false,
-            parallel: true,
+            parallel: !Self::env_no_parallel(),
         }
+    }
+
+    /// `true` when the `MPC_NO_PARALLEL` environment variable disables parallel local
+    /// execution process-wide (set to any non-empty value). [`new`](Self::new) folds
+    /// this into the default; tools that set `parallel` explicitly (e.g. the bench
+    /// harness) should consult it too so the override keeps working for them.
+    pub fn env_no_parallel() -> bool {
+        std::env::var_os("MPC_NO_PARALLEL").is_some_and(|v| !v.is_empty())
     }
 
     /// Same as [`new`](Self::new) but with strict enforcement of the memory and

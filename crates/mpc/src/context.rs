@@ -5,6 +5,7 @@ use crate::config::MpcConfig;
 use crate::distvec::DistVec;
 use crate::error::{MpcError, MpcResult, Violation, ViolationKind};
 use crate::metrics::{Metrics, PhaseMetrics};
+use crate::par::{par_map_mut, par_map_reduce, par_scatter, worth_parallelizing};
 use crate::words::{slice_words, Words};
 use crate::MachineId;
 
@@ -222,6 +223,26 @@ impl MpcContext {
 
     // ----- communication primitives ------------------------------------------------
 
+    /// The shared scatter skeleton of [`route`](Self::route) and
+    /// [`rebalance`](Self::rebalance): bucket every record by `dest(src, global_index,
+    /// record)` (per-machine buckets computed concurrently when
+    /// [`MpcConfig::parallel`] is set), charge `rounds` rounds, and record the exact
+    /// send/receive volumes — only words whose destination differs from their source
+    /// machine count.
+    fn scatter<T, F>(&mut self, dv: DistVec<T>, rounds: u64, what: &str, dest: F) -> DistVec<T>
+    where
+        T: Words + Send,
+        F: Fn(usize, usize, &T) -> MachineId + Sync,
+    {
+        let machines = self.cfg.num_machines();
+        let sc = par_scatter(self.cfg.parallel, dv.into_chunks(), machines, dest);
+        self.charge_rounds(rounds);
+        self.record_comm(&sc.sends, &sc.recvs, what);
+        let result = DistVec::from_chunks(sc.buckets);
+        self.check_memory(&result, what);
+        result
+    }
+
     /// Send every record to the machine chosen by `dest` (1 round).
     ///
     /// Records whose destination equals their current machine do not consume bandwidth.
@@ -231,26 +252,7 @@ impl MpcContext {
         T: Words + Send,
         F: Fn(&T) -> MachineId + Sync,
     {
-        let machines = self.cfg.num_machines();
-        let mut sends = vec![0usize; machines];
-        let mut recvs = vec![0usize; machines];
-        let mut out: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
-        for (src, chunk) in dv.into_chunks().into_iter().enumerate() {
-            for item in chunk {
-                let d = dest(&item).min(machines - 1);
-                if d != src {
-                    let w = item.words();
-                    sends[src] += w;
-                    recvs[d] += w;
-                }
-                out[d].push(item);
-            }
-        }
-        self.charge_rounds(1);
-        self.record_comm(&sends, &recvs, "route");
-        let result = DistVec::from_chunks(out);
-        self.check_memory(&result, "route");
-        result
+        self.scatter(dv, 1, "route", |_src, _idx, item| dest(item))
     }
 
     /// Rebalance records into evenly sized contiguous chunks, preserving global order
@@ -260,29 +262,9 @@ impl MpcContext {
         T: Words + Send,
     {
         let machines = self.cfg.num_machines();
-        let total = dv.len();
-        let per = total.div_ceil(machines).max(1);
-        let mut sends = vec![0usize; machines];
-        let mut recvs = vec![0usize; machines];
-        let mut out: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
-        let mut idx = 0usize;
-        for (src, chunk) in dv.into_chunks().into_iter().enumerate() {
-            for item in chunk {
-                let d = (idx / per).min(machines - 1);
-                if d != src {
-                    let w = item.words();
-                    sends[src] += w;
-                    recvs[d] += w;
-                }
-                out[d].push(item);
-                idx += 1;
-            }
-        }
-        self.charge_rounds(1 + self.agg_rounds());
-        self.record_comm(&sends, &recvs, "rebalance");
-        let result = DistVec::from_chunks(out);
-        self.check_memory(&result, "rebalance");
-        result
+        let per = dv.len().div_ceil(machines).max(1);
+        let rounds = 1 + self.agg_rounds();
+        self.scatter(dv, rounds, "rebalance", |_src, idx, _item| idx / per)
     }
 
     /// Make a small value known to all machines (`agg_rounds` rounds through a
@@ -298,26 +280,24 @@ impl MpcContext {
     }
 
     /// Fold all records into a single value known to every machine
-    /// (an all-reduce; `2 · agg_rounds` rounds).
+    /// (an all-reduce; `2 · agg_rounds` rounds). The per-machine local folds run
+    /// concurrently when [`MpcConfig::parallel`] is set; the cross-machine combine is
+    /// always applied in machine order, so the result is deterministic even for
+    /// non-commutative `combine` functions.
     pub fn all_reduce<T, A, F, G>(&mut self, dv: &DistVec<T>, init: A, fold: F, combine: G) -> A
     where
-        T: Words,
-        A: Words + Clone,
-        F: Fn(A, &T) -> A,
+        T: Words + Sync,
+        A: Words + Clone + Send + Sync,
+        F: Fn(A, &T) -> A + Sync,
         G: Fn(A, A) -> A,
     {
-        let locals: Vec<A> = dv
-            .chunks()
-            .iter()
-            .map(|c| c.iter().fold(init.clone(), &fold))
-            .collect();
-        let result = locals
-            .into_iter()
-            .fold(None::<A>, |acc, x| match acc {
-                None => Some(x),
-                Some(a) => Some(combine(a, x)),
-            })
-            .unwrap_or(init);
+        let result = par_map_reduce(
+            worth_parallelizing(self.cfg.parallel, dv.len()),
+            dv.chunks(),
+            |_, c| c.iter().fold(init.clone(), &fold),
+            combine,
+        )
+        .unwrap_or(init);
         let machines = self.cfg.num_machines();
         let w = result.words();
         self.charge_rounds(2 * self.agg_rounds());
@@ -326,33 +306,45 @@ impl MpcContext {
     }
 
     /// Count the records of `dv` (all-reduce specialisation).
-    pub fn count<T: Words>(&mut self, dv: &DistVec<T>) -> usize {
+    pub fn count<T: Words + Sync>(&mut self, dv: &DistVec<T>) -> usize {
         self.all_reduce(dv, 0usize, |a, _| a + 1, |a, b| a + b)
     }
 
     /// A custom communication round: every machine inspects its local state, queues
     /// messages for other machines, and receives the messages addressed to it.
     ///
-    /// Charges exactly one round and enforces the send/receive budget.
+    /// Charges exactly one round and enforces the send/receive budget against the
+    /// *configured* machine count — passing a `states` slice shorter than
+    /// [`MpcConfig::num_machines`] simulates a round in which only a prefix of the
+    /// machines participates, but destinations, inboxes, and the bandwidth check still
+    /// cover the whole machine set. Outbox construction runs concurrently across
+    /// machine states when [`MpcConfig::parallel`] is set; delivery order is
+    /// machine-index order either way. An empty `states` slice is a no-op: it returns
+    /// one empty inbox per configured machine and charges nothing.
+    ///
+    /// The returned vector has one inbox per machine,
+    /// `max(num_machines, states.len())` in total.
     pub fn communicate<S, M, F>(&mut self, states: &mut [S], f: F) -> Vec<Vec<M>>
     where
         M: Words + Send,
         S: Send,
         F: Fn(MachineId, &mut S, &mut Outbox<M>) + Sync,
     {
-        let machines = states.len();
-        let mut outboxes: Vec<Outbox<M>> = Vec::with_capacity(machines);
-        for (i, s) in states.iter_mut().enumerate() {
+        let machines = self.cfg.num_machines().max(states.len());
+        if states.is_empty() {
+            return (0..machines).map(|_| Vec::new()).collect();
+        }
+        let outboxes: Vec<Outbox<M>> = par_map_mut(self.cfg.parallel, states, |i, s| {
             let mut ob = Outbox::new();
             f(i, s, &mut ob);
-            outboxes.push(ob);
-        }
+            ob
+        });
         let mut sends = vec![0usize; machines];
         let mut recvs = vec![0usize; machines];
         let mut inboxes: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
         for (src, ob) in outboxes.into_iter().enumerate() {
             for (dst, msg) in ob.msgs {
-                let dst = dst.min(machines.saturating_sub(1));
+                let dst = dst.min(machines - 1);
                 let w = msg.words();
                 if dst != src {
                     sends[src] += w;
@@ -449,6 +441,81 @@ mod tests {
         let delivered: usize = inboxes.iter().map(Vec::len).sum();
         assert_eq!(delivered, states.len());
         assert_eq!(c.metrics().rounds, 1);
+    }
+
+    #[test]
+    fn communicate_empty_states_is_a_noop() {
+        // Regression: this used to panic with an index-out-of-bounds because the
+        // destination clamp targeted an inbox vector sized off the empty state slice.
+        let mut c = ctx(256);
+        let mut states: Vec<u64> = Vec::new();
+        let inboxes = c.communicate(&mut states, |_, _, ob: &mut Outbox<u64>| {
+            ob.send(0, 1);
+        });
+        assert_eq!(inboxes.len(), c.config().num_machines());
+        assert!(inboxes.iter().all(Vec::is_empty));
+        assert_eq!(c.metrics().rounds, 0);
+        assert_eq!(c.metrics().total_words_sent, 0);
+    }
+
+    #[test]
+    fn communicate_short_state_slice_checks_configured_machines() {
+        // Regression: the bandwidth check used to be sized off `states.len()`, so a
+        // short state slice blasting one machine was checked against the wrong
+        // machine set (and destinations beyond the slice would panic).
+        let cfg = MpcConfig::new(4096, 0.3).with_bandwidth_slack(0.05);
+        let machines = cfg.num_machines();
+        let mut c = MpcContext::new(cfg);
+        // Two participating machines address a machine outside the state slice.
+        let mut states = vec![0u64; 2];
+        let target = machines - 1;
+        let inboxes = c.communicate(&mut states, |i, _, ob| {
+            for k in 0..200u64 {
+                ob.send(target, i as u64 * 1000 + k);
+            }
+        });
+        assert_eq!(inboxes.len(), machines);
+        assert_eq!(inboxes[target].len(), 400);
+        // The receive volume (400 words at one machine) must be judged against the
+        // configured per-machine budget, producing a violation.
+        assert!(!c.metrics().compliant());
+    }
+
+    #[test]
+    fn communicate_does_not_charge_local_messages() {
+        let mut c = ctx(256);
+        let mut states: Vec<u64> = (0..c.config().num_machines() as u64).collect();
+        let inboxes = c.communicate(&mut states, |i, s, ob| {
+            ob.send(i, *s); // message to self: delivered but never on the network
+        });
+        assert_eq!(
+            inboxes.iter().map(Vec::len).sum::<usize>(),
+            c.config().num_machines()
+        );
+        assert_eq!(c.metrics().total_words_sent, 0);
+        assert_eq!(c.metrics().rounds, 1);
+    }
+
+    #[test]
+    fn route_parallel_toggle_is_metric_invariant() {
+        let data: Vec<u64> = (0..3000).collect();
+        let run = |parallel: bool| {
+            let mut c = MpcContext::new(MpcConfig::new(4096, 0.5).with_parallel(parallel));
+            let dv = c.from_vec(data.clone());
+            let routed = c.route(dv, |x| (*x % 11) as usize);
+            let rebal = c.rebalance(routed);
+            (rebal.to_vec(), c.metrics().clone())
+        };
+        let (seq_data, seq_m) = run(false);
+        let (par_data, par_m) = run(true);
+        assert_eq!(seq_data, par_data);
+        assert_eq!(seq_m.rounds, par_m.rounds);
+        assert_eq!(seq_m.total_words_sent, par_m.total_words_sent);
+        assert_eq!(
+            seq_m.max_words_sent_per_round,
+            par_m.max_words_sent_per_round
+        );
+        assert_eq!(seq_m.peak_local_memory, par_m.peak_local_memory);
     }
 
     #[test]

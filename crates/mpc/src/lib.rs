@@ -16,6 +16,28 @@
 //! hard errors in [`strict`](MpcConfig::strict) mode), so algorithm implementations can
 //! be checked against the model rather than merely executed.
 //!
+//! ## Accounting convention: only moved words count
+//!
+//! Every primitive records communication volume for exactly the words whose source
+//! machine differs from their destination machine. A record that a sort, a routing
+//! step, or a group gathering leaves on the machine it already occupies never touches
+//! the (simulated) network and contributes nothing to `total_words_sent` or the
+//! per-round bandwidth peaks — matching what a real MPC deployment would pay.
+//! Aggregation-tree primitives ([`broadcast`](MpcContext::broadcast),
+//! [`all_reduce`](MpcContext::all_reduce), prefix sums, the offset exchange of
+//! [`with_index`](MpcContext::with_index)) record the per-machine control words they
+//! exchange through the tree.
+//!
+//! ## Parallel machine-local execution
+//!
+//! The model treats machine-local computation as free, but the simulator still has to
+//! perform it. With [`MpcConfig::parallel`] (the default) the machine-local share of
+//! every primitive — bucket construction in routing, per-chunk sorting, per-request
+//! joins, outbox construction in [`communicate`](MpcContext::communicate) — fans out
+//! over OS threads (see [`par`]); results and metrics are bit-identical to the
+//! sequential path, which `with_parallel(false)`, the `MPC_NO_PARALLEL` environment
+//! variable, or a single-core host selects.
+//!
 //! ## Main types
 //!
 //! * [`MpcConfig`] — the model parameters (`n`, `δ`, slack constants).

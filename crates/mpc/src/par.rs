@@ -5,20 +5,54 @@
 //! rayon-style data parallelism, built only on `std::thread::scope` so no extra
 //! dependencies are needed). All helpers fall back to sequential execution when the
 //! workload is small or when the configuration disables parallelism.
+//!
+//! **Determinism.** Every helper produces output (and, for [`par_scatter`], accounting)
+//! that is bit-identical to its sequential fallback: work is split into contiguous
+//! chunks whose results are merged back in chunk order, never in completion order.
+//! `MpcConfig::parallel` therefore only changes wall-clock time, never rounds, words,
+//! or results — the property the `tests/integration_parallel.rs` suite asserts.
 
+use crate::words::Words;
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of worker threads to use: the available parallelism of the host, capped at 16
-/// so that small benches are not dominated by thread startup.
+/// Number of worker threads to use: the `MPC_WORKER_THREADS` environment variable if it
+/// is set to a positive integer (useful for deterministic profiling and for exercising
+/// the threaded paths on hosts whose core count differs from production), otherwise the
+/// available parallelism of the host, capped at 16 so that small benches are not
+/// dominated by thread startup. The value is read once per process.
 pub fn worker_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(16)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Some(v) = std::env::var_os("MPC_WORKER_THREADS") {
+            if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(16)
+    })
 }
 
 /// Threshold below which parallel helpers run sequentially.
 const SEQ_THRESHOLD: usize = 4;
+
+/// Minimum total record count for which fanning machine-*chunk* work out over threads
+/// pays for the thread startup (see [`worth_parallelizing`]).
+const CHUNK_GRAIN: usize = 128;
+
+/// Gate for callers whose parallel items are whole machine chunks (e.g. mapping over
+/// the chunks of a `DistVec`): the chunk *count* says nothing about the work, so
+/// near-empty layouts with hundreds of machines would otherwise spawn threads for
+/// trivial totals. Returns `parallel` downgraded to `false` when the total record
+/// count across all chunks is too small to amortize thread startup.
+pub fn worth_parallelizing(parallel: bool, total_records: usize) -> bool {
+    parallel && total_records >= CHUNK_GRAIN
+}
 
 /// Decide the per-thread chunk size for a workload of `len` items, or `None` when the
 /// workload should run sequentially (parallelism disabled, a single-threaded host, or
@@ -99,6 +133,186 @@ where
     }
 }
 
+/// Map every element through a mutable reference, preserving order, potentially in
+/// parallel. This is the producing cousin of [`par_for_each_mut`]: `f` may mutate the
+/// element and returns a value collected in element order (used e.g. to build one
+/// outbox per machine state in `MpcContext::communicate`).
+pub fn par_map_mut<T, U, F>(parallel: bool, items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    match plan_chunks(parallel, items.len()) {
+        None => items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect(),
+        Some(chunk) => {
+            let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+            out.resize_with(items.len(), || None);
+            fan_out(
+                chunk,
+                items.chunks_mut(chunk).zip(out.chunks_mut(chunk)),
+                |base, (slice_in, slice_out): (&mut [T], &mut [Option<U>])| {
+                    for (i, (t, o)) in slice_in.iter_mut().zip(slice_out.iter_mut()).enumerate() {
+                        *o = Some(f(base + i, t));
+                    }
+                },
+            );
+            out.into_iter()
+                .map(|o| o.expect("par_map_mut filled"))
+                .collect()
+        }
+    }
+}
+
+/// Map every element to a partial result (potentially in parallel) and combine the
+/// results left-to-right. The combine order is always element order, so the result is
+/// deterministic and identical to the sequential fallback even for non-commutative
+/// `combine` functions. Returns `None` for empty input.
+pub fn par_map_reduce<T, A, M, C>(parallel: bool, items: &[T], map: M, combine: C) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &T) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    par_map(parallel, items, map).into_iter().reduce(combine)
+}
+
+/// The result of a [`par_scatter`]: per-destination buckets plus the exact per-machine
+/// send and receive volumes of the implied communication round.
+#[derive(Debug)]
+pub struct Scatter<T> {
+    /// Records grouped by destination, each bucket in global input order.
+    pub buckets: Vec<Vec<T>>,
+    /// Words leaving each *source* chunk (records whose destination differs from their
+    /// source do not count — they never touch the network).
+    pub sends: Vec<usize>,
+    /// Words arriving at each *destination* bucket from a different source.
+    pub recvs: Vec<usize>,
+}
+
+/// Scatter per-source chunks into `buckets` destination buckets, potentially in
+/// parallel, with exact send/receive accounting.
+///
+/// `dest(src, global_index, record)` names the destination bucket of every record
+/// (clamped to the bucket range). Records are delivered in global input order: bucket
+/// `d` holds first the matching records of source 0 (in their original order), then
+/// source 1, and so on — exactly what a sequential pass produces. Only records whose
+/// destination differs from their source chunk contribute to `sends`/`recvs`, which is
+/// the accounting convention of every routing-style primitive ("only moved words
+/// count").
+///
+/// This is the shared skeleton under `MpcContext::route` and `MpcContext::rebalance`;
+/// the parallel path assigns each worker thread a contiguous run of source chunks and
+/// merges the per-thread buckets in source order, so results and accounting are
+/// bit-identical to the sequential path.
+#[allow(clippy::type_complexity)]
+pub fn par_scatter<T, F>(parallel: bool, chunks: Vec<Vec<T>>, buckets: usize, dest: F) -> Scatter<T>
+where
+    T: Words + Send,
+    F: Fn(usize, usize, &T) -> usize + Sync,
+{
+    assert!(buckets >= 1, "par_scatter needs at least one bucket");
+    let srcs = chunks.len();
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut offsets = Vec::with_capacity(srcs);
+    {
+        let mut acc = 0usize;
+        for c in &chunks {
+            offsets.push(acc);
+            acc += c.len();
+        }
+    }
+
+    // One thread handles the contiguous source range [first, first + group.len()).
+    let scatter_group = |first: usize, group: Vec<Vec<T>>| {
+        let mut out: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+        let mut sends = vec![0usize; group.len()];
+        let mut recvs = vec![0usize; buckets];
+        for (gi, chunk) in group.into_iter().enumerate() {
+            let src = first + gi;
+            let base = offsets[src];
+            for (i, item) in chunk.into_iter().enumerate() {
+                let d = dest(src, base + i, &item).min(buckets - 1);
+                if d != src {
+                    let w = item.words();
+                    sends[gi] += w;
+                    recvs[d] += w;
+                }
+                out[d].push(item);
+            }
+        }
+        (out, sends, recvs)
+    };
+
+    let threads = worker_threads();
+    let group_count = if worth_parallelizing(parallel, total) && threads > 1 {
+        threads.min(srcs.max(1))
+    } else {
+        1
+    };
+    let per_group = srcs.div_ceil(group_count.max(1)).max(1);
+    let mut groups: Vec<(usize, Vec<Vec<T>>)> = Vec::with_capacity(group_count);
+    {
+        let mut it = chunks.into_iter();
+        let mut first = 0usize;
+        while first < srcs {
+            let take = per_group.min(srcs - first);
+            groups.push((first, it.by_ref().take(take).collect()));
+            first += take;
+        }
+    }
+
+    let parts: Vec<(Vec<Vec<T>>, Vec<usize>, Vec<usize>)> = if groups.len() <= 1 {
+        groups
+            .into_iter()
+            .map(|(first, group)| scatter_group(first, group))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|(first, group)| {
+                    let scatter_group = &scatter_group;
+                    scope.spawn(move || scatter_group(first, group))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("par_scatter worker panicked"))
+                .collect()
+        })
+    };
+
+    // Merge per-thread parts in source order: threads own contiguous ascending source
+    // ranges, so concatenating their buckets reproduces the sequential global order.
+    let mut merged: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+    let mut sends = vec![0usize; srcs];
+    let mut recvs = vec![0usize; buckets];
+    let mut first = 0usize;
+    for (part_buckets, part_sends, part_recvs) in parts {
+        for (d, bucket) in part_buckets.into_iter().enumerate() {
+            if merged[d].is_empty() {
+                merged[d] = bucket;
+            } else {
+                merged[d].extend(bucket);
+            }
+        }
+        for (gi, s) in part_sends.iter().enumerate() {
+            sends[first + gi] = *s;
+        }
+        for (d, r) in part_recvs.iter().enumerate() {
+            recvs[d] += *r;
+        }
+        first += part_sends.len();
+    }
+    Scatter {
+        buckets: merged,
+        sends,
+        recvs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +352,94 @@ mod tests {
         let a = par_map(false, &v, |_, x| x * 3);
         let b = par_map(true, &v, |_, x| x * 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_and_collects_in_order() {
+        let mut v: Vec<u64> = (0..700).collect();
+        let out = par_map_mut(true, &mut v, |i, x| {
+            *x += 1;
+            (*x) * 2 + i as u64
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 + 1);
+        }
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(*o, (i as u64 + 1) * 2 + i as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_deterministic_left_fold() {
+        // String concatenation is non-commutative: order must be element order.
+        let v: Vec<u64> = (0..100).collect();
+        let seq = par_map_reduce(false, &v, |_, x| x.to_string(), |a, b| a + &b).unwrap();
+        let par = par_map_reduce(true, &v, |_, x| x.to_string(), |a, b| a + &b).unwrap();
+        assert_eq!(seq, par);
+        assert!(seq.starts_with("012345"));
+        assert!(par_map_reduce(true, &Vec::<u64>::new(), |_, x| *x, |a, b| a + b).is_none());
+    }
+
+    #[test]
+    fn par_scatter_matches_sequential_in_buckets_and_accounting() {
+        let chunks: Vec<Vec<u64>> = (0..13)
+            .map(|c| (0..97).map(|i| (c * 1000 + i) as u64).collect())
+            .collect();
+        let buckets = 13;
+        let dest = |_src: usize, _idx: usize, item: &u64| (*item % 7) as usize;
+        let seq = par_scatter(false, chunks.clone(), buckets, dest);
+        let par = par_scatter(true, chunks, buckets, dest);
+        assert_eq!(seq.buckets, par.buckets);
+        assert_eq!(seq.sends, par.sends);
+        assert_eq!(seq.recvs, par.recvs);
+        // Volume conservation: every moved word is sent once and received once.
+        assert_eq!(
+            seq.sends.iter().sum::<usize>(),
+            seq.recvs.iter().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn par_scatter_does_not_charge_stationary_records() {
+        // Every record already sits in its destination bucket: zero communication.
+        let chunks: Vec<Vec<u64>> = (0..5).map(|c| vec![c as u64; 10]).collect();
+        let sc = par_scatter(true, chunks, 5, |_s, _i, item| *item as usize);
+        assert!(sc.sends.iter().all(|&s| s == 0));
+        assert!(sc.recvs.iter().all(|&r| r == 0));
+        for (d, bucket) in sc.buckets.iter().enumerate() {
+            assert_eq!(bucket.len(), 10);
+            assert!(bucket.iter().all(|&x| x == d as u64));
+        }
+    }
+
+    #[test]
+    fn par_scatter_preserves_global_order_per_bucket() {
+        let chunks: Vec<Vec<u64>> = vec![vec![3, 1, 3], vec![3, 2, 1], vec![1, 3]];
+        let sc = par_scatter(true, chunks, 4, |_s, _i, item| *item as usize);
+        assert_eq!(sc.buckets[3], vec![3, 3, 3, 3]);
+        assert_eq!(sc.buckets[1], vec![1, 1, 1]);
+        // Global index is threaded through correctly.
+        let chunks2: Vec<Vec<u64>> = vec![vec![10, 11], vec![12, 13, 14]];
+        let sc2 = par_scatter(true, chunks2, 5, |_s, idx, _| idx);
+        for (d, bucket) in sc2.buckets.iter().enumerate() {
+            assert_eq!(bucket.len(), 1);
+            assert_eq!(bucket[0], 10 + d as u64);
+        }
+    }
+
+    #[test]
+    fn fan_out_runs_every_chunk_on_the_parallel_path() {
+        // Drive the threaded skeleton directly so it is exercised even on hosts where
+        // `worker_threads() == 1` would make the public helpers fall back to sequential.
+        let mut v: Vec<u64> = (0..64).collect();
+        fan_out(16, v.chunks_mut(16), |base, slice: &mut [u64]| {
+            for (i, x) in slice.iter_mut().enumerate() {
+                *x += (base + i) as u64;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, 2 * i as u64);
+        }
     }
 
     #[test]

@@ -5,61 +5,154 @@
 //! The simulator does not re-derive the (intricate) communication schedules of those
 //! sorting networks; it performs the data movement directly and charges the number of
 //! rounds the deterministic algorithms are known to need (`O(1)` for any constant `δ`,
-//! concretely [`MpcContext::sort_rounds`]). Communication volume and the memory of the
-//! resulting layout are accounted exactly.
+//! concretely [`MpcContext::sort_rounds`]). Communication volume follows the
+//! moved-words convention shared with `route`/`rebalance`: only words whose source
+//! machine differs from their destination machine are recorded as sent/received —
+//! records that end up where they already were never touch the network. The memory of
+//! the resulting layout is accounted exactly.
+//!
+//! When [`MpcConfig::parallel`](crate::MpcConfig::parallel) is set, the machine-local
+//! share of the work (per-chunk sorting, per-request lookups) is spread over OS
+//! threads via the [`par`](crate::par) helpers; results and metrics are bit-identical
+//! to the sequential path.
 
 use crate::context::MpcContext;
 use crate::distvec::DistVec;
+use crate::par::{par_for_each_mut, worth_parallelizing};
 use crate::words::Words;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Globally sort per-machine chunks by `key`, returning `(key, record, source_chunk)`
+/// triples in stable sorted order.
+///
+/// Every chunk is decorated and sorted locally (concurrently across chunks when
+/// `parallel` is set), then the sorted runs are combined by a k-way merge whose heap
+/// orders ties by source chunk index — which is exactly the order a stable sort of the
+/// concatenated input produces, so the parallel and sequential paths agree bit for
+/// bit. Each key is computed once per record.
+#[allow(clippy::type_complexity)]
+fn global_sort<T, K, F>(parallel: bool, chunks: Vec<Vec<T>>, key: &F) -> Vec<(K, T, usize)>
+where
+    T: Send,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let parallel = worth_parallelizing(parallel, total);
+    // Decorate + sort every chunk in place (slot.0 is consumed into slot.1).
+    let mut work: Vec<(Vec<T>, Vec<(K, T)>)> =
+        chunks.into_iter().map(|c| (c, Vec::new())).collect();
+    par_for_each_mut(parallel, &mut work, |_, slot| {
+        let items = std::mem::take(&mut slot.0);
+        let mut decorated: Vec<(K, T)> = items.into_iter().map(|t| (key(&t), t)).collect();
+        decorated.sort_by(|a, b| a.0.cmp(&b.0));
+        slot.1 = decorated;
+    });
+
+    // K-way merge of the sorted runs, ties broken by source chunk (= global order).
+    let mut iters: Vec<std::vec::IntoIter<(K, T)>> =
+        work.into_iter().map(|(_, run)| run.into_iter()).collect();
+    let mut pending: Vec<Option<T>> = iters.iter().map(|_| None).collect();
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (src, it) in iters.iter_mut().enumerate() {
+        if let Some((k, t)) = it.next() {
+            heap.push(Reverse((k, src)));
+            pending[src] = Some(t);
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((k, src))) = heap.pop() {
+        let t = pending[src].take().expect("pending record for heap head");
+        out.push((k, t, src));
+        if let Some((k2, t2)) = iters[src].next() {
+            heap.push(Reverse((k2, src)));
+            pending[src] = Some(t2);
+        }
+    }
+    out
+}
 
 impl MpcContext {
     /// Sort records by `key` (stable, deterministic) and return them evenly partitioned
-    /// in sorted order. Charges [`sort_rounds`](Self::sort_rounds) rounds.
+    /// in sorted order. Charges [`sort_rounds`](Self::sort_rounds) rounds. Per-chunk
+    /// sorting runs concurrently when [`MpcConfig::parallel`](crate::MpcConfig) is set;
+    /// communication volume counts only records whose sorted position lands on a
+    /// different machine than the one they started on.
     pub fn sort_by_key<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<T>
     where
         T: Words + Send,
-        K: Ord,
+        K: Ord + Send,
         F: Fn(&T) -> K + Sync,
     {
         let machines = self.config().num_machines();
-        let in_words = dv.chunk_words();
-        let mut all: Vec<T> = Vec::with_capacity(dv.len());
-        for chunk in dv.into_chunks() {
-            all.extend(chunk);
-        }
-        all.sort_by_key(|a| key(a));
-        let per = all.len().div_ceil(machines).max(1);
+        let parallel = self.config().parallel;
+        let srcs = dv.num_chunks();
+        let total = dv.len();
+        let sorted = global_sort(parallel, dv.into_chunks(), &key);
+        let per = total.div_ceil(machines).max(1);
+        let mut sends = vec![0usize; machines.max(srcs)];
+        let mut recvs = vec![0usize; machines];
         let mut chunks: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
-        for (i, item) in all.into_iter().enumerate() {
-            chunks[(i / per).min(machines - 1)].push(item);
+        for (i, (_key, item, src)) in sorted.into_iter().enumerate() {
+            let d = (i / per).min(machines - 1);
+            if d != src {
+                let w = item.words();
+                sends[src] += w;
+                recvs[d] += w;
+            }
+            chunks[d].push(item);
         }
-        let result = DistVec::from_chunks(chunks);
-        let out_words = result.chunk_words();
         self.charge_rounds(self.sort_rounds());
-        self.record_comm(&in_words, &out_words, "sort_by_key");
+        self.record_comm(&sends, &recvs, "sort_by_key");
+        let result = DistVec::from_chunks(chunks);
         self.check_memory(&result, "sort_by_key");
         result
     }
 
     /// Attach the global (0-based) position to every record, preserving the current
     /// order. Costs a prefix sum over per-machine counts
-    /// ([`agg_rounds`](Self::agg_rounds) rounds).
+    /// ([`agg_rounds`](Self::agg_rounds) rounds): every machine sends its local count
+    /// up the aggregation tree and receives its global offset back, which is the one
+    /// word per machine per direction recorded as communication volume.
+    #[allow(clippy::type_complexity)]
     pub fn with_index<T>(&mut self, dv: DistVec<T>) -> DistVec<(u64, T)>
     where
         T: Words + Send,
     {
-        let mut offset = 0u64;
-        let mut chunks: Vec<Vec<(u64, T)>> = Vec::with_capacity(dv.num_chunks());
-        for chunk in dv.into_chunks() {
-            let mut out = Vec::with_capacity(chunk.len());
-            for item in chunk {
-                out.push((offset, item));
-                offset += 1;
+        let machines = self.config().num_machines();
+        let parallel = worth_parallelizing(self.config().parallel, dv.len());
+        // Per-machine base offsets (the result of the simulated prefix sum)...
+        let mut bases: Vec<u64> = Vec::with_capacity(dv.num_chunks());
+        {
+            let mut acc = 0u64;
+            for chunk in dv.chunks() {
+                bases.push(acc);
+                acc += chunk.len() as u64;
             }
-            chunks.push(out);
         }
+        // ...then the machine-local decoration, concurrently across machines.
+        let mut work: Vec<(u64, Vec<T>, Vec<(u64, T)>)> = dv
+            .into_chunks()
+            .into_iter()
+            .zip(bases)
+            .map(|(chunk, base)| (base, chunk, Vec::new()))
+            .collect();
+        par_for_each_mut(parallel, &mut work, |_, slot| {
+            let items = std::mem::take(&mut slot.1);
+            slot.2 = items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (slot.0 + i as u64, t))
+                .collect();
+        });
+        let chunks: Vec<Vec<(u64, T)>> = work.into_iter().map(|(_, _, out)| out).collect();
         let rounds = self.agg_rounds();
         self.charge_rounds(rounds);
+        // One word (the machine-local count) travels up and one offset travels back
+        // down per machine.
+        let per = vec![1usize; machines];
+        self.record_comm(&per, &per, "with_index");
         let result = DistVec::from_chunks(chunks);
         self.check_memory(&result, "with_index");
         result
@@ -70,7 +163,10 @@ impl MpcContext {
     /// Returns `(request, Some(table_record))` pairs, or `None` when no table record has
     /// that key. When several table records share a key, the first in table order wins;
     /// algorithms in this workspace only join on unique keys. Charged as two sorts plus
-    /// one routing round (a standard sort-merge equi-join).
+    /// one routing round (a standard sort-merge equi-join). The table sort and the
+    /// per-request lookups run concurrently when
+    /// [`MpcConfig::parallel`](crate::MpcConfig) is set.
+    #[allow(clippy::type_complexity)]
     pub fn join_lookup<T, V, K, FT, FV>(
         &mut self,
         requests: DistVec<T>,
@@ -80,44 +176,47 @@ impl MpcContext {
     ) -> DistVec<(T, Option<V>)>
     where
         T: Words + Send,
-        V: Words + Clone + Send,
-        K: Ord,
+        V: Words + Clone + Send + Sync,
+        K: Ord + Send + Sync,
         FT: Fn(&T) -> K + Sync,
         FV: Fn(&V) -> K + Sync,
     {
+        let parallel = self.config().parallel;
         // Build the lookup structure (represents the sort-merge of table and requests).
-        let mut table_sorted: Vec<&V> = table.iter().collect();
-        table_sorted.sort_by_key(|a| table_key(a));
+        // Sorting reference chunks reuses the parallel sort core; ties resolve to table
+        // order, so "first record with a key" is by construction the first hit.
+        let table_chunks: Vec<Vec<&V>> =
+            table.chunks().iter().map(|c| c.iter().collect()).collect();
+        let table_sorted: Vec<(K, &V, usize)> =
+            global_sort(parallel, table_chunks, &|r: &&V| table_key(r));
 
         let table_words = table.total_words();
         let req_words = requests.total_words();
         let machines = self.config().num_machines();
         let per_machine_moved = (table_words + req_words).div_ceil(machines.max(1));
 
-        let chunks: Vec<Vec<(T, Option<V>)>> = requests
+        let req_parallel = worth_parallelizing(parallel, requests.len());
+        let mut work: Vec<(Vec<T>, Vec<(T, Option<V>)>)> = requests
             .into_chunks()
             .into_iter()
-            .map(|chunk| {
-                chunk
-                    .into_iter()
-                    .map(|req| {
-                        let k = req_key(&req);
-                        let found = table_sorted
-                            .binary_search_by(|probe| table_key(probe).cmp(&k))
-                            .ok()
-                            .map(|idx| {
-                                // Step back to the first record with this key for determinism.
-                                let mut first = idx;
-                                while first > 0 && table_key(table_sorted[first - 1]) == k {
-                                    first -= 1;
-                                }
-                                table_sorted[first].clone()
-                            });
-                        (req, found)
-                    })
-                    .collect()
-            })
+            .map(|c| (c, Vec::new()))
             .collect();
+        par_for_each_mut(req_parallel, &mut work, |_, slot| {
+            let reqs = std::mem::take(&mut slot.0);
+            slot.1 = reqs
+                .into_iter()
+                .map(|req| {
+                    let k = req_key(&req);
+                    let first = table_sorted.partition_point(|entry| entry.0 < k);
+                    let found = table_sorted
+                        .get(first)
+                        .filter(|entry| entry.0 == k)
+                        .map(|entry| entry.1.clone());
+                    (req, found)
+                })
+                .collect();
+        });
+        let chunks: Vec<Vec<(T, Option<V>)>> = work.into_iter().map(|(_, out)| out).collect();
 
         self.charge_rounds(2 * self.sort_rounds() + 1);
         let comm = vec![per_machine_moved; machines];
@@ -132,7 +231,10 @@ impl MpcContext {
     /// This is the "make every cluster reside on one machine" step of Section 5.1/5.2:
     /// after sorting by the grouping key a group spans at most two machines, and one
     /// extra routing round moves each group entirely onto one machine. Requires every
-    /// group to fit into local memory (checked).
+    /// group to fit into local memory (checked). Communication volume counts only the
+    /// member records whose source machine differs from their group's destination
+    /// machine (a group's key is derived from its members, it is not shipped
+    /// separately).
     pub fn gather_groups<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<(K, Vec<T>)>
     where
         T: Words + Send,
@@ -140,39 +242,51 @@ impl MpcContext {
         F: Fn(&T) -> K + Sync,
     {
         let machines = self.config().num_machines();
-        let in_words = dv.chunk_words();
-        let mut all: Vec<T> = Vec::with_capacity(dv.len());
-        for chunk in dv.into_chunks() {
-            all.extend(chunk);
-        }
-        all.sort_by_key(|a| key(a));
-        let mut groups: Vec<(K, Vec<T>)> = Vec::new();
-        for item in all {
-            let k = key(&item);
+        let parallel = self.config().parallel;
+        let srcs = dv.num_chunks();
+        let sorted = global_sort(parallel, dv.into_chunks(), &key);
+        // Build groups, remembering each member's source machine for the accounting.
+        let mut groups: Vec<(K, Vec<(T, usize)>)> = Vec::new();
+        for (k, item, src) in sorted {
             match groups.last_mut() {
-                Some((gk, items)) if *gk == k => items.push(item),
-                _ => groups.push((k, vec![item])),
+                Some((gk, items)) if *gk == k => items.push((item, src)),
+                _ => groups.push((k, vec![(item, src)])),
             }
         }
         // Distribute whole groups over machines, keeping chunks balanced by word count.
-        let total_words: usize = groups.iter().map(Words::words).sum();
+        let group_words = |k: &K, items: &[(T, usize)]| {
+            k.words() + 1 + items.iter().map(|(t, _)| t.words()).sum::<usize>()
+        };
+        let total_words: usize = groups.iter().map(|(k, items)| group_words(k, items)).sum();
         let target = total_words.div_ceil(machines).max(1);
+        let mut sends = vec![0usize; machines.max(srcs)];
+        let mut recvs = vec![0usize; machines];
         let mut chunks: Vec<Vec<(K, Vec<T>)>> = (0..machines).map(|_| Vec::new()).collect();
         let mut machine = 0usize;
         let mut filled = 0usize;
-        for group in groups {
-            let w = group.words();
+        for (k, items) in groups {
+            let w = group_words(&k, &items);
             if filled + w > target && filled > 0 && machine + 1 < machines {
                 machine += 1;
                 filled = 0;
             }
             filled += w;
-            chunks[machine].push(group);
+            let members: Vec<T> = items
+                .into_iter()
+                .map(|(item, src)| {
+                    if src != machine {
+                        let iw = item.words();
+                        sends[src] += iw;
+                        recvs[machine] += iw;
+                    }
+                    item
+                })
+                .collect();
+            chunks[machine].push((k, members));
         }
         let result = DistVec::from_chunks(chunks);
-        let out_words = result.chunk_words();
         self.charge_rounds(self.sort_rounds() + 1);
-        self.record_comm(&in_words, &out_words, "gather_groups");
+        self.record_comm(&sends, &recvs, "gather_groups");
         self.check_memory(&result, "gather_groups");
         result
     }
@@ -213,6 +327,42 @@ mod tests {
     }
 
     #[test]
+    fn sort_counts_only_moved_words() {
+        // Already-sorted input distributed evenly: every record's sorted position is
+        // its current position, so nothing moves and nothing is charged as volume.
+        let mut c = ctx(1024);
+        let dv = c.from_vec((0u64..512).collect());
+        let _ = c.sort_by_key(dv, |x| *x);
+        assert_eq!(c.metrics().total_words_sent, 0);
+        assert_eq!(c.metrics().max_words_sent_per_round, 0);
+        // Reversed input: now (almost) everything crosses machines.
+        let mut c2 = ctx(1024);
+        let dv2 = c2.from_vec((0u64..512).rev().collect());
+        let _ = c2.sort_by_key(dv2, |x| *x);
+        assert!(c2.metrics().total_words_sent > 0);
+    }
+
+    #[test]
+    fn sort_parallel_toggle_is_metric_invariant() {
+        let data: Vec<u64> = (0..2000).map(|i| (i * 48271) % 701).collect();
+        let run = |parallel: bool| {
+            let mut c = MpcContext::new(MpcConfig::new(4096, 0.5).with_parallel(parallel));
+            let dv = c.from_vec(data.clone());
+            let sorted = c.sort_by_key(dv, |x| *x);
+            (sorted.to_vec(), c.metrics().clone())
+        };
+        let (seq, seq_m) = run(false);
+        let (par, par_m) = run(true);
+        assert_eq!(seq, par);
+        assert_eq!(seq_m.total_words_sent, par_m.total_words_sent);
+        assert_eq!(seq_m.rounds, par_m.rounds);
+        assert_eq!(
+            seq_m.max_words_sent_per_round,
+            par_m.max_words_sent_per_round
+        );
+    }
+
+    #[test]
     fn with_index_is_sequential() {
         let mut c = ctx(256);
         let dv = c.from_vec((100u64..200).collect());
@@ -221,6 +371,19 @@ mod tests {
             assert_eq!(*idx, i as u64);
             assert_eq!(*val, 100 + i as u64);
         }
+    }
+
+    #[test]
+    fn with_index_records_offset_exchange_volume() {
+        // Regression: the prefix-sum offset exchange used to charge rounds but record
+        // zero communication volume.
+        let mut c = ctx(256);
+        let machines = c.config().num_machines() as u64;
+        let dv = c.from_vec((0u64..100).collect());
+        let _ = c.with_index(dv);
+        assert_eq!(c.metrics().rounds, c.agg_rounds());
+        assert_eq!(c.metrics().total_words_sent, machines);
+        assert_eq!(c.metrics().max_words_sent_per_round, 1);
     }
 
     #[test]
@@ -256,6 +419,50 @@ mod tests {
             assert!(items.iter().all(|(g, _)| g == k));
         }
         // Each group lives on exactly one machine by construction of the result type.
+    }
+
+    #[test]
+    fn gather_groups_counts_only_moved_words() {
+        let mut c = ctx(1024);
+        let data: Vec<(u64, u64)> = (0..300).map(|i| (i % 10, i)).collect();
+        let dv = c.from_vec(data.clone());
+        let input_words = dv.total_words();
+        let _ = c.gather_groups(dv, |x| x.0);
+        let sent = c.metrics().total_words_sent as usize;
+        // Strictly less than "everything moved" (the old convention charged input plus
+        // output words), and symmetric between send and receive sides.
+        assert!(
+            sent < input_words,
+            "sent {sent} of {input_words} input words"
+        );
+        // A layout where all records already sit on the machine every group lands on
+        // moves nothing at all.
+        let mut c2 = ctx(256);
+        let machines = c2.config().num_machines();
+        let mut chunks: Vec<Vec<(u64, u64)>> = (0..machines).map(|_| Vec::new()).collect();
+        chunks[0] = (0u64..8).map(|i| (7, i)).collect();
+        let dv2 = DistVec::from_chunks(chunks);
+        let _ = c2.gather_groups(dv2, |x: &(u64, u64)| x.0);
+        assert_eq!(c2.metrics().total_words_sent, 0);
+    }
+
+    #[test]
+    fn gather_groups_parallel_toggle_is_metric_invariant() {
+        let data: Vec<(u64, u64)> = (0..1500).map(|i| ((i * 31) % 40, i)).collect();
+        let run = |parallel: bool| {
+            let mut c = MpcContext::new(MpcConfig::new(4096, 0.5).with_parallel(parallel));
+            let dv = c.from_vec(data.clone());
+            let grouped = c.gather_groups(dv, |x| x.0);
+            (grouped.to_vec(), c.metrics().clone())
+        };
+        let (seq, seq_m) = run(false);
+        let (par, par_m) = run(true);
+        assert_eq!(seq, par);
+        assert_eq!(seq_m.total_words_sent, par_m.total_words_sent);
+        assert_eq!(
+            seq_m.max_words_sent_per_round,
+            par_m.max_words_sent_per_round
+        );
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Parallel-vs-sequential equivalence suite.
+//!
+//! `MpcConfig::parallel` spreads machine-local computation over OS threads; it must
+//! never change anything the MPC model can observe. For every tree in the standard
+//! suite this asserts that `with_parallel(true)` and `with_parallel(false)` produce
+//! identical DP labels AND identical metrics (rounds, words sent, per-round peaks,
+//! peak memory, violations) for the whole pipeline: prepare, MaxIS solve, matching
+//! solve (edge inputs), and incremental re-solves.
+
+use mpc_tree_dp::gen::labels;
+use mpc_tree_dp::gen::suite::standard_suite;
+use mpc_tree_dp::problems::{MaxWeightIndependentSet, MaxWeightMatching};
+use mpc_tree_dp::{
+    prepare, IncrementalSolver, ListOfEdges, MpcConfig, MpcContext, StateEngine, Tree, TreeInput,
+};
+use std::collections::BTreeMap;
+
+/// Everything the MPC model measures, as one comparable value.
+#[derive(Debug, Clone, PartialEq)]
+struct MetricsSnapshot {
+    rounds: u64,
+    total_words_sent: u64,
+    max_words_sent_per_round: usize,
+    max_words_received_per_round: usize,
+    peak_local_memory: usize,
+    violations: usize,
+}
+
+fn snapshot(ctx: &MpcContext) -> MetricsSnapshot {
+    let m = ctx.metrics();
+    MetricsSnapshot {
+        rounds: m.rounds,
+        total_words_sent: m.total_words_sent,
+        max_words_sent_per_round: m.max_words_sent_per_round,
+        max_words_received_per_round: m.max_words_received_per_round,
+        peak_local_memory: m.peak_local_memory,
+        violations: m.violations.len(),
+    }
+}
+
+/// One full pipeline run in the given mode; returns every observable outcome.
+#[derive(Debug, PartialEq)]
+struct PipelineOutcome {
+    prepare: MetricsSnapshot,
+    is_labels: BTreeMap<u64, usize>,
+    is_root_label: usize,
+    after_is: MetricsSnapshot,
+    matching_labels: BTreeMap<u64, usize>,
+    after_matching: MetricsSnapshot,
+    inc_labels: Vec<BTreeMap<u64, usize>>,
+    inc_stats: Vec<(usize, usize, u64, u64)>,
+    after_incremental: MetricsSnapshot,
+}
+
+fn run_pipeline(tree: &Tree, seed: u64, parallel: bool) -> PipelineOutcome {
+    let n = tree.len();
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * n, 0.5).with_parallel(parallel));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+        None,
+    )
+    .expect("prepare");
+    let prepare_snap = snapshot(&ctx);
+
+    let mut weights: Vec<i64> = labels::uniform_weights(n, 1, 30, seed)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let node_w = ctx.from_vec(
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let is = StateEngine::new(MaxWeightIndependentSet);
+    let is_sol = prepared.solve(&mut ctx, &is, &node_w, 0, &no_edges);
+    let after_is = snapshot(&ctx);
+
+    let unit = ctx.from_vec((0..n).map(|v| (v as u64, ())).collect::<Vec<_>>());
+    let edge_w = ctx.from_vec(
+        (1..n)
+            .map(|v| (v as u64, (v % 7 + 1) as i64))
+            .collect::<Vec<_>>(),
+    );
+    let mm = StateEngine::new(MaxWeightMatching);
+    let mm_sol = prepared.solve(&mut ctx, &mm, &unit, (), &edge_w);
+    let after_matching = snapshot(&ctx);
+
+    let mut inc = IncrementalSolver::new(&mut ctx, &prepared, is, &node_w, 0, &no_edges);
+    let mut inc_labels = Vec::new();
+    let mut inc_stats = Vec::new();
+    for round in 0usize..3 {
+        let batch: Vec<(u64, i64)> = (0..=2 * round)
+            .map(|i| {
+                (
+                    ((round * 37 + i * 19 + seed as usize) % n) as u64,
+                    ((round * 11 + i * 3) % 40) as i64,
+                )
+            })
+            .collect();
+        for &(v, w) in &batch {
+            weights[v as usize] = w;
+        }
+        let stats = inc.update_node_inputs(&mut ctx, &batch);
+        inc_stats.push((
+            stats.resummarized,
+            stats.relabeled,
+            stats.rounds,
+            stats.words_sent,
+        ));
+        inc_labels.push(inc.labels().clone());
+    }
+
+    PipelineOutcome {
+        prepare: prepare_snap,
+        is_labels: is_sol.labels.iter().cloned().collect(),
+        is_root_label: is_sol.root_label,
+        after_is,
+        matching_labels: mm_sol.labels.iter().cloned().collect(),
+        after_matching,
+        inc_labels,
+        inc_stats,
+        after_incremental: snapshot(&ctx),
+    }
+}
+
+/// Force a multi-thread worker pool even on single-core hosts, so the threaded
+/// fan-out/merge paths are actually exercised rather than silently degrading to the
+/// sequential fallback (`worker_threads` caches the env on first use; every test in
+/// this binary sets the same value, so the set/read race is benign).
+fn force_worker_threads() {
+    std::env::set_var("MPC_WORKER_THREADS", "4");
+}
+
+#[test]
+fn parallel_and_sequential_modes_are_indistinguishable_to_the_model() {
+    force_worker_threads();
+    for entry in standard_suite(256, 5) {
+        let seq = run_pipeline(&entry.tree, 5, false);
+        let par = run_pipeline(&entry.tree, 5, true);
+        assert_eq!(seq, par, "modes diverged on {}", entry.name);
+    }
+}
+
+#[test]
+fn parallel_and_sequential_agree_on_a_larger_tier() {
+    force_worker_threads();
+    // One bigger instance so multi-machine layouts (many chunks per primitive) are
+    // exercised; the full suite at this size runs in the bench harness instead.
+    let suite = standard_suite(1024, 11);
+    let entry = suite
+        .iter()
+        .find(|e| e.name.starts_with("random"))
+        .unwrap_or(&suite[0]);
+    let seq = run_pipeline(&entry.tree, 11, false);
+    let par = run_pipeline(&entry.tree, 11, true);
+    assert_eq!(seq, par, "modes diverged on {}", entry.name);
+}
