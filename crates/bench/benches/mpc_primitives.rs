@@ -6,12 +6,38 @@ use mpc_tree_dp::{MpcConfig, MpcContext};
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpc-primitives");
     group.sample_size(20);
+    // Pseudo-random keys (splitmix-style scramble): the representative case for the
+    // radix-vs-comparison comparison — structured inputs (sorted, reversed) are
+    // best cases for the comparison sort's run detection.
+    let keys = |n: usize| -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) ^ (i << 17))
+            .collect()
+    };
     for n in [1usize << 12, 1 << 14] {
         group.bench_with_input(BenchmarkId::new("sort", n), &n, |b, &n| {
             b.iter(|| {
                 let mut ctx = MpcContext::new(MpcConfig::new(n, 0.5));
-                let dv = ctx.from_vec((0..n as u64).rev().collect::<Vec<_>>());
+                let dv = ctx.from_vec(keys(n));
                 ctx.sort_by_key(dv, |x| *x)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sort-comparison-fallback", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut ctx = MpcContext::new(MpcConfig::new(n, 0.5).with_radix(false));
+                    let dv = ctx.from_vec((0..n as u64).rev().collect::<Vec<_>>());
+                    ctx.sort_by_key(dv, |x| *x)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sort-with-index", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ctx = MpcContext::new(MpcConfig::new(n, 0.5));
+                let dv = ctx.from_vec(keys(n));
+                ctx.sort_with_index(dv, |x| *x)
             });
         });
         group.bench_with_input(BenchmarkId::new("prefix-sums", n), &n, |b, &n| {

@@ -578,20 +578,88 @@ fn bench_parallel_modes(n: usize, seed: u64) -> String {
     )
 }
 
+/// The committed per-tree rounds baseline (`rounds-baseline-n<k>.txt`): one line per
+/// suite entry, `tree prepare_rounds max_is_rounds min_vc_rounds`, `#` comments.
+fn parse_rounds_baseline(path: &str) -> Vec<(String, u64, u64, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read rounds baseline {path}: {e}"));
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let tree = it.next().expect("tree name").to_string();
+            let nums: Vec<u64> = it.map(|x| x.parse().expect("round count")).collect();
+            assert_eq!(nums.len(), 3, "baseline line needs 3 round counts: {l}");
+            (tree, nums[0], nums[1], nums[2])
+        })
+        .collect()
+}
+
+/// Compare measured per-tree rounds against the committed baseline; any entry whose
+/// charged rounds *exceed* the baseline is a regression (improvements are fine —
+/// refresh the baseline file to lock them in). A mismatch in either direction —
+/// a measured tree absent from the baseline, or a baseline tree no longer measured
+/// (suite entry dropped or renamed) — also fails, so coverage cannot silently
+/// shrink. Returns the number of regressions.
+fn check_rounds_against_baseline(path: &str, measured: &[(String, u64, u64, u64)]) -> usize {
+    let baseline = parse_rounds_baseline(path);
+    let mut regressions = 0;
+    for (tree, _, _, _) in &baseline {
+        if !measured.iter().any(|(t, _, _, _)| t == tree) {
+            eprintln!(
+                "rounds-guard: baseline entry {tree} was not measured (suite entry \
+                 dropped or renamed? update {path})"
+            );
+            regressions += 1;
+        }
+    }
+    for (tree, prep, is, vc) in measured {
+        let Some((_, b_prep, b_is, b_vc)) = baseline.iter().find(|(t, _, _, _)| t == tree) else {
+            eprintln!("rounds-guard: {tree} missing from baseline {path} (add it)");
+            regressions += 1;
+            continue;
+        };
+        for (what, got, bound) in [
+            ("prepare", *prep, *b_prep),
+            ("max_is", *is, *b_is),
+            ("min_vc", *vc, *b_vc),
+        ] {
+            if got > bound {
+                eprintln!("rounds-guard: {tree} {what} regressed: {got} rounds > baseline {bound}");
+                regressions += 1;
+            }
+        }
+    }
+    regressions
+}
+
 /// Emit a machine-readable baseline: for each tree of the standard suite at
-/// size `--n` (default 1024), prepare once and solve MaxIS and MinVC,
-/// recording MPC rounds and wall-clock time; compare incremental vs. full
-/// re-solves for update batches of size 1/16/256 (aggregated over the suite;
-/// only at `n ≤ 2048` to keep large tiers tractable); and compare parallel
-/// vs. sequential machine-local execution on prepare + MaxIS.
+/// size `--n` (default 1024), prepare once (with a per-phase breakdown of the
+/// prepare pipeline: normalize, degree-reduction, clustering, and the
+/// clustering sub-phases) and solve MaxIS and MinVC, recording MPC rounds and
+/// wall-clock time; compare incremental vs. full re-solves for update batches
+/// of size 1/16/256 (aggregated over the suite; only at `n ≤ 2048` to keep
+/// large tiers tractable); and compare parallel vs. sequential machine-local
+/// execution on prepare + MaxIS.
 /// `cargo run --release -p mpc-tree-dp-bench -- bench-json [--seed <u64>]
-/// [--n <usize>] [--no-parallel]` prints the JSON to stdout (redirect it to
-/// `BENCH_seed.json` or its successors to anchor perf trajectories across
-/// PRs; `BENCH_pr3.json` is the `--n 65536` tier). `--no-parallel` forces the
-/// suite/incremental measurements onto the sequential path (the comparison
-/// section always measures both modes).
-fn exp_bench_json(seed: u64, n: usize, parallel: bool) {
+/// [--n <usize>] [--no-parallel] [--check-rounds <baseline file>]` prints the
+/// JSON to stdout (redirect it to `BENCH_seed.json` or its successors to
+/// anchor perf trajectories across PRs; `BENCH_pr4.json` is the `--n 65536`
+/// tier). `--no-parallel` forces the suite/incremental measurements onto the
+/// sequential path (the comparison section always measures both modes).
+/// `--check-rounds` exits non-zero if any suite entry's charged rounds exceed
+/// the committed baseline — the CI rounds-regression guard.
+fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str>) {
+    const PREPARE_PHASES: [&str; 5] = [
+        "normalize",
+        "degree-reduction",
+        "clustering",
+        "cluster-sizes",
+        "cluster-paths",
+    ];
     let mut entries = Vec::new();
+    let mut measured_rounds: Vec<(String, u64, u64, u64)> = Vec::new();
     for entry in standard_suite(n, seed) {
         let tree = &entry.tree;
         let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5).with_parallel(parallel));
@@ -605,6 +673,17 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool) {
         .expect("prepare");
         let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
         let prepare_rounds = ctx.metrics().rounds;
+        let phase_lines: Vec<String> = PREPARE_PHASES
+            .iter()
+            .map(|name| {
+                format!(
+                    "        \"{}\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }}",
+                    name,
+                    ctx.metrics().phase_rounds(name),
+                    ctx.metrics().phase_wall_ms(name)
+                )
+            })
+            .collect();
 
         let w: Vec<i64> = labels::uniform_weights(tree.len(), 1, 30, seed)
             .into_iter()
@@ -642,6 +721,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool) {
         };
         let (is_value, is_rounds, is_ms) = solve("max_is");
         let (vc_value, vc_rounds, vc_ms) = solve("min_vc");
+        measured_rounds.push((entry.name.clone(), prepare_rounds, is_rounds, vc_rounds));
 
         entries.push(format!(
             concat!(
@@ -650,6 +730,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool) {
                 "      \"n\": {},\n",
                 "      \"diameter\": {},\n",
                 "      \"prepare\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"prepare_phases\": {{\n{}\n      }},\n",
                 "      \"max_is\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
                 "      \"min_vc\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }}\n",
                 "    }}"
@@ -659,6 +740,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool) {
             tree.diameter(),
             prepare_rounds,
             prepare_ms,
+            phase_lines.join(",\n"),
             is_value,
             is_rounds,
             is_ms,
@@ -719,7 +801,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool) {
     println!(
         concat!(
             "{{\n",
-            "  \"schema\": \"mpc-tree-dp-bench/v3\",\n",
+            "  \"schema\": \"mpc-tree-dp-bench/v4\",\n",
             "  \"suite\": \"standard\",\n",
             "  \"n\": {},\n",
             "  \"delta\": 0.5,\n",
@@ -737,6 +819,18 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool) {
         incremental_section,
         parallel_section,
     );
+
+    if let Some(path) = check_rounds {
+        let regressions = check_rounds_against_baseline(path, &measured_rounds);
+        if regressions > 0 {
+            eprintln!("rounds-guard: {regressions} regression(s) against {path}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "rounds-guard: all {} suite entries within the {path} baseline",
+            measured_rounds.len()
+        );
+    }
 }
 
 fn main() {
@@ -764,7 +858,13 @@ fn main() {
         // The bench sets `with_parallel` explicitly on every config, so honor the
         // process-wide MPC_NO_PARALLEL override here as well as the CLI flag.
         let parallel = !args.iter().any(|a| a == "--no-parallel") && !MpcConfig::env_no_parallel();
-        exp_bench_json(seed, n, parallel);
+        // `--check-rounds <file>`: the CI rounds-regression guard (see exp_bench_json).
+        let check_rounds = args.iter().position(|a| a == "--check-rounds").map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--check-rounds requires a file path"))
+                .clone()
+        });
+        exp_bench_json(seed, n, parallel, check_rounds.as_deref());
         return;
     }
     let run = |id: &str| filter.as_deref().map(|f| f == id).unwrap_or(true);

@@ -23,7 +23,7 @@
 use crate::clustering::Clustering;
 use crate::element::{make_cluster_id, Element, ElementId, ElementKind, VIRTUAL_NODE};
 use crate::subroutines::{count_subtree_sizes, path_distances, PathNode, PathPosition};
-use mpc_engine::{DistVec, MpcContext, Words};
+use mpc_engine::{DistVec, MpcContext, SortedTable, Words};
 use std::fmt;
 use tree_repr::{DirectedEdge, NodeId};
 
@@ -182,11 +182,16 @@ pub fn build_clustering(
         // ----- indegree-zero step -----------------------------------------------------
         layer += 1;
         let indeg0_layer = layer;
-        let adjacency = uncolored_children(ctx, &actives);
-        let sizes = count_subtree_sizes(ctx, adjacency, threshold);
+        let sizes = ctx.phase("cluster-sizes", |ctx| {
+            let adjacency = uncolored_children(ctx, &actives);
+            count_subtree_sizes(ctx, adjacency, threshold)
+        });
+        // The size table is probed twice (own size, parent's size): sort it once.
+        let sizes_sorted = ctx.sort_table(&sizes, |s| s.id);
         let uncolored = actives.clone().filter_local(|a| !a.colored);
-        let with_self = ctx.join_lookup(uncolored, |a| a.id, &sizes, |s| s.id);
-        let with_parent = ctx.join_lookup(with_self, |(a, _)| a.parent, &sizes, |s| s.id);
+        let with_self = ctx.join_lookup_sorted(uncolored, |a| a.id, &sizes, &sizes_sorted);
+        let with_parent =
+            ctx.join_lookup_sorted(with_self, |(a, _)| a.parent, &sizes, &sizes_sorted);
         let selected = with_parent.filter_local(|((a, own), parent)| {
             let light = own.as_ref().map(|o| !o.heavy).unwrap_or(false);
             let parent_heavy = parent.as_ref().map(|p| p.heavy).unwrap_or(false);
@@ -211,8 +216,15 @@ pub fn build_clustering(
             formed_at: indeg0_layer,
         });
         let assignments = absorb_colored_children(ctx, &actives, assignments);
-        actives = apply_absorption(ctx, actives, &assignments, indeg0_layer, &mut finished)
-            .concat_local(new_clusters);
+        actives = apply_absorption(
+            ctx,
+            actives,
+            &assignments,
+            None,
+            indeg0_layer,
+            &mut finished,
+        )
+        .concat_local(new_clusters);
         ctx.check_memory(&actives, "clustering/after-indeg0");
 
         // ----- indegree-one step ------------------------------------------------------
@@ -233,9 +245,11 @@ pub fn build_clustering(
                     a.parent,
                 )
             });
+        // The flag table is probed twice (parent's and child's path flag): sort once.
+        let flags_sorted = ctx.sort_table(&flags, |x| x.0);
         let path_candidates = flags.clone().filter_local(|f| f.1);
-        let with_up = ctx.join_lookup(path_candidates, |f| f.3, &flags, |x| x.0);
-        let with_down = ctx.join_lookup(with_up, |(f, _)| f.2, &flags, |x| x.0);
+        let with_up = ctx.join_lookup_sorted(path_candidates, |f| f.3, &flags, &flags_sorted);
+        let with_down = ctx.join_lookup_sorted(with_up, |(f, _)| f.2, &flags, &flags_sorted);
         let path_nodes: DistVec<PathNode> = with_down.map_local(|((f, up), down)| PathNode {
             id: f.0,
             up: f.3,
@@ -243,7 +257,7 @@ pub fn build_clustering(
             down: f.2,
             down_is_path: down.as_ref().map(|d| d.1).unwrap_or(false),
         });
-        let positions = path_distances(ctx, path_nodes);
+        let positions = ctx.phase("cluster-paths", |ctx| path_distances(ctx, path_nodes));
 
         // Fragments of at most `threshold` consecutive path nodes; the bottom anchor of
         // the path uniquely identifies the path, the quotient of the downward distance
@@ -303,10 +317,21 @@ pub fn build_clustering(
         });
 
         let assignments = absorb_colored_children(ctx, &actives, assignments);
-        let remaining = apply_absorption(ctx, actives, &assignments, indeg1_layer, &mut finished);
+        // The final assignment table is probed twice (absorption + parent re-target):
+        // sort it once and reuse the handle.
+        let assignments_sorted = ctx.sort_table(&assignments, |x| x.0);
+        let remaining = apply_absorption(
+            ctx,
+            actives,
+            &assignments,
+            Some(&assignments_sorted),
+            indeg1_layer,
+            &mut finished,
+        );
         let merged = remaining.concat_local(new_clusters);
         // Re-target parent pointers of everything whose parent was just absorbed.
-        let retargeted = ctx.join_lookup(merged, |a| a.parent, &assignments, |x| x.0);
+        let retargeted =
+            ctx.join_lookup_sorted(merged, |a| a.parent, &assignments, &assignments_sorted);
         actives = retargeted.map_local(|(a, found)| match found {
             Some((_, cid)) => Active { parent: *cid, ..*a },
             None => *a,
@@ -376,16 +401,21 @@ fn absorb_colored_children(
 }
 
 /// Remove absorbed elements from the active set, recording them in `finished`.
-/// One join; the iteration over absorbed records models the machine-local write-out of
-/// finalized elements.
+/// One join (a probe when the caller already sorted the assignment table); the
+/// iteration over absorbed records models the machine-local write-out of finalized
+/// elements.
 fn apply_absorption(
     ctx: &mut MpcContext,
     actives: DistVec<Active>,
     assignments: &DistVec<(ElementId, ElementId)>,
+    assignments_sorted: Option<&SortedTable<ElementId>>,
     layer: u32,
     finished: &mut Vec<Element>,
 ) -> DistVec<Active> {
-    let tagged = ctx.join_lookup(actives, |a| a.id, assignments, |x| x.0);
+    let tagged = match assignments_sorted {
+        Some(sorted) => ctx.join_lookup_sorted(actives, |a| a.id, assignments, sorted),
+        None => ctx.join_lookup(actives, |a| a.id, assignments, |x| x.0),
+    };
     for (a, assigned) in tagged.iter() {
         if let Some((_, cid)) = assigned {
             finished.push(Element {

@@ -64,12 +64,21 @@ pub fn count_subtree_sizes(
     adjacency: DistVec<(ElementId, Vec<ElementId>)>,
     cap: usize,
 ) -> DistVec<SubtreeInfo> {
-    // Seed: every node knows itself and its children (distance ≤ 1).
+    // Seed: every node knows itself and its children (distance ≤ 1), as a sorted
+    // set. A heavy node's descendant set is dead weight — nothing ever reads it (the
+    // final output drops it, and any node that unions a heavy descendant becomes
+    // heavy itself) — so heavy states carry an empty set instead of shipping useless
+    // ids around.
     let mut states: DistVec<SizeState> = adjacency.map_local(|(id, children)| {
         let mut set = Vec::with_capacity(children.len() + 1);
         set.push(*id);
         set.extend(children.iter().copied());
+        set.sort_unstable();
+        set.dedup();
         let heavy = set.len() > cap;
+        if heavy {
+            set = Vec::new();
+        }
         SizeState {
             id: *id,
             heavy,
@@ -79,25 +88,77 @@ pub fn count_subtree_sizes(
     });
     ctx.check_memory(&states, "count_subtree_sizes/seed");
 
+    // The frontier of a node: the descendants discovered in the *previous* step. One
+    // doubling step only needs the sets of the frontier — every element of the next
+    // ball has an ancestor in the frontier band (interior members' balls are already
+    // contained in the union of frontier balls) — which shrinks request and answer
+    // volume by the interior/frontier ratio. The frontier is simulator bookkeeping
+    // derived from two consecutive sets, so it lives beside the states (aligned with
+    // the chunk layout, which in-place merging preserves) and never travels.
+    let mut frontiers: Vec<Vec<Vec<ElementId>>> = states
+        .chunks()
+        .iter()
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|s| {
+                    if s.stable {
+                        Vec::new()
+                    } else {
+                        s.set.iter().copied().filter(|&d| d != s.id).collect()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
     loop {
-        // One doubling step: fetch the set of every known descendant and take the union.
-        let requests: DistVec<(ElementId, ElementId)> = states.clone().flat_map_local(|s| {
-            if s.stable {
-                Vec::new()
-            } else {
-                s.set.iter().map(|&d| (s.id, d)).collect::<Vec<_>>()
-            }
-        });
+        // One doubling step: fetch the set of every frontier descendant and union it
+        // into the ball. A node's requests are emitted contiguously on its own
+        // machine, and the join returns its answers in request order on that same
+        // machine — so the per-node union is machine-local: no `gather_groups`
+        // detour and no second join to merge the unions back (both used to move
+        // every answer across the network again).
+        let requests: DistVec<(ElementId, ElementId)> = DistVec::from_chunks(
+            states
+                .chunks()
+                .iter()
+                .zip(frontiers.iter())
+                .map(|(chunk, chunk_frontiers)| {
+                    chunk
+                        .iter()
+                        .zip(chunk_frontiers.iter())
+                        .filter(|(s, _)| !s.stable)
+                        .flat_map(|(s, frontier)| frontier.iter().map(|&d| (s.id, d)))
+                        .collect()
+                })
+                .collect(),
+        );
         if requests.is_empty() {
             break;
         }
         let answered = ctx.join_lookup(requests, |r| r.1, &states, |s| s.id);
-        let gathered = ctx.gather_groups(answered, |(req, _)| req.0);
-        let updates: DistVec<(ElementId, bool, Vec<ElementId>, bool)> =
-            gathered.map_local(|(owner, answers)| {
-                let mut union: Vec<ElementId> = Vec::new();
+        // Walk states and answers chunk by chunk in lockstep: the answers of one
+        // non-stable state are exactly the next `frontier.len()` records of its chunk.
+        let mut changed = 0u64;
+        let mut union: Vec<ElementId> = Vec::new();
+        for ((state_chunk, chunk_frontiers), answer_chunk) in states
+            .chunks_mut()
+            .iter_mut()
+            .zip(frontiers.iter_mut())
+            .zip(answered.into_chunks())
+        {
+            let mut answers = answer_chunk.into_iter();
+            for (state, frontier) in state_chunk.iter_mut().zip(chunk_frontiers.iter_mut()) {
+                if state.stable {
+                    continue;
+                }
+                union.clear();
+                union.extend_from_slice(&state.set);
                 let mut heavy = false;
-                for (_, found) in answers {
+                for _ in 0..frontier.len() {
+                    let ((owner, _), found) = answers.next().expect("answer per request");
+                    debug_assert_eq!(owner, state.id, "answers aligned with requests");
                     if let Some(child_state) = found {
                         if child_state.heavy {
                             heavy = true;
@@ -109,32 +170,34 @@ pub fn count_subtree_sizes(
                 union.dedup();
                 if union.len() > cap {
                     heavy = true;
-                    union.truncate(cap + 1);
                 }
-                (*owner, heavy, union, false)
-            });
-        // Merge updates back into the state vector and detect the fixpoint.
-        let joined = ctx.join_lookup(states, |s| s.id, &updates, |u| u.0);
-        let mut changed = 0u64;
-        let new_states: Vec<SizeState> = joined
-            .iter()
-            .map(|(old, upd)| match upd {
-                Some((_, heavy, set, _)) if !old.stable => {
-                    let grew = set.len() > old.set.len() || (*heavy && !old.heavy);
-                    if grew {
-                        changed += 1;
-                    }
-                    SizeState {
-                        id: old.id,
-                        heavy: *heavy,
-                        stable: *heavy || !grew,
-                        set: if *heavy { old.set.clone() } else { set.clone() },
-                    }
+                let grew = union.len() > state.set.len() || (heavy && !state.heavy);
+                if grew {
+                    changed += 1;
                 }
-                _ => old.clone(),
-            })
-            .collect();
-        states = ctx.from_vec(new_states);
+                state.heavy |= heavy;
+                frontier.clear();
+                if heavy {
+                    state.set.clear();
+                    state.stable = true;
+                } else {
+                    // New frontier: union \ old set (both sorted ascending).
+                    let mut old = state.set.iter().copied().peekable();
+                    for &u in &union {
+                        match old.peek() {
+                            Some(&o) if o == u => {
+                                old.next();
+                            }
+                            _ => frontier.push(u),
+                        }
+                    }
+                    state.set.clear();
+                    state.set.extend_from_slice(&union);
+                    state.stable = frontier.is_empty();
+                }
+            }
+            debug_assert!(answers.next().is_none(), "all answers consumed");
+        }
         ctx.check_memory(&states, "count_subtree_sizes/step");
         let total_changed = ctx.broadcast(changed);
         if total_changed == 0 {
@@ -262,19 +325,24 @@ pub fn path_distances(ctx: &mut MpcContext, nodes: DistVec<PathNode>) -> DistVec
         .collect();
     let ups = jump(ctx, up_init);
     let downs = jump(ctx, down_init);
-    let up_dv = ctx.from_vec(ups);
-    let down_dv = ctx.from_vec(downs);
-    let joined = ctx.join_lookup(up_dv, |u| u.0, &down_dv, |d| d.0);
-    joined.map_local(|(up, down)| {
-        let down = down.expect("every path node has both directions");
-        PathPosition {
-            id: up.0,
-            top_anchor: up.1,
-            dist_up: up.2,
-            bottom_anchor: down.1,
-            dist_down: down.2,
-        }
-    })
+    // Both jump passes preserve the input record order (their states only ever act
+    // as join *requests*), so the two result lists are aligned: combining them is a
+    // machine-local zip, not another join.
+    let positions: Vec<PathPosition> = ups
+        .into_iter()
+        .zip(downs)
+        .map(|(up, down)| {
+            debug_assert_eq!(up.0, down.0, "jump passes stay aligned");
+            PathPosition {
+                id: up.0,
+                top_anchor: up.1,
+                dist_up: up.2,
+                bottom_anchor: down.1,
+                dist_down: down.2,
+            }
+        })
+        .collect();
+    ctx.from_vec(positions)
 }
 
 #[cfg(test)]
@@ -306,7 +374,7 @@ mod tests {
         let adj = c.from_vec(adjacency_of(&tree));
         let info = count_subtree_sizes(&mut c, adj, 100);
         let sizes = tree.subtree_sizes();
-        for rec in info.to_vec() {
+        for rec in info.into_vec() {
             assert!(!rec.heavy);
             assert_eq!(
                 rec.descendants.len(),
@@ -325,7 +393,7 @@ mod tests {
         let cap = 10;
         let info = count_subtree_sizes(&mut c, adj, cap);
         let sizes = tree.subtree_sizes();
-        for rec in info.to_vec() {
+        for rec in info.into_vec() {
             let expected_heavy = sizes[rec.id as usize] > cap;
             assert_eq!(rec.heavy, expected_heavy, "node {}", rec.id);
             if !rec.heavy {
@@ -370,7 +438,7 @@ mod tests {
             })
             .collect();
         let dv = c.from_vec(nodes);
-        let out = path_distances(&mut c, dv).to_vec();
+        let out = path_distances(&mut c, dv).into_vec();
         for p in out {
             assert_eq!(p.top_anchor, 0, "node {}", p.id);
             assert_eq!(p.bottom_anchor, 9, "node {}", p.id);
@@ -403,7 +471,7 @@ mod tests {
             });
         }
         let dv = c.from_vec(path_nodes.clone());
-        let out = path_distances(&mut c, dv).to_vec();
+        let out = path_distances(&mut c, dv).into_vec();
         assert_eq!(out.len(), path_nodes.len());
         for p in &out {
             assert_eq!(p.top_anchor, 0);

@@ -62,7 +62,7 @@ pub mod store;
 pub use pipeline::{prepare, prepare_and_solve, PipelineError, PreparedTree};
 pub use problem::{ClusterDp, ClusterView, Member, Payload};
 pub use sequential::{solve_sequential, SequentialSolution};
-pub use solver::{label_layer, solve_dp, solve_dp_with_store, summarize_layer};
-pub use solver::{DpSolution, EdgeData, PayloadTable};
+pub use solver::{label_layer, solve_dp, solve_dp_with_store, sort_solve_tables, summarize_layer};
+pub use solver::{DpSolution, EdgeData, PayloadTable, SolveTables};
 pub use state_dp::{Score, StateDp, StateEngine, StateSummary};
 pub use store::SolverStore;

@@ -165,7 +165,7 @@ impl PreparedTree {
     /// The per-edge data table the solver consumes: kinds from the degree-reduced
     /// edge list, inputs from the caller (edges without a caller record default to
     /// `E::default()`).
-    pub fn assemble_edge_data<E: Clone + Default + Words + Send + Sync>(
+    pub fn assemble_edge_data<E: Clone + Default + Words + Send + Sync + 'static>(
         &self,
         ctx: &mut MpcContext,
         edge_inputs: &DistVec<(NodeId, E)>,

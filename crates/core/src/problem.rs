@@ -134,9 +134,10 @@ impl<P: ClusterDp + ?Sized> ClusterView<P> {
 /// Problems and their associated types must be `Sync`/`Send`: the solver fans the
 /// per-cluster `summarize`/`label_members` calls of one layer out over OS threads when
 /// `MpcConfig::parallel` is set (clusters within a layer are independent, so this
-/// never changes results). Plain-data problem types satisfy these bounds
-/// automatically.
-pub trait ClusterDp: Sync {
+/// never changes results). They must also be `'static` (own their data), which lets
+/// the MPC primitives recycle record buffers through the scratch arena. Plain-data
+/// problem types satisfy these bounds automatically.
+pub trait ClusterDp: Sync + 'static {
     /// Input attached to every original node (e.g. a weight).
     type NodeInput: Clone + Words + Send + Sync;
     /// Input attached to every original edge, keyed by the edge's child endpoint

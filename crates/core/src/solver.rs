@@ -12,7 +12,7 @@
 use crate::problem::{ClusterDp, ClusterView, Member, Payload};
 use crate::store::SolverStore;
 use mpc_engine::par::{par_map, worth_parallelizing};
-use mpc_engine::{DistVec, MpcContext, Words};
+use mpc_engine::{DistVec, MpcContext, SortedTable, Words};
 use tree_clustering::{Clustering, EdgeKind, Element, ElementId, ElementKind};
 use tree_repr::NodeId;
 
@@ -127,6 +127,9 @@ fn solve_dp_impl<P: ClusterDp>(
 ) -> DpSolution<P> {
     // ---- bottom-up phase (Section 5.1) --------------------------------------------
     let parallel = ctx.config().parallel;
+    // The edge-data and element tables never change during a solve: sort them once
+    // and probe them in every layer's view assembly.
+    let tables = sort_solve_tables(ctx, clustering, edge_data);
     let mut payloads: PayloadTable<P> = inputs
         .clone()
         .map_local_par(parallel, |(id, input)| (*id, Payload::Input(input.clone())));
@@ -135,7 +138,9 @@ fn solve_dp_impl<P: ClusterDp>(
     let views_per_layer: Vec<u32> = (1..=clustering.num_layers).collect();
     for &layer in &views_per_layer {
         let (views, summaries) = ctx.phase("dp-bottom-up", |ctx| {
-            summarize_layer(ctx, clustering, layer, problem, &payloads, edge_data)
+            summarize_layer(
+                ctx, clustering, layer, problem, &payloads, edge_data, &tables,
+            )
         });
         if views.is_empty() {
             continue;
@@ -160,9 +165,20 @@ fn solve_dp_impl<P: ClusterDp>(
     let mut labels: DistVec<(NodeId, P::Label)> =
         ctx.from_vec(vec![(clustering.root, root_label.clone())]);
 
+    // The payload table is final after the bottom-up pass: sort it once for the
+    // whole top-down sweep instead of re-sorting it in every layer's join.
+    let payloads_sorted = ctx.sort_table(&payloads, |p| p.0);
     for &layer in views_per_layer.iter().rev() {
         let views = ctx.phase("dp-top-down", |ctx| {
-            build_views::<P>(ctx, clustering, layer, &payloads, edge_data)
+            build_views::<P>(
+                ctx,
+                clustering,
+                layer,
+                &payloads,
+                Some(&payloads_sorted),
+                edge_data,
+                &tables,
+            )
         });
         if views.is_empty() {
             continue;
@@ -184,6 +200,29 @@ fn solve_dp_impl<P: ClusterDp>(
     }
 }
 
+/// The per-solve sorted lookup tables: the edge-data table and the clustering's
+/// element table are immutable during a solve, so they are sorted once by
+/// [`sort_solve_tables`] and probed (2 rounds each) in every layer's view assembly
+/// instead of being re-sorted per join.
+pub struct SolveTables {
+    /// Edge-data records sorted by the edge's child endpoint.
+    pub edges: SortedTable<NodeId>,
+    /// Clustering elements sorted by element id.
+    pub elements: SortedTable<ElementId>,
+}
+
+/// Sort the solve-invariant lookup tables once (two `sort_table` charges).
+pub fn sort_solve_tables<E: Clone + Default + Words + Send + Sync>(
+    ctx: &mut MpcContext,
+    clustering: &Clustering,
+    edge_data: &DistVec<EdgeData<E>>,
+) -> SolveTables {
+    SolveTables {
+        edges: ctx.sort_table(edge_data, |d| d.child),
+        elements: ctx.sort_table(&clustering.elements, |e| e.id),
+    }
+}
+
 /// One bottom-up step (Section 5.1): assemble the views of the clusters formed at
 /// `layer` and summarize each of them locally. Returns the views together with the new
 /// `(cluster, summary)` payload records; both are empty when no cluster forms at
@@ -195,8 +234,9 @@ pub fn summarize_layer<P: ClusterDp>(
     problem: &P,
     payloads: &PayloadTable<P>,
     edge_data: &DistVec<EdgeData<P::EdgeInput>>,
+    tables: &SolveTables,
 ) -> (DistVec<ClusterView<P>>, PayloadTable<P>) {
-    let views = build_views::<P>(ctx, clustering, layer, payloads, edge_data);
+    let views = build_views::<P>(ctx, clustering, layer, payloads, None, edge_data, tables);
     if views.is_empty() {
         return (views, ctx.empty());
     }
@@ -230,12 +270,15 @@ pub fn label_layer<P: ClusterDp>(
     labels: &DistVec<(NodeId, P::Label)>,
 ) -> DistVec<(NodeId, P::Label)> {
     let parallel = ctx.config().parallel;
-    let with_out = ctx.join_lookup(views, |v| v.out_edge.child, labels, |l| l.0);
-    let with_in = ctx.join_lookup(
+    // The label table is probed twice per layer (outgoing and incoming boundary
+    // edges): sort it once per layer.
+    let labels_sorted = ctx.sort_table(labels, |l| l.0);
+    let with_out = ctx.join_lookup_sorted(views, |v| v.out_edge.child, labels, &labels_sorted);
+    let with_in = ctx.join_lookup_sorted(
         with_out,
         |(v, _)| v.in_edge.map(|e| e.child).unwrap_or(u64::MAX),
         labels,
-        |l| l.0,
+        &labels_sorted,
     );
     // Per-cluster labeling is independent within a layer: fan it out over threads.
     with_in.flat_map_local_par(parallel, |((view, out), in_lab)| {
@@ -252,13 +295,17 @@ pub fn label_layer<P: ClusterDp>(
 }
 
 /// Assemble the [`ClusterView`] of every cluster formed at `layer`, each fully contained
-/// in one machine (a constant number of joins and one group gathering).
+/// in one machine (a constant number of joins/probes and one group gathering). The
+/// solve-invariant tables arrive pre-sorted in `tables`; `payloads_sorted` is given
+/// during the top-down pass, when the payload table is final.
 fn build_views<P: ClusterDp>(
     ctx: &mut MpcContext,
     clustering: &Clustering,
     layer: u32,
     payloads: &PayloadTable<P>,
+    payloads_sorted: Option<&SortedTable<ElementId>>,
     edge_data: &DistVec<EdgeData<P::EdgeInput>>,
+    tables: &SolveTables,
 ) -> DistVec<ClusterView<P>> {
     let members_at_layer = clustering
         .elements
@@ -267,12 +314,15 @@ fn build_views<P: ClusterDp>(
     if members_at_layer.is_empty() {
         return ctx.empty();
     }
-    let with_payload = ctx.join_lookup(members_at_layer, |e| e.id, payloads, |p| p.0);
-    let with_edge = ctx.join_lookup(
+    let with_payload = match payloads_sorted {
+        Some(sorted) => ctx.join_lookup_sorted(members_at_layer, |e| e.id, payloads, sorted),
+        None => ctx.join_lookup(members_at_layer, |e| e.id, payloads, |p| p.0),
+    };
+    let with_edge = ctx.join_lookup_sorted(
         with_payload,
         |(e, _)| e.out_edge.child,
         edge_data,
-        |d| d.child,
+        &tables.edges,
     );
     let parallel = ctx.config().parallel;
     let member_recs: DistVec<MemberRec<P>> =
@@ -294,8 +344,13 @@ fn build_views<P: ClusterDp>(
         });
     let grouped = ctx.gather_groups(member_recs, |m| m.element.absorbed_into);
     // Attach the cluster's own element record and the data of its incoming edge.
-    let with_cluster = ctx.join_lookup(grouped, |(cid, _)| *cid, &clustering.elements, |e| e.id);
-    let with_in_edge = ctx.join_lookup(
+    let with_cluster = ctx.join_lookup_sorted(
+        grouped,
+        |(cid, _)| *cid,
+        &clustering.elements,
+        &tables.elements,
+    );
+    let with_in_edge = ctx.join_lookup_sorted(
         with_cluster,
         |((_, _), cluster)| {
             cluster
@@ -305,7 +360,7 @@ fn build_views<P: ClusterDp>(
                 .unwrap_or(u64::MAX)
         },
         edge_data,
-        |d| d.child,
+        &tables.edges,
     );
     // Assembling a member tree is quadratic in the cluster size — the heaviest
     // machine-local step of a solve, and every cluster is independent.

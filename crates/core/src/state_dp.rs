@@ -28,7 +28,7 @@ pub type Score = i64;
 ///
 /// `Sync` bounds mirror [`ClusterDp`]: the solver may evaluate independent clusters of
 /// one layer on multiple threads (see `crates/mpc/src/par.rs`).
-pub trait StateDp: Sync {
+pub trait StateDp: Sync + 'static {
     /// Per-node input (weights, colors, observations, ...).
     type NodeInput: Clone + Words + Send + Sync;
     /// Per-edge input keyed by the edge's child endpoint (`()` if unused).

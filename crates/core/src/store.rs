@@ -155,7 +155,7 @@ impl<P: ClusterDp> SolverStore<P> {
 
     /// Materialize the store's current labels/root state as a [`DpSolution`]
     /// distributed over the machines of `ctx`.
-    pub fn to_solution(&self, ctx: &MpcContext) -> DpSolution<P> {
+    pub fn to_solution(&self, ctx: &mut MpcContext) -> DpSolution<P> {
         DpSolution {
             labels: ctx.from_vec(self.export_labels()),
             root_label: self.root_label().clone(),

@@ -341,7 +341,7 @@ where
 
     /// Materialize the current solution as a [`DpSolution`] distributed over the
     /// machines of `ctx` (host-side convenience, 0 rounds).
-    pub fn solution(&self, ctx: &MpcContext) -> DpSolution<P> {
+    pub fn solution(&self, ctx: &mut MpcContext) -> DpSolution<P> {
         self.store.to_solution(ctx)
     }
 

@@ -24,6 +24,11 @@ pub struct MpcConfig {
     /// [`par::worker_threads`](crate::par::worker_threads) for the thread count).
     /// Never affects results or metrics — only wall-clock time.
     pub parallel: bool,
+    /// Use the linear-time LSD radix fast path for sort keys with a `u64` embedding
+    /// (see [`SortKey`](crate::SortKey)). Never affects results or metrics — output
+    /// order, labels, rounds, and volume are bit-identical to the comparison
+    /// fallback, which `with_radix(false)` forces (used by the equivalence tests).
+    pub radix: bool,
 }
 
 impl MpcConfig {
@@ -53,6 +58,7 @@ impl MpcConfig {
             bandwidth_slack: 32.0,
             strict: false,
             parallel: !Self::env_no_parallel(),
+            radix: true,
         }
     }
 
@@ -96,6 +102,14 @@ impl MpcConfig {
     /// Builder-style setter for parallel machine-local execution.
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Builder-style setter for the radix sorting fast path (`false` forces the
+    /// comparison fallback even for word keys; results and metrics are identical
+    /// either way).
+    pub fn with_radix(mut self, radix: bool) -> Self {
+        self.radix = radix;
         self
     }
 

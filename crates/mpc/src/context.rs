@@ -6,6 +6,7 @@ use crate::distvec::DistVec;
 use crate::error::{MpcError, MpcResult, Violation, ViolationKind};
 use crate::metrics::{Metrics, PhaseMetrics};
 use crate::par::{par_map_mut, par_map_reduce, par_scatter, worth_parallelizing};
+use crate::scratch::Scratch;
 use crate::words::{slice_words, Words};
 use crate::MachineId;
 
@@ -56,6 +57,10 @@ pub struct MpcContext {
     cfg: MpcConfig,
     metrics: Metrics,
     phase_stack: Vec<(String, u64, u64)>,
+    /// Reusable scratch buffers for the primitive hot path (radix pairs, merge heap,
+    /// counters, record-buffer pool) — see [`crate::scratch`]. Invisible to the MPC
+    /// model: affects only the simulator's wall-clock time and allocator traffic.
+    pub(crate) scratch: Scratch,
 }
 
 impl MpcContext {
@@ -65,6 +70,7 @@ impl MpcContext {
             cfg,
             metrics: Metrics::default(),
             phase_stack: Vec::new(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -92,20 +98,23 @@ impl MpcContext {
         }
     }
 
-    /// Run `f` as a named phase; rounds and communication consumed inside are
-    /// attributed to `name` in [`Metrics::phases`].
+    /// Run `f` as a named phase; rounds, communication, and wall-clock time consumed
+    /// inside are attributed to `name` in [`Metrics::phases`].
     pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
         self.phase_stack.push((
             name.to_string(),
             self.metrics.rounds,
             self.metrics.total_words_sent,
         ));
+        let start = std::time::Instant::now();
         let out = f(self);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let (name, rounds0, sent0) = self.phase_stack.pop().expect("phase stack balanced");
         self.metrics.phases.push(PhaseMetrics {
             name,
             rounds: self.metrics.rounds - rounds0,
             words_sent: self.metrics.total_words_sent - sent0,
+            wall_ms,
         });
         out
     }
@@ -209,11 +218,34 @@ impl MpcContext {
         2 * self.agg_rounds() + 2
     }
 
+    /// Rounds charged for one fused sort-merge equi-join
+    /// ([`join_lookup`](Self::join_lookup)): requests and table are sorted *together*
+    /// in a single deterministic sort, merged machine-locally, and the answers routed
+    /// back in one round.
+    pub fn join_rounds(&self) -> u64 {
+        self.sort_rounds() + 1
+    }
+
+    /// Rounds charged for one probe against a pre-sorted table
+    /// ([`join_lookup_sorted`](Self::join_lookup_sorted)): the table's range
+    /// partition is known from [`sort_table`](Self::sort_table), so every request
+    /// routes directly to its partner machine (1 round) and the answer routes back
+    /// (1 round).
+    pub fn lookup_rounds(&self) -> u64 {
+        2
+    }
+
     // ----- data creation ---------------------------------------------------------
 
-    /// Distribute `data` evenly over the machines (this is the input layout; no rounds).
-    pub fn from_vec<T>(&self, data: Vec<T>) -> DistVec<T> {
-        DistVec::from_vec_cfg(&self.cfg, data)
+    /// Distribute `data` evenly over the machines (this is the input layout; no
+    /// rounds). Chunk buffers are drawn from the scratch arena, so data vectors
+    /// created and consumed in a loop recycle their storage instead of growing the
+    /// heap (see [`crate::scratch`]).
+    pub fn from_vec<T: Send + 'static>(&mut self, data: Vec<T>) -> DistVec<T> {
+        let machines = self.cfg.num_machines();
+        let mut chunks: Vec<Vec<T>> = self.scratch.pool.take_bufs(machines);
+        DistVec::fill_balanced(data, &mut chunks);
+        DistVec::from_chunks(chunks)
     }
 
     /// An empty distributed vector shaped for this context's machine count.
@@ -246,7 +278,9 @@ impl MpcContext {
     /// Send every record to the machine chosen by `dest` (1 round).
     ///
     /// Records whose destination equals their current machine do not consume bandwidth.
-    /// Destinations are clamped to the machine range.
+    /// Destinations are clamped to the machine range. When destinations are known to
+    /// be non-decreasing along the global order (e.g. the data was just sorted by
+    /// them), prefer [`route_sorted`](Self::route_sorted).
     pub fn route<T, F>(&mut self, dv: DistVec<T>, dest: F) -> DistVec<T>
     where
         T: Words + Send,
@@ -255,16 +289,126 @@ impl MpcContext {
         self.scatter(dv, 1, "route", |_src, _idx, item| dest(item))
     }
 
+    /// The run-moving skeleton of [`rebalance`](Self::rebalance) and
+    /// [`route_sorted`](Self::route_sorted), for destination assignments that are
+    /// non-decreasing along the global record order. `split(global_index, rest)` names
+    /// the destination of the first record of `rest` and the length of the contiguous
+    /// run headed there. Whole runs move at once (no per-record destination
+    /// decisions), buckets fill in global order — exactly the layout `scatter`
+    /// produces for a monotone destination function — and the consumed input buffers
+    /// are recycled through the scratch arena. Only moved words count as volume.
+    fn route_monotone<T, S>(
+        &mut self,
+        dv: DistVec<T>,
+        rounds: u64,
+        what: &str,
+        split: S,
+    ) -> DistVec<T>
+    where
+        T: Words + Send + 'static,
+        S: Fn(usize, &[T]) -> (MachineId, usize),
+    {
+        let machines = self.cfg.num_machines();
+        let srcs = dv.num_chunks();
+        self.scratch.reset_counters(machines.max(srcs), machines);
+        let mut out: Vec<Vec<T>> = self.scratch.pool.take_bufs(machines);
+        let mut chunks = dv.into_chunks();
+        let mut runs: Vec<(usize, usize)> = self.scratch.pool.take_buf();
+        {
+            let crate::scratch::Scratch { sends, recvs, .. } = &mut self.scratch;
+            let mut base = 0usize;
+            for (src, chunk) in chunks.iter_mut().enumerate() {
+                runs.clear();
+                let mut start = 0usize;
+                while start < chunk.len() {
+                    let (d, run) = split(base + start, &chunk[start..]);
+                    let d = d.min(machines - 1);
+                    let run = run.clamp(1, chunk.len() - start);
+                    runs.push((d, run));
+                    start += run;
+                }
+                base += chunk.len();
+                let mut it = chunk.drain(..);
+                for &(d, run) in runs.iter() {
+                    for _ in 0..run {
+                        let item = it.next().expect("run lengths cover the chunk");
+                        if d != src {
+                            let w = item.words();
+                            sends[src] += w;
+                            recvs[d] += w;
+                        }
+                        out[d].push(item);
+                    }
+                }
+            }
+        }
+        self.scratch.pool.recycle_buf(runs);
+        self.scratch.pool.recycle_bufs(chunks);
+        let sends = std::mem::take(&mut self.scratch.sends);
+        let recvs = std::mem::take(&mut self.scratch.recvs);
+        self.charge_rounds(rounds);
+        self.record_comm(&sends, &recvs, what);
+        self.scratch.sends = sends;
+        self.scratch.recvs = recvs;
+        let result = DistVec::from_chunks(out);
+        self.check_memory(&result, what);
+        result
+    }
+
+    /// [`route`](Self::route) for records whose destinations are **non-decreasing
+    /// along the current global order** (e.g. data just sorted by its destination):
+    /// 1 round, identical accounting, but the simulator moves whole contiguous runs —
+    /// destination boundaries are found by binary search instead of one `dest` call
+    /// per record, and steady-state calls allocate nothing.
+    ///
+    /// Monotonicity (after clamping to the machine range) is a **hard contract**:
+    /// runs are delimited by `partition_point`, which is only meaningful on
+    /// monotone destinations. Debug builds assert the contract for every record;
+    /// release builds do not check it, and violating it misroutes the records of
+    /// the offending run (they travel with their run head). Use [`route`]
+    /// (Self::route) when monotonicity is not guaranteed.
+    pub fn route_sorted<T, F>(&mut self, dv: DistVec<T>, dest: F) -> DistVec<T>
+    where
+        T: Words + Send + 'static,
+        F: Fn(&T) -> MachineId + Sync,
+    {
+        let machines = self.cfg.num_machines();
+        let last = std::cell::Cell::new(0usize);
+        self.route_monotone(dv, 1, "route_sorted", |_idx, rest| {
+            let d = dest(&rest[0]).min(machines - 1);
+            let run = rest.partition_point(|t| dest(t).min(machines - 1) <= d);
+            debug_assert!(
+                d >= last.get() && rest[..run].iter().all(|t| dest(t).min(machines - 1) == d),
+                "route_sorted requires non-decreasing destinations"
+            );
+            last.set(d);
+            (d, run)
+        })
+    }
+
     /// Rebalance records into evenly sized contiguous chunks, preserving global order
-    /// (1 round plus the prefix-sum style offset exchange).
+    /// (1 round plus the prefix-sum style offset exchange). The destination of a
+    /// record depends only on its global index, which is monotone — so whole runs
+    /// move at once through the [`route_sorted`](Self::route_sorted) skeleton.
     pub fn rebalance<T>(&mut self, dv: DistVec<T>) -> DistVec<T>
     where
-        T: Words + Send,
+        T: Words + Send + 'static,
     {
         let machines = self.cfg.num_machines();
         let per = dv.len().div_ceil(machines).max(1);
         let rounds = 1 + self.agg_rounds();
-        self.scatter(dv, rounds, "rebalance", |_src, idx, _item| idx / per)
+        // Multi-core hosts keep PR 3's threaded per-record scatter; otherwise the
+        // sequential run-mover wins (no per-record destination decisions, recycled
+        // buffers). Both produce identical buckets and accounting for this monotone
+        // destination function, as `route_parallel_toggle_is_metric_invariant` and
+        // the integration_parallel suite assert.
+        if worth_parallelizing(self.cfg.parallel, dv.len()) && crate::par::worker_threads() > 1 {
+            self.scatter(dv, rounds, "rebalance", |_src, idx, _item| idx / per)
+        } else {
+            self.route_monotone(dv, rounds, "rebalance", |idx, _rest| {
+                (idx / per, per - idx % per)
+            })
+        }
     }
 
     /// Make a small value known to all machines (`agg_rounds` rounds through a
@@ -375,6 +519,39 @@ mod tests {
         assert_eq!(routed.len(), 100);
         assert_eq!(c.metrics().rounds, 1);
         assert!(routed.chunks()[0].iter().all(|x| x % 4 == 0));
+    }
+
+    #[test]
+    fn route_sorted_matches_route_on_monotone_destinations() {
+        // Globally sorted values with a monotone destination function: the run-moving
+        // fast path must place every record exactly where the per-record `route`
+        // does, with identical rounds and volume.
+        let data: Vec<u64> = (0..900).collect();
+        let dest = |x: &u64| (*x / 64) as usize;
+        let mut a = ctx(1024);
+        let dv = a.from_vec(data.clone());
+        let routed = a.route(dv, dest);
+        let mut b = ctx(1024);
+        let dv = b.from_vec(data);
+        let run_routed = b.route_sorted(dv, dest);
+        assert_eq!(routed.chunks(), run_routed.chunks());
+        assert_eq!(a.metrics().rounds, b.metrics().rounds);
+        assert_eq!(a.metrics().total_words_sent, b.metrics().total_words_sent);
+        assert_eq!(
+            a.metrics().max_words_sent_per_round,
+            b.metrics().max_words_sent_per_round
+        );
+        assert_eq!(
+            a.metrics().max_words_received_per_round,
+            b.metrics().max_words_received_per_round
+        );
+        // Destinations beyond the machine range clamp identically on both paths.
+        let mut c = ctx(256);
+        let dv = c.from_vec((0u64..50).collect());
+        let clamped = c.route_sorted(dv, |x| (*x as usize) * 1000);
+        assert_eq!(clamped.len(), 50);
+        let machines = c.config().num_machines();
+        assert!(!clamped.chunks()[machines - 1].is_empty());
     }
 
     #[test]
@@ -504,7 +681,7 @@ mod tests {
             let dv = c.from_vec(data.clone());
             let routed = c.route(dv, |x| (*x % 11) as usize);
             let rebal = c.rebalance(routed);
-            (rebal.to_vec(), c.metrics().clone())
+            (rebal.into_vec(), c.metrics().clone())
         };
         let (seq_data, seq_m) = run(false);
         let (par_data, par_m) = run(true);

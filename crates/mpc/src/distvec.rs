@@ -23,13 +23,21 @@ impl<T> DistVec<T> {
 
     /// Distribute `data` evenly across the machines of `cfg`, preserving order.
     pub fn from_vec_cfg(cfg: &MpcConfig, data: Vec<T>) -> Self {
-        let machines = cfg.num_machines();
-        let per = data.len().div_ceil(machines).max(1);
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(machines);
+        let mut chunks: Vec<Vec<T>> = (0..cfg.num_machines()).map(|_| Vec::new()).collect();
+        Self::fill_balanced(data, &mut chunks);
+        Self { chunks }
+    }
+
+    /// The one balanced input layout rule, shared by [`from_vec_cfg`](Self::from_vec_cfg)
+    /// and the arena-backed `MpcContext::from_vec`: split `data` into
+    /// `chunks.len()` evenly sized contiguous runs (ceiling division, remainder in
+    /// the front chunks), appended to the given (empty) buffers in order.
+    pub(crate) fn fill_balanced(data: Vec<T>, chunks: &mut [Vec<T>]) {
+        let machines = chunks.len();
+        let per = data.len().div_ceil(machines.max(1)).max(1);
         let mut it = data.into_iter();
-        for _ in 0..machines {
-            let chunk: Vec<T> = it.by_ref().take(per).collect();
-            chunks.push(chunk);
+        for chunk in chunks.iter_mut() {
+            chunk.extend(it.by_ref().take(per));
         }
         let rest: Vec<T> = it.collect();
         if !rest.is_empty() {
@@ -40,7 +48,6 @@ impl<T> DistVec<T> {
                 .expect("at least one machine")
                 .extend(rest);
         }
-        Self { chunks }
     }
 
     /// An empty distributed vector with one (empty) chunk per machine.
@@ -83,7 +90,9 @@ impl<T> DistVec<T> {
     /// Collect all records into a single vector in global order.
     ///
     /// This is a *host-side* convenience (e.g. for tests and result extraction); it does
-    /// not correspond to an MPC operation and charges no rounds.
+    /// not correspond to an MPC operation and charges no rounds. It clones every
+    /// record — when the distributed vector is not needed afterwards, use the
+    /// consuming [`into_vec`](Self::into_vec) instead, which moves the records.
     pub fn to_vec(&self) -> Vec<T>
     where
         T: Clone,
@@ -91,6 +100,20 @@ impl<T> DistVec<T> {
         let mut out = Vec::with_capacity(self.len());
         for c in &self.chunks {
             out.extend(c.iter().cloned());
+        }
+        out
+    }
+
+    /// Consume the distributed vector and return all records in global order without
+    /// cloning (host-side convenience, no rounds). The first chunk's buffer is reused
+    /// as the result where possible.
+    pub fn into_vec(self) -> Vec<T> {
+        let total = self.len();
+        let mut chunks = self.chunks.into_iter();
+        let mut out = chunks.next().unwrap_or_default();
+        out.reserve(total - out.len());
+        for c in chunks {
+            out.extend(c);
         }
         out
     }
@@ -237,6 +260,16 @@ mod tests {
         assert_eq!(dv.len(), 100);
         assert_eq!(dv.to_vec(), data);
         assert_eq!(dv.num_chunks(), cfg().num_machines());
+    }
+
+    #[test]
+    fn into_vec_matches_to_vec_without_cloning() {
+        let data: Vec<u64> = (0..1000).map(|i| (i * 37) % 101).collect();
+        let dv = DistVec::from_vec_cfg(&cfg(), data.clone());
+        assert_eq!(dv.to_vec(), data);
+        assert_eq!(dv.into_vec(), data);
+        let empty: DistVec<u64> = DistVec::empty_cfg(&cfg());
+        assert!(empty.into_vec().is_empty());
     }
 
     #[test]

@@ -48,7 +48,19 @@
 //! * Deterministic `O(1)`-round primitives from Section 2 of the paper:
 //!   [`MpcContext::sort_by_key`], [`MpcContext::prefix_sums`],
 //!   [`MpcContext::broadcast`], [`MpcContext::join_lookup`],
-//!   [`MpcContext::route`], [`MpcContext::gather_groups`].
+//!   [`MpcContext::route`], [`MpcContext::gather_groups`] — plus the fused
+//!   variants [`MpcContext::sort_with_index`], [`MpcContext::route_sorted`],
+//!   and [`MpcContext::sort_table`] / [`MpcContext::join_lookup_sorted`]
+//!   ([`SortedTable`]) for repeated lookups against one table.
+//!
+//! ## Sorting fast path and scratch reuse
+//!
+//! Sort keys implement [`SortKey`]; keys with a monotone `u64` embedding take a
+//! linear-time LSD radix path whose output, labels, and metrics are bit-identical to
+//! the comparison fallback ([`MpcConfig::radix`] forces the latter for testing).
+//! Each context owns a scratch arena (radix buffers, merge heap, counters, and a
+//! record-buffer pool fed by consumed inputs and [`MpcContext::from_vec`]), so warm
+//! primitive calls perform zero net heap growth.
 //!
 //! ## Example
 //!
@@ -76,6 +88,8 @@ pub mod metrics;
 pub mod par;
 pub mod prefix;
 pub mod primitives;
+pub(crate) mod scratch;
+pub mod sortkey;
 pub mod words;
 
 pub use config::MpcConfig;
@@ -83,6 +97,8 @@ pub use context::{MpcContext, Outbox};
 pub use distvec::DistVec;
 pub use error::{MpcError, MpcResult, Violation, ViolationKind};
 pub use metrics::{Metrics, PhaseMetrics};
+pub use primitives::SortedTable;
+pub use sortkey::SortKey;
 pub use words::Words;
 
 /// Identifier of a simulated machine (index into the machine array).

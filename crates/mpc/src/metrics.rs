@@ -29,12 +29,16 @@ pub struct Metrics {
 /// (e.g. "normalize", "clustering", "dp-bottom-up").
 #[derive(Debug, Clone)]
 pub struct PhaseMetrics {
-    /// Phase name given to [`MpcContext::start_phase`](crate::MpcContext::start_phase).
+    /// Phase name given to [`MpcContext::phase`](crate::MpcContext::phase).
     pub name: String,
     /// Rounds consumed by this phase.
     pub rounds: u64,
     /// Words sent during this phase (all machines).
     pub words_sent: u64,
+    /// Simulator wall-clock time spent inside this phase, in milliseconds. Not part
+    /// of the MPC model (and excluded from metric-identity comparisons): it only
+    /// feeds the benchmark's per-phase breakdowns.
+    pub wall_ms: f64,
 }
 
 impl Metrics {
@@ -50,6 +54,16 @@ impl Metrics {
             .iter()
             .filter(|p| p.name == name)
             .map(|p| p.rounds)
+            .sum()
+    }
+
+    /// Wall-clock milliseconds spent in the phase with the given name (summed over
+    /// repeats), or 0 if the phase never ran.
+    pub fn phase_wall_ms(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.wall_ms)
             .sum()
     }
 
@@ -100,16 +114,19 @@ mod tests {
             name: "sort".into(),
             rounds: 3,
             words_sent: 10,
+            wall_ms: 0.0,
         });
         m.phases.push(PhaseMetrics {
             name: "sort".into(),
             rounds: 2,
             words_sent: 5,
+            wall_ms: 0.0,
         });
         m.phases.push(PhaseMetrics {
             name: "other".into(),
             rounds: 7,
             words_sent: 1,
+            wall_ms: 0.0,
         });
         assert_eq!(m.phase_rounds("sort"), 5);
         assert_eq!(m.phase_rounds("other"), 7);

@@ -78,7 +78,7 @@ mod tests {
         let mut c = MpcContext::new(MpcConfig::new(1024, 0.5));
         let data: Vec<u64> = (1..=200).collect();
         let dv = c.from_vec(data.clone());
-        let pf = c.prefix_sums(dv, |x| *x).to_vec();
+        let pf = c.prefix_sums(dv, |x| *x).into_vec();
         let mut acc = 0u64;
         for (i, (p, v)) in pf.iter().enumerate() {
             assert_eq!(*p, acc, "prefix mismatch at {i}");
@@ -93,7 +93,7 @@ mod tests {
         let mut c = MpcContext::new(MpcConfig::new(512, 0.5));
         let data: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
         let dv = c.from_vec(data.clone());
-        let pm = c.prefix_max(dv, |x| *x).to_vec();
+        let pm = c.prefix_max(dv, |x| *x).into_vec();
         let mut run = 0u64;
         for (i, (m, v)) in pm.iter().enumerate() {
             run = run.max(data[i]);

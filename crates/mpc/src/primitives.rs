@@ -4,12 +4,37 @@
 //!
 //! The simulator does not re-derive the (intricate) communication schedules of those
 //! sorting networks; it performs the data movement directly and charges the number of
-//! rounds the deterministic algorithms are known to need (`O(1)` for any constant `δ`,
-//! concretely [`MpcContext::sort_rounds`]). Communication volume follows the
-//! moved-words convention shared with `route`/`rebalance`: only words whose source
-//! machine differs from their destination machine are recorded as sent/received —
-//! records that end up where they already were never touch the network. The memory of
-//! the resulting layout is accounted exactly.
+//! rounds the deterministic algorithms are known to need (`O(1)` for any constant `δ`).
+//! The round constants live on [`MpcContext`]:
+//!
+//! * [`sort_rounds`](MpcContext::sort_rounds) — one deterministic sort;
+//! * [`join_rounds`](MpcContext::join_rounds) — a fused sort-merge equi-join: requests
+//!   and table are sorted *together* in one exchange, merged locally, and the answers
+//!   routed back (`sort_rounds + 1`);
+//! * [`lookup_rounds`](MpcContext::lookup_rounds) — a probe against a pre-sorted
+//!   [`SortedTable`]: the table's range partition is known, so every request routes
+//!   directly to its partner machine and the answer routes back (2 rounds).
+//!
+//! Communication volume follows the moved-words convention shared with
+//! `route`/`rebalance`: only words whose source machine differs from their destination
+//! machine are recorded as sent/received — records that end up where they already were
+//! never touch the network. The memory of the resulting layout is accounted exactly.
+//!
+//! ## The radix fast path
+//!
+//! All primitives are keyed by [`SortKey`]. In `sort_by_key`, `sort_with_index`,
+//! and `gather_groups`, keys with a monotone `u64` embedding (`K::IS_WORD` — node
+//! ids, cluster ids, weights, …, i.e. every key on the paper's hot path) are sorted
+//! through reusable scratch buffers ([`crate::scratch`]): each key is computed
+//! exactly once per record into a `(word, index)` pair, per-chunk runs are sorted in
+//! place (short runs by a comparison sort of the pairs, long runs by a linear-time
+//! LSD radix over the key bytes), and the runs are combined by the same stable
+//! k-way merge as the comparison path (ties broken by source chunk = global input
+//! order). Output order, labels, and metrics are bit-identical to the comparison
+//! fallback, which [`MpcConfig::radix`](crate::MpcConfig) = `false` forces for
+//! testing. The flat table indexes of `join_lookup`/`sort_table` instead use an
+//! allocation-free unstable lexicographic sort on both key paths — measured faster
+//! than LSD-plus-permutation at realistic table sizes, and identical in order.
 //!
 //! When [`MpcConfig::parallel`](crate::MpcConfig::parallel) is set, the machine-local
 //! share of the work (per-chunk sorting, per-request lookups) is spread over OS
@@ -18,13 +43,15 @@
 
 use crate::context::MpcContext;
 use crate::distvec::DistVec;
-use crate::par::{par_for_each_mut, worth_parallelizing};
+use crate::par::{par_for_each_mut, worker_threads, worth_parallelizing};
+use crate::scratch::{BufferPool, Scratch, SortBufs};
+use crate::sortkey::SortKey;
 use crate::words::Words;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Globally sort per-machine chunks by `key`, returning `(key, record, source_chunk)`
-/// triples in stable sorted order.
+/// triples in stable sorted order (the comparison fallback of the sorting core).
 ///
 /// Every chunk is decorated and sorted locally (concurrently across chunks when
 /// `parallel` is set), then the sorted runs are combined by a k-way merge whose heap
@@ -73,48 +100,297 @@ where
     out
 }
 
+/// Drive the stable k-way merge over the word runs prepared by
+/// [`MpcContext::sort_chunks_by_word`]: calls `emit(global_index, key_word, source
+/// run)` for every record in globally sorted order, ties broken by source run — the
+/// exact order of the comparison path's merge.
+fn merge_word_runs(
+    words: &[u64],
+    bounds: &[usize],
+    pos: &mut Vec<usize>,
+    heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    mut emit: impl FnMut(usize, u64, usize),
+) {
+    let runs = bounds.len().saturating_sub(1);
+    pos.clear();
+    pos.resize(runs, 0);
+    heap.clear();
+    for r in 0..runs {
+        if bounds[r] < bounds[r + 1] {
+            heap.push(Reverse((words[bounds[r]], r as u32)));
+        }
+    }
+    let mut i = 0usize;
+    while let Some(Reverse((w, r))) = heap.pop() {
+        let run = r as usize;
+        emit(i, w, run);
+        i += 1;
+        pos[run] += 1;
+        let next = bounds[run] + pos[run];
+        if next < bounds[run + 1] {
+            heap.push(Reverse((words[next], r)));
+        }
+    }
+}
+
+/// A table sorted once so that any number of [`join_lookup_sorted`]
+/// (`MpcContext::join_lookup_sorted`) probes can reuse the work — the repeated-lookup
+/// pattern of the clustering builder, the solver's view assembly, and the incremental
+/// solver. Built by [`MpcContext::sort_table`]; holds `(key, chunk, position)`
+/// references into the table it was built from, never cloned records.
+#[derive(Debug, Clone)]
+pub struct SortedTable<K> {
+    /// `(key, source chunk, position within chunk)` in ascending key order; ties keep
+    /// table order, so "first record with a key" is by construction the first hit.
+    index: Vec<(K, u32, u32)>,
+    /// Per-chunk record counts of the table this index was built from. Probing checks
+    /// the probed table against this shape — a **structural** guard (it catches
+    /// resized, re-chunked, or regenerated-at-a-different-size tables, not a
+    /// same-shape table with different contents; the handle is positional, so using
+    /// it with any table other than the one it indexed is a caller bug).
+    chunk_lens: Vec<u32>,
+}
+
+impl<K> SortedTable<K> {
+    /// `true` when `table` has exactly the chunk shape this index was built from.
+    fn shape_matches<V>(&self, table: &DistVec<V>) -> bool {
+        self.chunk_lens.len() == table.num_chunks()
+            && self
+                .chunk_lens
+                .iter()
+                .zip(table.chunks())
+                .all(|(&len, chunk)| len as usize == chunk.len())
+    }
+
+    /// Number of indexed table records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when the indexed table was empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// Look up `k` in a sorted index, returning the first matching table reference.
+#[inline]
+fn index_get<'a, K: Ord>(index: &'a [(K, u32, u32)], k: &K) -> Option<&'a (K, u32, u32)> {
+    let first = index.partition_point(|e| e.0 < *k);
+    index.get(first).filter(|e| e.0 == *k)
+}
+
+/// Per-request probe of a sorted index (shared by `join_lookup` and
+/// `join_lookup_sorted`): returns the answer chunks in request order plus the total
+/// word count of the table records that were hit. Answer chunks are drawn from the
+/// buffer pool and the drained request chunks are recycled into it, so the hottest
+/// probe path stays free of allocator churn like every other primitive.
+#[allow(clippy::type_complexity)]
+fn probe_index<T, V, K, FT>(
+    parallel: bool,
+    requests: DistVec<T>,
+    req_key: &FT,
+    table: &DistVec<V>,
+    index: &[(K, u32, u32)],
+    pool: &mut BufferPool,
+) -> (Vec<Vec<(T, Option<V>)>>, usize)
+where
+    T: Send + 'static,
+    V: Words + Clone + Send + Sync + 'static,
+    K: Ord + Sync,
+    FT: Fn(&T) -> K + Sync,
+{
+    let req_parallel = worth_parallelizing(parallel, requests.len());
+    let mut req_chunks = requests.into_chunks();
+    let outs: Vec<Vec<(T, Option<V>)>> = pool.take_bufs(req_chunks.len());
+    let mut work: Vec<(&mut Vec<T>, Vec<(T, Option<V>)>, usize)> = req_chunks
+        .iter_mut()
+        .zip(outs)
+        .map(|(c, out)| (c, out, 0))
+        .collect();
+    par_for_each_mut(req_parallel, &mut work, |_, slot| {
+        let mut hit_words = 0usize;
+        slot.1.reserve(slot.0.len());
+        for req in slot.0.drain(..) {
+            let k = req_key(&req);
+            let found = index_get(index, &k).map(|e| {
+                let v = table.chunks()[e.1 as usize][e.2 as usize].clone();
+                hit_words += v.words();
+                v
+            });
+            slot.1.push((req, found));
+        }
+        slot.2 = hit_words;
+    });
+    let mut hits_words = 0usize;
+    let chunks = work
+        .into_iter()
+        .map(|(_, out, h)| {
+            hits_words += h;
+            out
+        })
+        .collect();
+    pool.recycle_bufs(req_chunks);
+    (chunks, hits_words)
+}
+
 impl MpcContext {
-    /// Sort records by `key` (stable, deterministic) and return them evenly partitioned
-    /// in sorted order. Charges [`sort_rounds`](Self::sort_rounds) rounds. Per-chunk
-    /// sorting runs concurrently when [`MpcConfig::parallel`](crate::MpcConfig) is set;
-    /// communication volume counts only records whose sorted position lands on a
-    /// different machine than the one they started on.
-    pub fn sort_by_key<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<T>
+    /// Sort every chunk in place by the `u64` image of its key, leaving each chunk's
+    /// sorted key words in the scratch arena (`words` runs delimited by `bounds`).
+    /// Runs concurrently across chunks when `parallel` is set (with thread-local radix
+    /// buffers); the sequential path reuses the context's scratch and allocates
+    /// nothing in steady state.
+    fn sort_chunks_by_word<T, W>(&mut self, parallel: bool, chunks: &mut [Vec<T>], word: &W)
     where
-        T: Words + Send,
-        K: Ord + Send,
+        T: Send,
+        W: Fn(&T) -> u64 + Sync,
+    {
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        let use_par = worth_parallelizing(parallel, total) && worker_threads() > 1;
+        let sc = &mut self.scratch;
+        sc.words.clear();
+        sc.words.reserve(total);
+        sc.bounds.clear();
+        sc.bounds.push(0);
+        if use_par {
+            let mut slots: Vec<(&mut Vec<T>, Vec<u64>)> =
+                chunks.iter_mut().map(|c| (c, Vec::new())).collect();
+            par_for_each_mut(true, &mut slots, |_, slot| {
+                let mut bufs = SortBufs::default();
+                slot.1.reserve(slot.0.len());
+                bufs.sort_in_place(slot.0.as_mut_slice(), |t| word(t), &mut slot.1);
+            });
+            for (_, run_words) in slots {
+                sc.words.extend(run_words);
+                sc.bounds.push(sc.words.len());
+            }
+        } else {
+            for chunk in chunks.iter_mut() {
+                sc.sort
+                    .sort_in_place(chunk.as_mut_slice(), |t| word(t), &mut sc.words);
+                sc.bounds.push(sc.words.len());
+            }
+        }
+    }
+
+    /// The shared core of [`sort_by_key`](Self::sort_by_key) and
+    /// [`sort_with_index`](Self::sort_with_index): globally sort, then redistribute
+    /// into balanced chunks, mapping every record through `make(global_index, record)`
+    /// on its way out. Radix fast path for word keys, comparison fallback otherwise;
+    /// identical order, accounting, and rounds either way.
+    fn sort_impl<T, K, F, O, M>(
+        &mut self,
+        dv: DistVec<T>,
+        key: F,
+        make: M,
+        what: &'static str,
+    ) -> DistVec<O>
+    where
+        T: Words + Send + 'static,
+        K: SortKey,
         F: Fn(&T) -> K + Sync,
+        O: Words + Send + 'static,
+        M: Fn(u64, T) -> O,
     {
         let machines = self.config().num_machines();
         let parallel = self.config().parallel;
+        let radix = self.config().radix;
         let srcs = dv.num_chunks();
         let total = dv.len();
-        let sorted = global_sort(parallel, dv.into_chunks(), &key);
         let per = total.div_ceil(machines).max(1);
-        let mut sends = vec![0usize; machines.max(srcs)];
-        let mut recvs = vec![0usize; machines];
-        let mut chunks: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
-        for (i, (_key, item, src)) in sorted.into_iter().enumerate() {
-            let d = (i / per).min(machines - 1);
-            if d != src {
-                let w = item.words();
-                sends[src] += w;
-                recvs[d] += w;
+        self.scratch.reset_counters(machines.max(srcs), machines);
+        let mut out: Vec<Vec<O>> = self.scratch.pool.take_bufs(machines);
+
+        if K::IS_WORD && radix {
+            let mut chunks = dv.into_chunks();
+            self.sort_chunks_by_word(parallel, &mut chunks, &|t: &T| key(t).to_word());
+            let Scratch {
+                words,
+                bounds,
+                pos,
+                heap,
+                sends,
+                recvs,
+                ..
+            } = &mut self.scratch;
+            let mut drains: Vec<_> = chunks.iter_mut().map(|c| c.drain(..)).collect();
+            merge_word_runs(words, bounds, pos, heap, |i, _w, src| {
+                let item = drains[src].next().expect("run length matches drain");
+                let d = (i / per).min(machines - 1);
+                if d != src {
+                    let w = item.words();
+                    sends[src] += w;
+                    recvs[d] += w;
+                }
+                out[d].push(make(i as u64, item));
+            });
+            drop(drains);
+            self.scratch.pool.recycle_bufs(chunks);
+        } else {
+            let sorted = global_sort(parallel, dv.into_chunks(), &key);
+            let Scratch { sends, recvs, .. } = &mut self.scratch;
+            for (i, (_key, item, src)) in sorted.into_iter().enumerate() {
+                let d = (i / per).min(machines - 1);
+                if d != src {
+                    let w = item.words();
+                    sends[src] += w;
+                    recvs[d] += w;
+                }
+                out[d].push(make(i as u64, item));
             }
-            chunks[d].push(item);
         }
+
+        let sends = std::mem::take(&mut self.scratch.sends);
+        let recvs = std::mem::take(&mut self.scratch.recvs);
         self.charge_rounds(self.sort_rounds());
-        self.record_comm(&sends, &recvs, "sort_by_key");
-        let result = DistVec::from_chunks(chunks);
-        self.check_memory(&result, "sort_by_key");
+        self.record_comm(&sends, &recvs, what);
+        self.scratch.sends = sends;
+        self.scratch.recvs = recvs;
+        let result = DistVec::from_chunks(out);
+        self.check_memory(&result, what);
         result
+    }
+
+    /// Sort records by `key` (stable, deterministic) and return them evenly partitioned
+    /// in sorted order. Charges [`sort_rounds`](Self::sort_rounds) rounds. Word keys
+    /// take the linear-time radix path; per-chunk sorting runs concurrently when
+    /// [`MpcConfig::parallel`](crate::MpcConfig) is set. Communication volume counts
+    /// only records whose sorted position lands on a different machine than the one
+    /// they started on.
+    pub fn sort_by_key<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<T>
+    where
+        T: Words + Send + 'static,
+        K: SortKey,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_impl(dv, key, |_, t| t, "sort_by_key")
+    }
+
+    /// Fused sort + global indexing: sort records by `key` and attach to every record
+    /// its global (0-based) position in the sorted order — in **one** exchange.
+    ///
+    /// Charges [`sort_rounds`](Self::sort_rounds) rounds, versus
+    /// `sort_rounds + agg_rounds` for `sort_by_key` followed by
+    /// [`with_index`](Self::with_index): the sort's own routing already fixes every
+    /// record's global position, so the index is attached at the destination for free
+    /// (no second prefix-sum exchange). Volume counts the moved records, exactly as in
+    /// `sort_by_key` — the index word is derived locally, never shipped.
+    pub fn sort_with_index<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<(u64, T)>
+    where
+        T: Words + Send + 'static,
+        K: SortKey,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_impl(dv, key, |i, t| (i, t), "sort_with_index")
     }
 
     /// Attach the global (0-based) position to every record, preserving the current
     /// order. Costs a prefix sum over per-machine counts
     /// ([`agg_rounds`](Self::agg_rounds) rounds): every machine sends its local count
     /// up the aggregation tree and receives its global offset back, which is the one
-    /// word per machine per direction recorded as communication volume.
+    /// word per machine per direction recorded as communication volume. When the data
+    /// is about to be sorted anyway, prefer the fused
+    /// [`sort_with_index`](Self::sort_with_index).
     #[allow(clippy::type_complexity)]
     pub fn with_index<T>(&mut self, dv: DistVec<T>) -> DistVec<(u64, T)>
     where
@@ -158,14 +434,72 @@ impl MpcContext {
         result
     }
 
+    /// Build the sorted `(key, chunk, position)` index of a table — the machine-local
+    /// share of a table sort; charges nothing (callers account for the rounds).
+    fn build_sorted_index<V, K, FV>(&mut self, table: &DistVec<V>, key: &FV) -> Vec<(K, u32, u32)>
+    where
+        V: Sync,
+        K: SortKey + 'static,
+        FV: Fn(&V) -> K + Sync,
+    {
+        let mut index: Vec<(K, u32, u32)> = self.scratch.pool.take_buf();
+        index.reserve(table.len());
+        for (c, chunk) in table.chunks().iter().enumerate() {
+            assert!(
+                chunk.len() <= u32::MAX as usize,
+                "table chunk too large for u32 index"
+            );
+            for (i, v) in chunk.iter().enumerate() {
+                index.push((key(v), c as u32, i as u32));
+            }
+        }
+        // Lexicographic (key, chunk, position) order equals a stable by-key sort —
+        // the positions are distinct and ascending per key — so the unstable sort
+        // (no temporary buffer, unlike `sort_by`) is safe on both key paths.
+        index.sort_unstable();
+        index
+    }
+
+    /// Sort a table once for any number of [`join_lookup_sorted`]
+    /// (`Self::join_lookup_sorted`) probes.
+    ///
+    /// Charges one sort plus the broadcast of the resulting range-partition
+    /// boundaries (`sort_rounds + agg_rounds`); every machine's share of the table is
+    /// recorded as moved volume. The returned handle references the table by position
+    /// and is only valid for the exact table it was built from (probing with a
+    /// mismatched table panics).
+    pub fn sort_table<V, K, FV>(&mut self, table: &DistVec<V>, key: FV) -> SortedTable<K>
+    where
+        V: Words + Sync,
+        K: SortKey + 'static,
+        FV: Fn(&V) -> K + Sync,
+    {
+        let index = self.build_sorted_index(table, &key);
+        let machines = self.config().num_machines();
+        let per_machine = table.total_words().div_ceil(machines.max(1));
+        self.charge_rounds(self.sort_rounds() + self.agg_rounds());
+        let comm = vec![per_machine; machines];
+        self.record_comm(&comm, &comm, "sort_table");
+        SortedTable {
+            index,
+            chunk_lens: table.chunks().iter().map(|c| c.len() as u32).collect(),
+        }
+    }
+
     /// Look up, for every request record, the (unique) table record with the same key.
     ///
-    /// Returns `(request, Some(table_record))` pairs, or `None` when no table record has
-    /// that key. When several table records share a key, the first in table order wins;
-    /// algorithms in this workspace only join on unique keys. Charged as two sorts plus
-    /// one routing round (a standard sort-merge equi-join). The table sort and the
+    /// Returns `(request, Some(table_record))` pairs, or `None` when no table record
+    /// has that key. When several table records share a key, the first in table order
+    /// wins; algorithms in this workspace only join on unique keys. Charged as a
+    /// **fused** sort-merge equi-join ([`join_rounds`](Self::join_rounds) `=
+    /// sort_rounds + 1`): requests and table are sorted together in one exchange,
+    /// merged machine-locally, and the answers routed back. The table sort and the
     /// per-request lookups run concurrently when
     /// [`MpcConfig::parallel`](crate::MpcConfig) is set.
+    ///
+    /// Re-joining against the same table sorts it again; when a table is probed more
+    /// than once, build a [`SortedTable`] with [`sort_table`](Self::sort_table) and
+    /// use [`join_lookup_sorted`](Self::join_lookup_sorted) instead.
     #[allow(clippy::type_complexity)]
     pub fn join_lookup<T, V, K, FT, FV>(
         &mut self,
@@ -175,50 +509,30 @@ impl MpcContext {
         table_key: FV,
     ) -> DistVec<(T, Option<V>)>
     where
-        T: Words + Send,
-        V: Words + Clone + Send + Sync,
-        K: Ord + Send + Sync,
+        T: Words + Send + 'static,
+        V: Words + Clone + Send + Sync + 'static,
+        K: SortKey + Sync + 'static,
         FT: Fn(&T) -> K + Sync,
         FV: Fn(&V) -> K + Sync,
     {
         let parallel = self.config().parallel;
-        // Build the lookup structure (represents the sort-merge of table and requests).
-        // Sorting reference chunks reuses the parallel sort core; ties resolve to table
-        // order, so "first record with a key" is by construction the first hit.
-        let table_chunks: Vec<Vec<&V>> =
-            table.chunks().iter().map(|c| c.iter().collect()).collect();
-        let table_sorted: Vec<(K, &V, usize)> =
-            global_sort(parallel, table_chunks, &|r: &&V| table_key(r));
-
+        let index = self.build_sorted_index(table, &table_key);
         let table_words = table.total_words();
         let req_words = requests.total_words();
         let machines = self.config().num_machines();
         let per_machine_moved = (table_words + req_words).div_ceil(machines.max(1));
 
-        let req_parallel = worth_parallelizing(parallel, requests.len());
-        let mut work: Vec<(Vec<T>, Vec<(T, Option<V>)>)> = requests
-            .into_chunks()
-            .into_iter()
-            .map(|c| (c, Vec::new()))
-            .collect();
-        par_for_each_mut(req_parallel, &mut work, |_, slot| {
-            let reqs = std::mem::take(&mut slot.0);
-            slot.1 = reqs
-                .into_iter()
-                .map(|req| {
-                    let k = req_key(&req);
-                    let first = table_sorted.partition_point(|entry| entry.0 < k);
-                    let found = table_sorted
-                        .get(first)
-                        .filter(|entry| entry.0 == k)
-                        .map(|entry| entry.1.clone());
-                    (req, found)
-                })
-                .collect();
-        });
-        let chunks: Vec<Vec<(T, Option<V>)>> = work.into_iter().map(|(_, out)| out).collect();
+        let (chunks, _hits) = probe_index(
+            parallel,
+            requests,
+            &req_key,
+            table,
+            &index,
+            &mut self.scratch.pool,
+        );
+        self.scratch.pool.recycle_buf(index);
 
-        self.charge_rounds(2 * self.sort_rounds() + 1);
+        self.charge_rounds(self.join_rounds());
         let comm = vec![per_machine_moved; machines];
         self.record_comm(&comm, &comm, "join_lookup");
         let result = DistVec::from_chunks(chunks);
@@ -226,31 +540,118 @@ impl MpcContext {
         result
     }
 
+    /// [`join_lookup`](Self::join_lookup) against a table sorted once by
+    /// [`sort_table`](Self::sort_table).
+    ///
+    /// Charges [`lookup_rounds`](Self::lookup_rounds) (= 2) rounds: the table's range
+    /// partition is already known, so every request routes directly to the machine
+    /// owning its key range and the answer routes back — no sort. Volume records the
+    /// requests' round trip plus the table records they hit. Duplicate-key semantics
+    /// match `join_lookup` (first record in table order wins).
+    ///
+    /// # Panics
+    /// Panics if `sorted` was built from a table with a different chunk shape
+    /// (machine count or per-machine record counts). This structural check catches
+    /// resized or re-chunked tables; a *same-shape* table with different contents
+    /// cannot be detected — the handle is positional and only valid for the exact
+    /// table it indexed.
+    #[allow(clippy::type_complexity)]
+    pub fn join_lookup_sorted<T, V, K, FT>(
+        &mut self,
+        requests: DistVec<T>,
+        req_key: FT,
+        table: &DistVec<V>,
+        sorted: &SortedTable<K>,
+    ) -> DistVec<(T, Option<V>)>
+    where
+        T: Words + Send + 'static,
+        V: Words + Clone + Send + Sync + 'static,
+        K: Ord + Sync,
+        FT: Fn(&T) -> K + Sync,
+    {
+        assert!(
+            sorted.shape_matches(table),
+            "SortedTable was built from a different table (chunk shape mismatch)"
+        );
+        let parallel = self.config().parallel;
+        let req_words = requests.total_words();
+        let machines = self.config().num_machines();
+        let (chunks, hits_words) = probe_index(
+            parallel,
+            requests,
+            &req_key,
+            table,
+            &sorted.index,
+            &mut self.scratch.pool,
+        );
+        let per_machine_moved = (2 * req_words + hits_words).div_ceil(machines.max(1));
+        self.charge_rounds(self.lookup_rounds());
+        let comm = vec![per_machine_moved; machines];
+        self.record_comm(&comm, &comm, "join_lookup_sorted");
+        let result = DistVec::from_chunks(chunks);
+        self.check_memory(&result, "join_lookup_sorted");
+        result
+    }
+
     /// Group records by key and deliver each complete group to a single machine.
     ///
     /// This is the "make every cluster reside on one machine" step of Section 5.1/5.2:
     /// after sorting by the grouping key a group spans at most two machines, and one
-    /// extra routing round moves each group entirely onto one machine. Requires every
-    /// group to fit into local memory (checked). Communication volume counts only the
-    /// member records whose source machine differs from their group's destination
-    /// machine (a group's key is derived from its members, it is not shipped
-    /// separately).
+    /// extra routing round moves each group entirely onto one machine
+    /// (`sort_rounds + 1` rounds). Requires every group to fit into local memory
+    /// (checked). Communication volume counts only the member records whose source
+    /// machine differs from their group's destination machine (a group's key is
+    /// derived from its members, it is not shipped separately). Word keys take the
+    /// radix path; grouping by equal key words equals grouping by equal keys because
+    /// the [`SortKey`] embedding is injective.
     pub fn gather_groups<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<(K, Vec<T>)>
     where
-        T: Words + Send,
-        K: Ord + Clone + Words + Send,
+        T: Words + Send + 'static,
+        K: SortKey + Words,
         F: Fn(&T) -> K + Sync,
     {
         let machines = self.config().num_machines();
         let parallel = self.config().parallel;
+        let radix = self.config().radix;
         let srcs = dv.num_chunks();
-        let sorted = global_sort(parallel, dv.into_chunks(), &key);
         // Build groups, remembering each member's source machine for the accounting.
         let mut groups: Vec<(K, Vec<(T, usize)>)> = Vec::new();
-        for (k, item, src) in sorted {
-            match groups.last_mut() {
-                Some((gk, items)) if *gk == k => items.push((item, src)),
-                _ => groups.push((k, vec![(item, src)])),
+        if K::IS_WORD && radix {
+            let mut chunks = dv.into_chunks();
+            self.sort_chunks_by_word(parallel, &mut chunks, &|t: &T| key(t).to_word());
+            let Scratch {
+                words,
+                bounds,
+                pos,
+                heap,
+                ..
+            } = &mut self.scratch;
+            let mut drains: Vec<_> = chunks.iter_mut().map(|c| c.drain(..)).collect();
+            let mut last_word: Option<u64> = None;
+            merge_word_runs(words, bounds, pos, heap, |_i, w, src| {
+                let item = drains[src].next().expect("run length matches drain");
+                if last_word == Some(w) {
+                    groups
+                        .last_mut()
+                        .expect("group open for repeated word")
+                        .1
+                        .push((item, src));
+                } else {
+                    last_word = Some(w);
+                    // One extra key evaluation per *group* (not per record) recovers
+                    // the typed key from its representative member.
+                    groups.push((key(&item), vec![(item, src)]));
+                }
+            });
+            drop(drains);
+            self.scratch.pool.recycle_bufs(chunks);
+        } else {
+            let sorted = global_sort(parallel, dv.into_chunks(), &key);
+            for (k, item, src) in sorted {
+                match groups.last_mut() {
+                    Some((gk, items)) if *gk == k => items.push((item, src)),
+                    _ => groups.push((k, vec![(item, src)])),
+                }
             }
         }
         // Distribute whole groups over machines, keeping chunks balanced by word count.
@@ -259,34 +660,40 @@ impl MpcContext {
         };
         let total_words: usize = groups.iter().map(|(k, items)| group_words(k, items)).sum();
         let target = total_words.div_ceil(machines).max(1);
-        let mut sends = vec![0usize; machines.max(srcs)];
-        let mut recvs = vec![0usize; machines];
+        self.scratch.reset_counters(machines.max(srcs), machines);
         let mut chunks: Vec<Vec<(K, Vec<T>)>> = (0..machines).map(|_| Vec::new()).collect();
-        let mut machine = 0usize;
-        let mut filled = 0usize;
-        for (k, items) in groups {
-            let w = group_words(&k, &items);
-            if filled + w > target && filled > 0 && machine + 1 < machines {
-                machine += 1;
-                filled = 0;
+        {
+            let Scratch { sends, recvs, .. } = &mut self.scratch;
+            let mut machine = 0usize;
+            let mut filled = 0usize;
+            for (k, items) in groups {
+                let w = group_words(&k, &items);
+                if filled + w > target && filled > 0 && machine + 1 < machines {
+                    machine += 1;
+                    filled = 0;
+                }
+                filled += w;
+                let members: Vec<T> = items
+                    .into_iter()
+                    .map(|(item, src)| {
+                        if src != machine {
+                            let iw = item.words();
+                            sends[src] += iw;
+                            recvs[machine] += iw;
+                        }
+                        item
+                    })
+                    .collect();
+                chunks[machine].push((k, members));
             }
-            filled += w;
-            let members: Vec<T> = items
-                .into_iter()
-                .map(|(item, src)| {
-                    if src != machine {
-                        let iw = item.words();
-                        sends[src] += iw;
-                        recvs[machine] += iw;
-                    }
-                    item
-                })
-                .collect();
-            chunks[machine].push((k, members));
         }
         let result = DistVec::from_chunks(chunks);
+        let sends = std::mem::take(&mut self.scratch.sends);
+        let recvs = std::mem::take(&mut self.scratch.recvs);
         self.charge_rounds(self.sort_rounds() + 1);
         self.record_comm(&sends, &recvs, "gather_groups");
+        self.scratch.sends = sends;
+        self.scratch.recvs = recvs;
         self.check_memory(&result, "gather_groups");
         result
     }
@@ -306,7 +713,7 @@ mod tests {
         let mut c = ctx(1024);
         let data: Vec<u64> = (0..500).map(|i| (i * 7919) % 1000).collect();
         let dv = c.from_vec(data.clone());
-        let sorted = c.sort_by_key(dv, |x| *x).to_vec();
+        let sorted = c.sort_by_key(dv, |x| *x).into_vec();
         let mut expected = data;
         expected.sort();
         assert_eq!(sorted, expected);
@@ -318,7 +725,7 @@ mod tests {
         let mut c = ctx(256);
         let data: Vec<(u64, u64)> = (0..100).map(|i| (i % 5, i)).collect();
         let dv = c.from_vec(data);
-        let sorted = c.sort_by_key(dv, |x| x.0).to_vec();
+        let sorted = c.sort_by_key(dv, |x| x.0).into_vec();
         for w in sorted.windows(2) {
             if w[0].0 == w[1].0 {
                 assert!(w[0].1 < w[1].1, "stability violated");
@@ -349,7 +756,7 @@ mod tests {
             let mut c = MpcContext::new(MpcConfig::new(4096, 0.5).with_parallel(parallel));
             let dv = c.from_vec(data.clone());
             let sorted = c.sort_by_key(dv, |x| *x);
-            (sorted.to_vec(), c.metrics().clone())
+            (sorted.into_vec(), c.metrics().clone())
         };
         let (seq, seq_m) = run(false);
         let (par, par_m) = run(true);
@@ -363,10 +770,52 @@ mod tests {
     }
 
     #[test]
+    fn sort_radix_toggle_is_bit_identical() {
+        // The radix fast path and the comparison fallback must agree on output,
+        // rounds, and volume for word keys (the dedicated property suite covers the
+        // whole pipeline; this is the primitive-level smoke check).
+        let data: Vec<(u64, u64)> = (0..1500).map(|i| ((i * 31) % 97, i)).collect();
+        let run = |radix: bool| {
+            let mut c = MpcContext::new(MpcConfig::new(4096, 0.5).with_radix(radix));
+            let dv = c.from_vec(data.clone());
+            let sorted = c.sort_by_key(dv, |x| x.0);
+            (sorted.into_vec(), c.metrics().clone())
+        };
+        let (fast, fast_m) = run(true);
+        let (slow, slow_m) = run(false);
+        assert_eq!(fast, slow);
+        assert_eq!(fast_m.rounds, slow_m.rounds);
+        assert_eq!(fast_m.total_words_sent, slow_m.total_words_sent);
+        assert_eq!(fast_m.peak_local_memory, slow_m.peak_local_memory);
+    }
+
+    #[test]
+    fn sort_with_index_matches_sort_then_with_index_minus_one_exchange() {
+        let data: Vec<u64> = (0..800).map(|i| (i * 2654435761) % 4093).collect();
+        // Fused path.
+        let mut c = ctx(2048);
+        let dv = c.from_vec(data.clone());
+        let fused = c.sort_with_index(dv, |x| *x).into_vec();
+        let fused_rounds = c.metrics().rounds;
+        // Separate sort + with_index.
+        let mut c2 = ctx(2048);
+        let dv2 = c2.from_vec(data);
+        let sorted = c2.sort_by_key(dv2, |x| *x);
+        let separate = c2.with_index(sorted).into_vec();
+        assert_eq!(fused, separate);
+        assert_eq!(fused_rounds, c.sort_rounds());
+        assert_eq!(c2.metrics().rounds, c2.sort_rounds() + c2.agg_rounds());
+        assert!(fused_rounds < c2.metrics().rounds);
+        for (i, (idx, _)) in fused.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+        }
+    }
+
+    #[test]
     fn with_index_is_sequential() {
         let mut c = ctx(256);
         let dv = c.from_vec((100u64..200).collect());
-        let indexed = c.with_index(dv).to_vec();
+        let indexed = c.with_index(dv).into_vec();
         for (i, (idx, val)) in indexed.iter().enumerate() {
             assert_eq!(*idx, i as u64);
             assert_eq!(*val, 100 + i as u64);
@@ -391,7 +840,7 @@ mod tests {
         let mut c = ctx(1024);
         let table = c.from_vec((0u64..100).map(|i| (i, i * i)).collect::<Vec<_>>());
         let requests = c.from_vec(vec![3u64, 7, 99, 200]);
-        let joined = c.join_lookup(requests, |r| *r, &table, |t| t.0).to_vec();
+        let joined = c.join_lookup(requests, |r| *r, &table, |t| t.0).into_vec();
         assert_eq!(joined[0].1, Some((3, 9)));
         assert_eq!(joined[1].1, Some((7, 49)));
         assert_eq!(joined[2].1, Some((99, 99 * 99)));
@@ -399,12 +848,73 @@ mod tests {
     }
 
     #[test]
+    fn join_lookup_charges_fused_join_rounds() {
+        let mut c = ctx(1024);
+        let table = c.from_vec((0u64..50).map(|i| (i, i)).collect::<Vec<_>>());
+        let requests = c.from_vec(vec![1u64, 2, 3]);
+        let _ = c.join_lookup(requests, |r| *r, &table, |t| t.0);
+        assert_eq!(c.metrics().rounds, c.join_rounds());
+        assert_eq!(c.join_rounds(), c.sort_rounds() + 1);
+    }
+
+    #[test]
     fn join_lookup_duplicate_keys_take_first() {
         let mut c = ctx(256);
         let table = c.from_vec(vec![(5u64, 1u64), (5, 2), (6, 3)]);
         let requests = c.from_vec(vec![5u64]);
-        let joined = c.join_lookup(requests, |r| *r, &table, |t| t.0).to_vec();
+        let joined = c.join_lookup(requests, |r| *r, &table, |t| t.0).into_vec();
         assert_eq!(joined[0].1, Some((5, 1)));
+    }
+
+    #[test]
+    fn sorted_table_probes_match_join_lookup() {
+        let mut c = ctx(1024);
+        let table = c.from_vec((0u64..200).map(|i| (i * 3, i)).collect::<Vec<_>>());
+        let reqs: Vec<u64> = vec![0, 3, 4, 9, 300, 597, 600];
+        let req_dv = c.from_vec(reqs.clone());
+        let direct = c.join_lookup(req_dv, |r| *r, &table, |t| t.0).into_vec();
+        let sorted = c.sort_table(&table, |t| t.0);
+        let req_dv = c.from_vec(reqs.clone());
+        let probed = c
+            .join_lookup_sorted(req_dv, |r| *r, &table, &sorted)
+            .into_vec();
+        assert_eq!(direct, probed);
+        // Duplicate keys: first table record wins on both paths.
+        let dup = c.from_vec(vec![(7u64, 1u64), (7, 2)]);
+        let dup_sorted = c.sort_table(&dup, |t| t.0);
+        let seven = c.from_vec(vec![7u64]);
+        let hit = c
+            .join_lookup_sorted(seven, |r| *r, &dup, &dup_sorted)
+            .into_vec();
+        assert_eq!(hit[0].1, Some((7, 1)));
+    }
+
+    #[test]
+    fn sorted_table_amortizes_rounds_over_probes() {
+        // k probes against one sorted table must cost build + k * lookup_rounds,
+        // strictly less than k fused joins for k >= 2 at this size.
+        let mut c = ctx(4096);
+        let table = c.from_vec((0u64..300).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let sorted = c.sort_table(&table, |t| t.0);
+        let build = c.metrics().rounds;
+        assert_eq!(build, c.sort_rounds() + c.agg_rounds());
+        for _ in 0..3 {
+            let reqs = c.from_vec((0u64..40).collect::<Vec<_>>());
+            let _ = c.join_lookup_sorted(reqs, |r| *r, &table, &sorted);
+        }
+        assert_eq!(c.metrics().rounds, build + 3 * c.lookup_rounds());
+        assert!(c.metrics().rounds < 3 * c.join_rounds());
+    }
+
+    #[test]
+    #[should_panic(expected = "different table")]
+    fn sorted_table_rejects_mismatched_table() {
+        let mut c = ctx(256);
+        let table = c.from_vec((0u64..10).collect::<Vec<_>>());
+        let other = c.from_vec((0u64..11).collect::<Vec<_>>());
+        let sorted = c.sort_table(&table, |t| *t);
+        let one = c.from_vec(vec![1u64]);
+        let _ = c.join_lookup_sorted(one, |r| *r, &other, &sorted);
     }
 
     #[test]
@@ -412,7 +922,7 @@ mod tests {
         let mut c = ctx(1024);
         let data: Vec<(u64, u64)> = (0..300).map(|i| (i % 10, i)).collect();
         let dv = c.from_vec(data);
-        let groups = c.gather_groups(dv, |x| x.0).to_vec();
+        let groups = c.gather_groups(dv, |x| x.0).into_vec();
         assert_eq!(groups.len(), 10);
         for (k, items) in &groups {
             assert_eq!(items.len(), 30);
@@ -453,7 +963,7 @@ mod tests {
             let mut c = MpcContext::new(MpcConfig::new(4096, 0.5).with_parallel(parallel));
             let dv = c.from_vec(data.clone());
             let grouped = c.gather_groups(dv, |x| x.0);
-            (grouped.to_vec(), c.metrics().clone())
+            (grouped.into_vec(), c.metrics().clone())
         };
         let (seq, seq_m) = run(false);
         let (par, par_m) = run(true);
@@ -466,10 +976,38 @@ mod tests {
     }
 
     #[test]
+    fn gather_groups_radix_toggle_is_bit_identical() {
+        let data: Vec<(u64, u64)> = (0..900).map(|i| ((i * 131) % 23, i)).collect();
+        let run = |radix: bool| {
+            let mut c = MpcContext::new(MpcConfig::new(2048, 0.5).with_radix(radix));
+            let dv = c.from_vec(data.clone());
+            let grouped = c.gather_groups(dv, |x| x.0);
+            (grouped.into_vec(), c.metrics().clone())
+        };
+        let (fast, fast_m) = run(true);
+        let (slow, slow_m) = run(false);
+        assert_eq!(fast, slow);
+        assert_eq!(fast_m.rounds, slow_m.rounds);
+        assert_eq!(fast_m.total_words_sent, slow_m.total_words_sent);
+    }
+
+    #[test]
     fn gather_groups_empty_input() {
         let mut c = ctx(256);
         let dv: DistVec<(u64, u64)> = c.empty();
         let groups = c.gather_groups(dv, |x| x.0);
         assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn composite_keys_use_the_comparison_fallback() {
+        // Tuple keys have no word embedding; the primitives must still work.
+        let mut c = ctx(512);
+        let data: Vec<(u64, u64)> = (0..200).map(|i| (i % 4, i % 7)).collect();
+        let dv = c.from_vec(data.clone());
+        let sorted = c.sort_by_key(dv, |x| (x.0, x.1)).into_vec();
+        let mut expected = data;
+        expected.sort();
+        assert_eq!(sorted, expected);
     }
 }

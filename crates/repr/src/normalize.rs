@@ -217,7 +217,7 @@ mod tests {
             assert_eq!(norm.num_nodes, 5, "{kind}");
             assert_eq!(norm.edges.len(), 4, "{kind}");
             // Rebuild and compare structural invariants (ids differ per representation).
-            let rebuilt = Tree::from_edges(5, &norm.edges.to_vec());
+            let rebuilt = Tree::from_edges(5, &norm.edges.into_vec());
             assert_eq!(rebuilt.height(), t.height(), "{kind}");
             assert_eq!(rebuilt.diameter(), t.diameter(), "{kind}");
         }
@@ -240,7 +240,7 @@ mod tests {
             normalize_input(TreeInput::UndirectedEdges(UndirectedEdges::from_tree(&t))).unwrap();
         assert_eq!(norm.num_nodes, 5);
         assert_eq!(norm.root, 0);
-        let rebuilt = Tree::from_edges(5, &norm.edges.to_vec());
+        let rebuilt = Tree::from_edges(5, &norm.edges.into_vec());
         assert_eq!(rebuilt.diameter(), t.diameter());
     }
 

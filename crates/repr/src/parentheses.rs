@@ -312,7 +312,7 @@ mod tests {
         let mut ctx = MpcContext::new(MpcConfig::new(n, delta));
         let dv = ctx.from_vec(parens.0.clone());
         match_parentheses_mpc(&mut ctx, dv).map(|m| {
-            let mut edges = m.edges.to_vec();
+            let mut edges = m.edges.into_vec();
             edges.sort();
             (edges, m.root)
         })

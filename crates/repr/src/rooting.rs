@@ -201,7 +201,7 @@ mod tests {
         // match the tree re-rooted at 0.
         assert_eq!(rooted.root, 0);
         assert_eq!(rooted.num_nodes, tree.len());
-        let edges = rooted.edges.to_vec();
+        let edges = rooted.edges.into_vec();
         assert_eq!(edges.len(), tree.len() - 1);
         let rebuilt = Tree::from_edges(tree.len(), &edges);
         assert_eq!(rebuilt.root(), 0);
