@@ -578,9 +578,13 @@ fn bench_parallel_modes(n: usize, seed: u64) -> String {
     )
 }
 
+/// The per-tree round counts the regression guard tracks: prepare, the two fresh
+/// solves, and the plan engine's assembly/evaluation charges of the `multi` section.
+const GUARDED_ROUNDS: [&str; 5] = ["prepare", "max_is", "min_vc", "plan_build", "plan_eval"];
+
 /// The committed per-tree rounds baseline (`rounds-baseline-n<k>.txt`): one line per
-/// suite entry, `tree prepare_rounds max_is_rounds min_vc_rounds`, `#` comments.
-fn parse_rounds_baseline(path: &str) -> Vec<(String, u64, u64, u64)> {
+/// suite entry, `tree prepare max_is min_vc plan_build plan_eval`, `#` comments.
+fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 5])> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read rounds baseline {path}: {e}"));
     text.lines()
@@ -590,8 +594,10 @@ fn parse_rounds_baseline(path: &str) -> Vec<(String, u64, u64, u64)> {
             let mut it = l.split_whitespace();
             let tree = it.next().expect("tree name").to_string();
             let nums: Vec<u64> = it.map(|x| x.parse().expect("round count")).collect();
-            assert_eq!(nums.len(), 3, "baseline line needs 3 round counts: {l}");
-            (tree, nums[0], nums[1], nums[2])
+            let nums: [u64; 5] = nums
+                .try_into()
+                .unwrap_or_else(|_| panic!("baseline line needs 5 round counts: {l}"));
+            (tree, nums)
         })
         .collect()
 }
@@ -602,11 +608,11 @@ fn parse_rounds_baseline(path: &str) -> Vec<(String, u64, u64, u64)> {
 /// a measured tree absent from the baseline, or a baseline tree no longer measured
 /// (suite entry dropped or renamed) — also fails, so coverage cannot silently
 /// shrink. Returns the number of regressions.
-fn check_rounds_against_baseline(path: &str, measured: &[(String, u64, u64, u64)]) -> usize {
+fn check_rounds_against_baseline(path: &str, measured: &[(String, [u64; 5])]) -> usize {
     let baseline = parse_rounds_baseline(path);
     let mut regressions = 0;
-    for (tree, _, _, _) in &baseline {
-        if !measured.iter().any(|(t, _, _, _)| t == tree) {
+    for (tree, _) in &baseline {
+        if !measured.iter().any(|(t, _)| t == tree) {
             eprintln!(
                 "rounds-guard: baseline entry {tree} was not measured (suite entry \
                  dropped or renamed? update {path})"
@@ -614,17 +620,13 @@ fn check_rounds_against_baseline(path: &str, measured: &[(String, u64, u64, u64)
             regressions += 1;
         }
     }
-    for (tree, prep, is, vc) in measured {
-        let Some((_, b_prep, b_is, b_vc)) = baseline.iter().find(|(t, _, _, _)| t == tree) else {
+    for (tree, got_all) in measured {
+        let Some((_, bounds)) = baseline.iter().find(|(t, _)| t == tree) else {
             eprintln!("rounds-guard: {tree} missing from baseline {path} (add it)");
             regressions += 1;
             continue;
         };
-        for (what, got, bound) in [
-            ("prepare", *prep, *b_prep),
-            ("max_is", *is, *b_is),
-            ("min_vc", *vc, *b_vc),
-        ] {
+        for ((what, got), bound) in GUARDED_ROUNDS.iter().zip(got_all).zip(bounds) {
             if got > bound {
                 eprintln!("rounds-guard: {tree} {what} regressed: {got} rounds > baseline {bound}");
                 regressions += 1;
@@ -638,10 +640,13 @@ fn check_rounds_against_baseline(path: &str, measured: &[(String, u64, u64, u64)
 /// size `--n` (default 1024), prepare once (with a per-phase breakdown of the
 /// prepare pipeline: normalize, degree-reduction, clustering, and the
 /// clustering sub-phases) and solve MaxIS and MinVC, recording MPC rounds and
-/// wall-clock time; compare incremental vs. full re-solves for update batches
-/// of size 1/16/256 (aggregated over the suite; only at `n ≤ 2048` to keep
-/// large tiers tractable); and compare parallel vs. sequential machine-local
-/// execution on prepare + MaxIS.
+/// wall-clock time; run the `multi` section (batched {MaxIS, MinVC, MinDS,
+/// matching} over one shared `SolvePlan` vs. four independent fresh solves,
+/// asserting identical optima and problem-independent evaluation rounds);
+/// compare incremental vs. full re-solves for update batches of size 1/16/256
+/// (aggregated over the suite; only at `n ≤ 2048` to keep large tiers
+/// tractable); and compare parallel vs. sequential machine-local execution on
+/// prepare + MaxIS.
 /// `cargo run --release -p mpc-tree-dp-bench -- bench-json [--seed <u64>]
 /// [--n <usize>] [--no-parallel] [--check-rounds <baseline file>]` prints the
 /// JSON to stdout (redirect it to `BENCH_seed.json` or its successors to
@@ -659,7 +664,8 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str
         "cluster-paths",
     ];
     let mut entries = Vec::new();
-    let mut measured_rounds: Vec<(String, u64, u64, u64)> = Vec::new();
+    let mut multi_entries = Vec::new();
+    let mut measured_rounds: Vec<(String, [u64; 5])> = Vec::new();
     for entry in standard_suite(n, seed) {
         let tree = &entry.tree;
         let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5).with_parallel(parallel));
@@ -695,22 +701,58 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str
                 .map(|(v, &x)| (v as u64, x))
                 .collect::<Vec<_>>(),
         );
+        let unit = ctx.from_vec((0..tree.len()).map(|v| (v as u64, ())).collect::<Vec<_>>());
+        let edge_w = ctx.from_vec(
+            (1..tree.len())
+                .map(|v| (v as u64, (v % 7 + 1) as i64))
+                .collect::<Vec<_>>(),
+        );
         let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
 
-        let mut solve = |problem: &str| -> (i64, u64, f64) {
+        // The plan is built up front (its rounds are deterministic and independent
+        // of the solves around it) so one closure can serve both paths below.
+        let before = ctx.metrics().rounds;
+        let t_plan = std::time::Instant::now();
+        let _ = prepared.plan(&mut ctx);
+        let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
+        let plan_rounds = ctx.metrics().rounds - before;
+
+        // `planned` routes the solve through the shared `SolvePlan` (the cheap
+        // evaluation pass); otherwise the fresh per-problem solver runs.
+        let mut solve = |problem: &str, planned: bool| -> (i64, u64, f64) {
             let before = ctx.metrics().rounds;
             let t = std::time::Instant::now();
-            let value = match problem {
-                "max_is" => {
-                    let p = StateEngine::new(MaxWeightIndependentSet);
-                    let sol = prepared.solve(&mut ctx, &p, &node_w, 0, &no_edges);
+            macro_rules! run {
+                ($engine:expr, $inputs:expr, $aux:expr, $edges:expr) => {{
+                    let p = $engine;
+                    let sol = if planned {
+                        prepared.solve_planned(&mut ctx, &p, $inputs, $aux, $edges)
+                    } else {
+                        prepared.solve(&mut ctx, &p, $inputs, $aux, $edges)
+                    };
                     sol.root_summary.best(p.problem()).unwrap()
-                }
-                "min_vc" => {
-                    let p = StateEngine::new(MinWeightVertexCover);
-                    let sol = prepared.solve(&mut ctx, &p, &node_w, 0, &no_edges);
-                    -sol.root_summary.best(p.problem()).unwrap()
-                }
+                }};
+            }
+            let value = match problem {
+                "max_is" => run!(
+                    StateEngine::new(MaxWeightIndependentSet),
+                    &node_w,
+                    0,
+                    &no_edges
+                ),
+                "min_vc" => -run!(
+                    StateEngine::new(MinWeightVertexCover),
+                    &node_w,
+                    0,
+                    &no_edges
+                ),
+                "min_ds" => -run!(
+                    StateEngine::new(MinWeightDominatingSet),
+                    &node_w,
+                    0,
+                    &no_edges
+                ),
+                "matching" => run!(StateEngine::new(MaxWeightMatching), &unit, (), &edge_w),
                 other => unreachable!("bench-json has no problem named {other:?}"),
             };
             (
@@ -719,9 +761,76 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str
                 t.elapsed().as_secs_f64() * 1e3,
             )
         };
-        let (is_value, is_rounds, is_ms) = solve("max_is");
-        let (vc_value, vc_rounds, vc_ms) = solve("min_vc");
-        measured_rounds.push((entry.name.clone(), prepare_rounds, is_rounds, vc_rounds));
+        let (is_value, is_rounds, is_ms) = solve("max_is", false);
+        let (vc_value, vc_rounds, vc_ms) = solve("min_vc", false);
+
+        // ---- the `multi` section: four independent solves vs. one shared plan ------
+        let (ds_value, ds_rounds, _ds_ms) = solve("min_ds", false);
+        let (mm_value, mm_rounds, _mm_ms) = solve("matching", false);
+        let independent_rounds = is_rounds + vc_rounds + ds_rounds + mm_rounds;
+        let (p_is_value, p_is_rounds, p_is_ms) = solve("max_is", true);
+        let (p_vc_value, p_vc_rounds, p_vc_ms) = solve("min_vc", true);
+        let (p_ds_value, p_ds_rounds, p_ds_ms) = solve("min_ds", true);
+        let (p_mm_value, p_mm_rounds, p_mm_ms) = solve("matching", true);
+        // Correctness backstop for the benchmark itself: the plan path must agree
+        // with the fresh solves, and the evaluation charge is problem-independent —
+        // the batch total is exactly assembly + one evaluation per problem.
+        assert_eq!(
+            (is_value, vc_value, ds_value, mm_value),
+            (p_is_value, p_vc_value, p_ds_value, p_mm_value),
+            "plan and fresh solves disagree on {}",
+            entry.name
+        );
+        assert_eq!(
+            (p_is_rounds, p_is_rounds, p_is_rounds),
+            (p_vc_rounds, p_ds_rounds, p_mm_rounds),
+            "plan evaluation rounds are not problem-independent on {}",
+            entry.name
+        );
+        let batched_rounds = plan_rounds + p_is_rounds + p_vc_rounds + p_ds_rounds + p_mm_rounds;
+        measured_rounds.push((
+            entry.name.clone(),
+            [
+                prepare_rounds,
+                is_rounds,
+                vc_rounds,
+                plan_rounds,
+                p_is_rounds,
+            ],
+        ));
+        multi_entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"tree\": \"{}\",\n",
+                "      \"plan_build\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"max_is\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"min_vc\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"min_ds\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"matching\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"batched_rounds\": {},\n",
+                "      \"independent_rounds\": {},\n",
+                "      \"ratio\": {:.3}\n",
+                "    }}"
+            ),
+            entry.name,
+            plan_rounds,
+            plan_ms,
+            p_is_value,
+            p_is_rounds,
+            p_is_ms,
+            p_vc_value,
+            p_vc_rounds,
+            p_vc_ms,
+            p_ds_value,
+            p_ds_rounds,
+            p_ds_ms,
+            p_mm_value,
+            p_mm_rounds,
+            p_mm_ms,
+            batched_rounds,
+            independent_rounds,
+            batched_rounds as f64 / independent_rounds.max(1) as f64,
+        ));
 
         entries.push(format!(
             concat!(
@@ -797,17 +906,30 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str
     };
 
     let parallel_section = bench_parallel_modes(n, seed);
+    // Batched (one shared `SolvePlan`, four evaluation passes) vs. four independent
+    // fresh solves, per suite tree. `plan_build` is charged once; every problem's
+    // evaluation charges the same rounds, so `batched_rounds` = build + 4 × eval.
+    let multi_section = format!(
+        concat!(
+            "  \"multi\": {{\n",
+            "    \"problems\": [\"max_is\", \"min_vc\", \"min_ds\", \"matching\"],\n",
+            "    \"entries\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        multi_entries.join(",\n")
+    );
 
     println!(
         concat!(
             "{{\n",
-            "  \"schema\": \"mpc-tree-dp-bench/v4\",\n",
+            "  \"schema\": \"mpc-tree-dp-bench/v5\",\n",
             "  \"suite\": \"standard\",\n",
             "  \"n\": {},\n",
             "  \"delta\": 0.5,\n",
             "  \"seed\": {},\n",
             "  \"suite_parallel\": {},\n",
             "  \"entries\": [\n{}\n  ],\n",
+            "{},\n",
             "{},\n",
             "{}\n",
             "}}"
@@ -816,6 +938,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str
         seed,
         parallel,
         entries.join(",\n"),
+        multi_section,
         incremental_section,
         parallel_section,
     );

@@ -15,6 +15,10 @@
 //! * [`solve_sequential`] — the sequential oracle used for differential testing.
 //! * [`prepare`] / [`PreparedTree`] — the end-to-end three-step pipeline (Section 1.4),
 //!   with clustering reuse across problems.
+//! * [`SolvePlan`] — the shared solve-plan engine: the problem-independent view
+//!   assembly is built once per prepared tree ([`PreparedTree::plan`]) and any number
+//!   of DP problems are then evaluated over the cached skeletons, each charging only
+//!   its problem-dependent payload/summary/label exchanges.
 //!
 //! ## Example
 //!
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod plan;
 pub mod problem;
 pub mod sequential;
 pub mod solver;
@@ -60,6 +65,7 @@ pub mod state_dp;
 pub mod store;
 
 pub use pipeline::{prepare, prepare_and_solve, PipelineError, PreparedTree};
+pub use plan::{PlanMember, PlanView, SolvePlan};
 pub use problem::{ClusterDp, ClusterView, Member, Payload};
 pub use sequential::{solve_sequential, SequentialSolution};
 pub use solver::{label_layer, solve_dp, solve_dp_with_store, sort_solve_tables, summarize_layer};

@@ -10,10 +10,12 @@
 //!    (Section 5). The clustering is computed once per input topology and reused — this
 //!    is the headline structural message of the paper.
 
+use crate::plan::{build_plan, SolvePlan};
 use crate::problem::ClusterDp;
 use crate::solver::{solve_dp, solve_dp_with_store, DpSolution, EdgeData};
 use crate::store::SolverStore;
 use mpc_engine::{DistVec, MpcContext, Words};
+use std::cell::OnceCell;
 use tree_clustering::{build_clustering, reduce_degrees, ClusterError, Clustering, EdgeKind};
 use tree_repr::{normalize, DirectedEdge, NodeId, TreeInput};
 
@@ -60,6 +62,9 @@ pub struct PreparedTree {
     pub original_nodes: usize,
     /// For every auxiliary node, the original node it stands in for.
     pub aux_to_original: DistVec<(NodeId, NodeId)>,
+    /// The lazily built, cached [`SolvePlan`] (see [`plan`](Self::plan)): the
+    /// problem-independent view assembly is charged at most once per prepared tree.
+    plan: OnceCell<SolvePlan>,
 }
 
 /// Run steps 1 and 2 of the pipeline: normalize any representation, reduce degrees, and
@@ -104,6 +109,7 @@ pub fn prepare(
         num_nodes: reduced.num_nodes,
         original_nodes: reduced.original_nodes,
         aux_to_original: reduced.aux_to_original,
+        plan: OnceCell::new(),
     })
 }
 
@@ -162,6 +168,33 @@ impl PreparedTree {
         node_inputs.clone().concat_local(aux_inputs)
     }
 
+    /// The shared [`SolvePlan`] of this prepared tree: the problem-independent view
+    /// assembly (per-layer member groupings, member-tree links, boundary edges,
+    /// routing indexes), built **once** on first call (charged under `plan-build`)
+    /// and cached — subsequent calls return the cached plan for free. Any number of
+    /// DP problems can then be solved over it with [`SolvePlan::solve`], each
+    /// charging only its problem-dependent payload/summary/label exchanges.
+    pub fn plan(&self, ctx: &mut MpcContext) -> &SolvePlan {
+        self.plan
+            .get_or_init(|| build_plan(ctx, &self.clustering, &self.edges, &self.aux_to_original))
+    }
+
+    /// Solve one DP problem through the cached [`SolvePlan`] (building it on first
+    /// use): same contract and bit-identical results as [`solve`](Self::solve), but
+    /// after the first call every further problem pays only the cheap evaluation
+    /// pass instead of a full sort-join assembly.
+    pub fn solve_planned<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        problem: &P,
+        node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+        aux_input: P::NodeInput,
+        edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+    ) -> DpSolution<P> {
+        self.plan(ctx)
+            .solve(ctx, problem, node_inputs, aux_input, edge_inputs)
+    }
+
     /// The per-edge data table the solver consumes: kinds from the degree-reduced
     /// edge list, inputs from the caller (edges without a caller record default to
     /// `E::default()`).
@@ -187,6 +220,11 @@ impl PreparedTree {
 
 /// Convenience: prepare and solve a single problem in one call, returning the solution
 /// together with the prepared tree (so further problems can reuse the clustering).
+///
+/// The solve goes through the shared [`SolvePlan`], which stays cached on the returned
+/// [`PreparedTree`] — every further problem solved via
+/// [`solve_planned`](PreparedTree::solve_planned) (or `prepared.plan(ctx).solve(..)`)
+/// pays only the cheap evaluation pass.
 #[allow(clippy::type_complexity)]
 pub fn prepare_and_solve<P: ClusterDp>(
     ctx: &mut MpcContext,
@@ -198,6 +236,6 @@ pub fn prepare_and_solve<P: ClusterDp>(
     edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
 ) -> Result<(PreparedTree, DpSolution<P>), PipelineError> {
     let prepared = prepare(ctx, input, threshold)?;
-    let solution = prepared.solve(ctx, problem, node_inputs, aux_input, edge_inputs);
+    let solution = prepared.solve_planned(ctx, problem, node_inputs, aux_input, edge_inputs);
     Ok((prepared, solution))
 }

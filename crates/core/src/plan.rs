@@ -1,0 +1,921 @@
+//! The shared solve-plan engine: assemble the per-layer cluster views **once**, then
+//! solve any number of DP problems over them.
+//!
+//! The paper's three-step approach (Section 1.4) prepares one hierarchical clustering
+//! and then solves "the problem of interest in `O(1)` rounds" — repeatable for any
+//! number of problems on the same clustering. [`solve_dp`](crate::solve_dp) realizes
+//! the `O(1)` bound but re-runs the full member/edge/payload sort-join assembly for
+//! every problem, even though almost all of that communication is problem-independent:
+//! which elements group into which cluster, the member-tree links, the boundary edges,
+//! and the edge kinds depend only on the clustering — never on the problem's inputs,
+//! summaries, or labels.
+//!
+//! A [`SolvePlan`] factors that out. Building the plan runs the per-layer assembly
+//! once (charged like the fresh solver's bottom-up pass) and retains
+//!
+//! * per layer and per machine, the **skeleton view** of every cluster formed there
+//!   ([`PlanView`]: members in their assembled order, parent/children links, top and
+//!   attach indexes, boundary edges, edge kinds), and
+//! * **routing indexes** mapping every element to its member slot, every edge to the
+//!   slots reading its input, and every label key to the views reading it.
+//!
+//! [`SolvePlan::solve`] then runs any [`ClusterDp`] over the cached skeletons,
+//! charging only the exchanges that genuinely depend on the problem: one scatter of
+//! the node/edge inputs into their slots, one summary-forwarding round per layer going
+//! up, and one label-forwarding round per layer coming down. Labels and optima are
+//! bit-identical to a fresh [`solve_dp`](crate::solve_dp) — the skeleton member order
+//! equals the fresh assembly's order because the sort/join/gather primitives order
+//! records by keys only, never by payloads — and solving `K` problems costs one
+//! assembly plus `K` cheap evaluation passes instead of `K` full solves.
+
+use crate::problem::{ClusterDp, ClusterView, Member, Payload};
+use crate::solver::{build_views, sort_solve_tables, DpSolution, EdgeData, PayloadTable};
+use crate::store::SolverStore;
+use mpc_engine::par::{par_map, worth_parallelizing};
+use mpc_engine::{DistVec, MpcContext, Words};
+use std::collections::{BTreeMap, BTreeSet};
+use tree_clustering::{Clustering, EdgeKind, Element, ElementId, ElementKind};
+use tree_repr::{DirectedEdge, NodeId};
+
+/// The problem-independent skeleton of one cluster view: everything
+/// [`ClusterView`] holds except payloads and problem edge inputs.
+#[derive(Debug, Clone)]
+pub struct PlanView {
+    /// The cluster's id.
+    pub cluster: ElementId,
+    /// The cluster's kind.
+    pub kind: ElementKind,
+    /// Member skeletons, in the exact order the fresh assembly produces.
+    pub members: Vec<PlanMember>,
+    /// Index of the top member.
+    pub top: usize,
+    /// The cluster's outgoing original edge.
+    pub out_edge: DirectedEdge,
+    /// The cluster's incoming original edge (indegree-1 clusters).
+    pub in_edge: Option<DirectedEdge>,
+    /// Index of the member the incoming edge attaches to.
+    pub attach: Option<usize>,
+    /// Kind of the incoming edge.
+    pub in_kind: EdgeKind,
+    /// `true` when the incoming edge exists in the degree-reduced edge list, i.e. the
+    /// fresh solver's in-edge join hits a record (whose input then defaults when the
+    /// caller provides none) rather than producing `None`.
+    pub has_in_data: bool,
+}
+
+/// The problem-independent part of one [`Member`].
+#[derive(Debug, Clone)]
+pub struct PlanMember {
+    /// The clustering element.
+    pub element: Element,
+    /// Kind of the member's outgoing original edge.
+    pub out_kind: EdgeKind,
+    /// Index of the parent member.
+    pub parent: Option<usize>,
+    /// Indices of the child members.
+    pub children: Vec<usize>,
+}
+
+/// Where an element's payload (input or summary) lives: its member slot inside the
+/// absorbing cluster's skeleton view.
+#[derive(Debug, Clone, Copy)]
+struct MemberSlot {
+    layer: u32,
+    machine: u32,
+    view: u32,
+    member: u32,
+}
+
+/// One skeleton view, addressed by layer/machine/index.
+#[derive(Debug, Clone, Copy)]
+struct ViewSlot {
+    layer: u32,
+    machine: u32,
+    view: u32,
+}
+
+/// The problem-independent solve plan of one prepared tree (see the module docs).
+///
+/// Build it once per [`PreparedTree`](crate::PreparedTree) via
+/// [`PreparedTree::plan`](crate::PreparedTree::plan), then run
+/// [`solve`](Self::solve) (or [`solve_many`](Self::solve_many)) for every problem.
+#[derive(Debug, Clone)]
+pub struct SolvePlan {
+    num_layers: u32,
+    num_machines: usize,
+    root: NodeId,
+    top_cluster: ElementId,
+    /// Machine holding the top cluster's view (where the root label is produced).
+    top_machine: usize,
+    /// Auxiliary nodes introduced by degree reduction, with the machine holding their
+    /// `aux_to_original` record (the source of their `aux_input` payload).
+    aux_nodes: Vec<(NodeId, usize)>,
+    /// `layers[layer - 1][machine]` — the skeleton views grouped onto `machine` at
+    /// `layer`, in assembly order.
+    layers: Vec<Vec<Vec<PlanView>>>,
+    /// Element id → the member slot its payload must reach (absent only for the top
+    /// cluster, whose summary becomes the root summary).
+    payload_slot: BTreeMap<ElementId, MemberSlot>,
+    /// Edge child → member slots whose `out_input` carries that edge's input.
+    out_edge_slots: BTreeMap<NodeId, Vec<MemberSlot>>,
+    /// Edge child → views whose `in_input` carries that edge's input.
+    in_edge_slots: BTreeMap<NodeId, Vec<ViewSlot>>,
+    /// Label key → views reading it as their out-label.
+    out_label_readers: BTreeMap<NodeId, Vec<ViewSlot>>,
+    /// Label key → views reading it as their in-label. Unlike out-labels, an in-label
+    /// may be produced at a layer *below* its reader; the fresh solver then reads
+    /// `None`, so deliveries are filtered to readers strictly below the producer.
+    in_label_readers: BTreeMap<NodeId, Vec<ViewSlot>>,
+}
+
+/// The unit problem used to drive the problem-independent assembly: all payload types
+/// are zero-sized, so the plan build charges the structural data movement (elements,
+/// edges, member trees) without any problem-specific words.
+struct PlanProbe;
+
+impl ClusterDp for PlanProbe {
+    type NodeInput = ();
+    type EdgeInput = ();
+    type Summary = ();
+    type Label = ();
+
+    fn summarize(&self, _view: &ClusterView<Self>) {}
+
+    fn label_root(&self, _summary: &()) {}
+
+    fn label_members(&self, view: &ClusterView<Self>, _out: &(), _in: Option<&()>) -> Vec<()> {
+        vec![(); view.members.len()]
+    }
+
+    fn name(&self) -> &'static str {
+        "plan-probe"
+    }
+}
+
+/// Build the solve plan of a clustering: run the per-layer view assembly once with the
+/// zero-sized [`PlanProbe`] problem (the same `build_views` machinery and charges as a
+/// fresh solve's bottom-up pass) and record the resulting skeletons and routing
+/// indexes. Charged under the `plan-build` phase.
+pub(crate) fn build_plan(
+    ctx: &mut MpcContext,
+    clustering: &Clustering,
+    edges: &DistVec<(DirectedEdge, EdgeKind)>,
+    aux_to_original: &DistVec<(NodeId, NodeId)>,
+) -> SolvePlan {
+    ctx.phase("plan-build", |ctx| {
+        let machines = ctx.config().num_machines();
+        // The set of edge children present in the degree-reduced edge list: a slot is
+        // only registered for keys the fresh solver's edge joins would hit.
+        let edge_children: BTreeSet<NodeId> = edges.iter().map(|(e, _)| e.child).collect();
+        let aux_nodes: Vec<(NodeId, usize)> = aux_to_original
+            .chunks()
+            .iter()
+            .enumerate()
+            .flat_map(|(m, chunk)| chunk.iter().map(move |(aux, _)| (*aux, m)))
+            .collect();
+
+        let edge_data: DistVec<EdgeData<()>> = edges.clone().map_local(|(e, k)| EdgeData {
+            child: e.child,
+            kind: *k,
+            input: (),
+        });
+        let tables = sort_solve_tables(ctx, clustering, &edge_data);
+        let mut payloads: PayloadTable<PlanProbe> = clustering
+            .elements
+            .clone()
+            .filter_local(|e| e.kind == ElementKind::Node)
+            .map_local(|e| (e.id, Payload::Input(())));
+
+        let mut plan = SolvePlan {
+            num_layers: clustering.num_layers,
+            num_machines: machines,
+            root: clustering.root,
+            top_cluster: clustering.top_cluster,
+            top_machine: 0,
+            aux_nodes,
+            layers: Vec::with_capacity(clustering.num_layers as usize),
+            payload_slot: BTreeMap::new(),
+            out_edge_slots: BTreeMap::new(),
+            in_edge_slots: BTreeMap::new(),
+            out_label_readers: BTreeMap::new(),
+            in_label_readers: BTreeMap::new(),
+        };
+
+        for layer in 1..=clustering.num_layers {
+            let views = build_views::<PlanProbe>(
+                ctx, clustering, layer, &payloads, None, &edge_data, &tables,
+            );
+            if views.is_empty() {
+                plan.layers.push(vec![Vec::new(); machines]);
+                continue;
+            }
+            // The probe's summaries keep the payload table shaped exactly like a real
+            // solve's, so the next layer's assembly joins charge the same way.
+            let summaries: PayloadTable<PlanProbe> = DistVec::from_chunks(
+                views
+                    .chunks()
+                    .iter()
+                    .map(|chunk| {
+                        chunk
+                            .iter()
+                            .map(|v| (v.cluster, Payload::Summary(())))
+                            .collect()
+                    })
+                    .collect(),
+            );
+            let mut layer_views: Vec<Vec<PlanView>> = Vec::with_capacity(machines);
+            for (machine, chunk) in views.chunks().iter().enumerate() {
+                let mut skeletons = Vec::with_capacity(chunk.len());
+                for (view_idx, view) in chunk.iter().enumerate() {
+                    plan.register(layer, machine, view_idx, view, &edge_children);
+                    skeletons.push(PlanView {
+                        cluster: view.cluster,
+                        kind: view.kind,
+                        members: view
+                            .members
+                            .iter()
+                            .map(|m| PlanMember {
+                                element: m.element,
+                                out_kind: m.out_kind,
+                                parent: m.parent,
+                                children: m.children.clone(),
+                            })
+                            .collect(),
+                        top: view.top,
+                        out_edge: view.out_edge,
+                        in_edge: view.in_edge,
+                        attach: view.attach,
+                        in_kind: view.in_kind,
+                        has_in_data: view
+                            .in_edge
+                            .is_some_and(|e| edge_children.contains(&e.child)),
+                    });
+                }
+                layer_views.push(skeletons);
+            }
+            plan.layers.push(layer_views);
+            payloads = payloads.concat_local(summaries);
+        }
+        plan
+    })
+}
+
+impl SolvePlan {
+    /// Register the routing-index entries of one assembled view.
+    fn register(
+        &mut self,
+        layer: u32,
+        machine: usize,
+        view_idx: usize,
+        view: &ClusterView<PlanProbe>,
+        edge_children: &BTreeSet<NodeId>,
+    ) {
+        let vslot = ViewSlot {
+            layer,
+            machine: machine as u32,
+            view: view_idx as u32,
+        };
+        if view.cluster == self.top_cluster {
+            self.top_machine = machine;
+        }
+        self.out_label_readers
+            .entry(view.out_edge.child)
+            .or_default()
+            .push(vslot);
+        if let Some(in_edge) = view.in_edge {
+            self.in_label_readers
+                .entry(in_edge.child)
+                .or_default()
+                .push(vslot);
+            if edge_children.contains(&in_edge.child) {
+                self.in_edge_slots
+                    .entry(in_edge.child)
+                    .or_default()
+                    .push(vslot);
+            }
+        }
+        for (member_idx, member) in view.members.iter().enumerate() {
+            let slot = MemberSlot {
+                layer,
+                machine: machine as u32,
+                view: view_idx as u32,
+                member: member_idx as u32,
+            };
+            self.payload_slot.insert(member.element.id, slot);
+            if edge_children.contains(&member.element.out_edge.child) {
+                self.out_edge_slots
+                    .entry(member.element.out_edge.child)
+                    .or_default()
+                    .push(slot);
+            }
+        }
+    }
+
+    /// Number of layers of the underlying clustering.
+    pub fn num_layers(&self) -> u32 {
+        self.num_layers
+    }
+
+    /// Number of machines the plan was built for (its skeletons are placed on exactly
+    /// this machine layout).
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Total number of cached skeleton views across all layers.
+    pub fn num_views(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|layer| layer.iter())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Solve one DP problem over the cached plan (same contract as
+    /// [`PreparedTree::solve`](crate::PreparedTree::solve)): labels and optima are
+    /// bit-identical to a fresh [`solve_dp`](crate::solve_dp), but only the
+    /// problem-dependent exchanges are charged — one input scatter, one
+    /// summary-forwarding round per layer up, one label-forwarding round per layer
+    /// down (phases `plan-inputs` / `plan-up` / `plan-down` under `plan-solve`).
+    pub fn solve<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        problem: &P,
+        node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+        aux_input: P::NodeInput,
+        edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+    ) -> DpSolution<P> {
+        self.solve_impl(ctx, problem, node_inputs, aux_input, edge_inputs, None)
+    }
+
+    /// Like [`solve`](Self::solve), but additionally fill a [`SolverStore`] with the
+    /// per-cluster views, payloads, and labels of this solve — the store an
+    /// [`IncrementalSolver`](../../tree_dp_incremental/struct.IncrementalSolver.html)
+    /// needs for batched re-solves. The store contents are identical to what the
+    /// fresh [`solve_dp_with_store`](crate::solve_dp_with_store) would retain.
+    pub fn solve_with_store<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        problem: &P,
+        node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+        aux_input: P::NodeInput,
+        edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+    ) -> (DpSolution<P>, SolverStore<P>) {
+        let mut store = SolverStore::new(self.num_layers);
+        let solution = self.solve_impl(
+            ctx,
+            problem,
+            node_inputs,
+            aux_input,
+            edge_inputs,
+            Some(&mut store),
+        );
+        (solution, store)
+    }
+
+    /// Solve a batch of same-type problem instances over one plan: the assembly was
+    /// paid once at plan-build time, so the batch costs exactly the sum of the cheap
+    /// per-problem evaluation passes. (Problems of *different* types are batched the
+    /// same way by calling [`solve`](Self::solve) repeatedly on the shared plan.)
+    #[allow(clippy::type_complexity)]
+    pub fn solve_many<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        jobs: &[(
+            &P,
+            &DistVec<(NodeId, P::NodeInput)>,
+            P::NodeInput,
+            &DistVec<(NodeId, P::EdgeInput)>,
+        )],
+    ) -> Vec<DpSolution<P>> {
+        jobs.iter()
+            .map(|(problem, node_inputs, aux_input, edge_inputs)| {
+                self.solve(ctx, *problem, node_inputs, aux_input.clone(), edge_inputs)
+            })
+            .collect()
+    }
+
+    fn solve_impl<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        problem: &P,
+        node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+        aux_input: P::NodeInput,
+        edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+        mut store: Option<&mut SolverStore<P>>,
+    ) -> DpSolution<P> {
+        assert_eq!(
+            self.num_machines,
+            ctx.config().num_machines(),
+            "SolvePlan was built for a different machine count"
+        );
+        ctx.phase("plan-solve", |ctx| {
+            let machines = self.num_machines;
+            let parallel = ctx.config().parallel;
+            // Per-view working state, aligned with the skeleton layout.
+            let mut state: Vec<Vec<Vec<ViewState<P>>>> = self
+                .layers
+                .iter()
+                .map(|layer| {
+                    layer
+                        .iter()
+                        .map(|views| views.iter().map(ViewState::for_view).collect())
+                        .collect()
+                })
+                .collect();
+
+            // ---- input scatter (1 round): every node/edge input travels straight to
+            // its recorded slot; records already on the slot's machine are free.
+            ctx.phase("plan-inputs", |ctx| {
+                self.scatter_inputs(
+                    ctx,
+                    node_inputs,
+                    &aux_input,
+                    edge_inputs,
+                    &mut state,
+                    store.as_deref_mut(),
+                );
+            });
+
+            // ---- bottom-up (1 round per layer): summarize locally, forward each
+            // summary to its member slot in the absorbing cluster's view. The
+            // materialized views of every processed layer stay resident until the
+            // top-down pass consumes them, so the memory check tracks the
+            // *cumulative* per-machine words, not one layer at a time.
+            let mut materialized: Vec<Vec<Vec<ClusterView<P>>>> = Vec::new();
+            let mut resident = vec![0usize; machines];
+            let mut root_summary: Option<P::Summary> = None;
+            for layer in 1..=self.num_layers {
+                let li = (layer - 1) as usize;
+                if self.layers[li].iter().all(Vec::is_empty) {
+                    materialized.push(vec![Vec::new(); machines]);
+                    continue;
+                }
+                let views = ctx.phase("plan-up", |ctx| {
+                    self.summarize_plan_layer(
+                        ctx,
+                        layer,
+                        problem,
+                        &mut state,
+                        &mut resident,
+                        &mut root_summary,
+                        store.as_deref_mut(),
+                        parallel,
+                    )
+                });
+                materialized.push(views);
+            }
+            let root_summary = root_summary.expect("top cluster summarized");
+
+            // ---- top-down (1 round per layer): label locally, forward each produced
+            // label to the lower-layer views that read it.
+            let root_label = problem.label_root(&root_summary);
+            let mut label_chunks: Vec<Vec<(NodeId, P::Label)>> =
+                (0..machines).map(|_| Vec::new()).collect();
+            label_chunks[self.top_machine].push((self.root, root_label.clone()));
+            ctx.phase("plan-down", |ctx| {
+                self.deliver_label(
+                    ctx,
+                    self.root,
+                    &root_label,
+                    self.top_machine,
+                    // The root label is conceptually produced above every layer.
+                    self.num_layers + 1,
+                    &mut state,
+                );
+                for layer in (1..=self.num_layers).rev() {
+                    let li = (layer - 1) as usize;
+                    if self.layers[li].iter().all(Vec::is_empty) {
+                        continue;
+                    }
+                    self.label_plan_layer(
+                        ctx,
+                        layer,
+                        problem,
+                        &materialized[li],
+                        &mut state,
+                        &mut label_chunks,
+                        parallel,
+                    );
+                }
+            });
+
+            let labels = DistVec::from_chunks(label_chunks);
+            ctx.check_memory(&labels, "plan/labels");
+            if let Some(store) = store {
+                for (child, label) in labels.iter() {
+                    store.set_label(*child, label.clone());
+                }
+                store.set_payload(self.top_cluster, Payload::Summary(root_summary.clone()));
+                store.set_root(root_label.clone(), root_summary.clone());
+            }
+            DpSolution {
+                labels,
+                root_label,
+                root_summary,
+            }
+        })
+    }
+
+    /// The input scatter: route node inputs, auxiliary inputs, and edge inputs to
+    /// their recorded slots, charging one round with exact moved-word volumes — a
+    /// moved payload record is a `(key, Payload)` pair (`2 + input` words, matching
+    /// the summary-forwarding charge) and a moved edge record an `EdgeData`-shaped
+    /// `(child, kind, input)` (`2 + input` words). Duplicate records follow the
+    /// fresh solver exactly: the *slots* keep the first record (join semantics)
+    /// while a requested store keeps the last one (`record_payloads` iterates the
+    /// whole payload table, so later records overwrite earlier ones there).
+    fn scatter_inputs<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        node_inputs: &DistVec<(NodeId, P::NodeInput)>,
+        aux_input: &P::NodeInput,
+        edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
+        state: &mut [Vec<Vec<ViewState<P>>>],
+        mut store: Option<&mut SolverStore<P>>,
+    ) {
+        let machines = self.num_machines;
+        let total_records = node_inputs.len() + edge_inputs.len() + self.aux_nodes.len();
+        if total_records == 0 {
+            return;
+        }
+        let mut sends = vec![0usize; machines];
+        let mut recvs = vec![0usize; machines];
+        let place_payload = |src: usize,
+                             node: NodeId,
+                             input: &P::NodeInput,
+                             state: &mut [Vec<Vec<ViewState<P>>>],
+                             sends: &mut [usize],
+                             recvs: &mut [usize],
+                             store: Option<&mut SolverStore<P>>| {
+            let Some(slot) = self.payload_slot.get(&node) else {
+                return;
+            };
+            if let Some(store) = store {
+                // Last record wins in the store, like the fresh `record_payloads`.
+                store.set_payload(node, Payload::Input(input.clone()));
+            }
+            let cell =
+                &mut state[slot.layer as usize - 1][slot.machine as usize][slot.view as usize];
+            if cell.payloads[slot.member as usize].is_some() {
+                return; // duplicate record: the first one won the slot, like the join
+            }
+            if slot.machine as usize != src {
+                let w = 2 + input.words();
+                sends[src] += w;
+                recvs[slot.machine as usize] += w;
+            }
+            cell.payloads[slot.member as usize] = Some(Payload::Input(input.clone()));
+        };
+        for (src, chunk) in node_inputs.chunks().iter().enumerate() {
+            for (node, input) in chunk {
+                place_payload(
+                    src,
+                    *node,
+                    input,
+                    state,
+                    &mut sends,
+                    &mut recvs,
+                    store.as_deref_mut(),
+                );
+            }
+        }
+        for &(aux, src) in &self.aux_nodes {
+            place_payload(
+                src,
+                aux,
+                aux_input,
+                state,
+                &mut sends,
+                &mut recvs,
+                store.as_deref_mut(),
+            );
+        }
+        for (src, chunk) in edge_inputs.chunks().iter().enumerate() {
+            for (child, input) in chunk {
+                for slot in self.out_edge_slots.get(child).into_iter().flatten() {
+                    let cell = &mut state[slot.layer as usize - 1][slot.machine as usize]
+                        [slot.view as usize];
+                    if cell.out_inputs[slot.member as usize].is_some() {
+                        continue;
+                    }
+                    if slot.machine as usize != src {
+                        let w = 2 + input.words();
+                        sends[src] += w;
+                        recvs[slot.machine as usize] += w;
+                    }
+                    cell.out_inputs[slot.member as usize] = Some(input.clone());
+                }
+                for vslot in self.in_edge_slots.get(child).into_iter().flatten() {
+                    let cell = &mut state[vslot.layer as usize - 1][vslot.machine as usize]
+                        [vslot.view as usize];
+                    if cell.in_input.is_some() {
+                        continue;
+                    }
+                    if vslot.machine as usize != src {
+                        let w = 2 + input.words();
+                        sends[src] += w;
+                        recvs[vslot.machine as usize] += w;
+                    }
+                    cell.in_input = Some(input.clone());
+                }
+            }
+        }
+        ctx.charge_rounds(1);
+        ctx.record_comm(&sends, &recvs, "plan-inputs");
+    }
+
+    /// One bottom-up step over the plan: materialize the layer's views from the
+    /// skeletons and filled slots, summarize them (concurrently across machines when
+    /// parallel execution is enabled), and forward each summary to its member slot —
+    /// one round whose volume is exactly the moved summary records.
+    #[allow(clippy::too_many_arguments)]
+    fn summarize_plan_layer<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        layer: u32,
+        problem: &P,
+        state: &mut [Vec<Vec<ViewState<P>>>],
+        resident: &mut [usize],
+        root_summary: &mut Option<P::Summary>,
+        store: Option<&mut SolverStore<P>>,
+        parallel: bool,
+    ) -> Vec<Vec<ClusterView<P>>> {
+        let li = (layer - 1) as usize;
+        let machines = self.num_machines;
+        // Materialize every view of the layer (payload/input slots are consumed).
+        let plan_layer = &self.layers[li];
+        let layer_state = &mut state[li];
+        let total_views: usize = plan_layer.iter().map(Vec::len).sum();
+        let chunks: Vec<Vec<ClusterView<P>>> = {
+            let mut work: Vec<(&Vec<PlanView>, &mut Vec<ViewState<P>>)> =
+                plan_layer.iter().zip(layer_state.iter_mut()).collect();
+            mpc_engine::par::par_map_mut(
+                worth_parallelizing(parallel, total_views),
+                &mut work,
+                |_, (skeletons, states)| {
+                    skeletons
+                        .iter()
+                        .zip(states.iter_mut())
+                        .map(|(pv, st)| st.materialize(pv))
+                        .collect::<Vec<_>>()
+                },
+            )
+        };
+        let views = DistVec::from_chunks(chunks);
+        // This layer's views join the resident set (released only after top-down).
+        for (machine, chunk) in views.chunks().iter().enumerate() {
+            resident[machine] += mpc_engine::words::slice_words(chunk);
+        }
+        ctx.check_memory_words(resident, "plan/views");
+        if let Some(store) = store {
+            store.record_views(layer, &views);
+            // Record only *summary* payloads from the members: input payloads were
+            // already stored by the scatter with the fresh path's last-record-wins
+            // duplicate semantics, which the first-record-wins slot values here
+            // would otherwise clobber. A cluster's summary is produced exactly once,
+            // so its member slot value is its final store payload.
+            for view in views.iter() {
+                for member in &view.members {
+                    if matches!(member.payload, Payload::Summary(_)) {
+                        store.set_payload(member.element.id, member.payload.clone());
+                    }
+                }
+            }
+        }
+        // Summarize per machine, concurrently; apply deliveries sequentially in
+        // machine order so the accounting is deterministic.
+        let summaries: Vec<Vec<(ElementId, P::Summary)>> = par_map(
+            worth_parallelizing(parallel, total_views),
+            views.chunks(),
+            |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|view| (view.cluster, problem.summarize(view)))
+                    .collect()
+            },
+        );
+        let mut sends = vec![0usize; machines];
+        let mut recvs = vec![0usize; machines];
+        let mut any_forwarded = false;
+        for (src, machine_summaries) in summaries.into_iter().enumerate() {
+            for (cluster, summary) in machine_summaries {
+                if cluster == self.top_cluster {
+                    *root_summary = Some(summary);
+                    continue;
+                }
+                any_forwarded = true;
+                let slot = self
+                    .payload_slot
+                    .get(&cluster)
+                    .expect("every non-top cluster is absorbed somewhere");
+                if slot.machine as usize != src {
+                    // The summary record `(cluster, Payload::Summary)` moves.
+                    let w = 2 + summary.words();
+                    sends[src] += w;
+                    recvs[slot.machine as usize] += w;
+                }
+                state[slot.layer as usize - 1][slot.machine as usize][slot.view as usize]
+                    .payloads[slot.member as usize] = Some(Payload::Summary(summary));
+            }
+        }
+        if any_forwarded {
+            ctx.charge_rounds(1);
+            ctx.record_comm(&sends, &recvs, "plan-up");
+        }
+        views.into_chunks()
+    }
+
+    /// One top-down step over the plan: label the layer's views from their delivered
+    /// boundary labels (concurrently across machines), then forward each produced
+    /// label to its lower-layer readers — one round of exactly the moved label words.
+    #[allow(clippy::too_many_arguments)]
+    fn label_plan_layer<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        layer: u32,
+        problem: &P,
+        views: &[Vec<ClusterView<P>>],
+        state: &mut [Vec<Vec<ViewState<P>>>],
+        label_chunks: &mut [Vec<(NodeId, P::Label)>],
+        parallel: bool,
+    ) {
+        let li = (layer - 1) as usize;
+        let machines = self.num_machines;
+        let total_views: usize = views.iter().map(Vec::len).sum();
+        let layer_state = &state[li];
+        let produced: Vec<Vec<(NodeId, P::Label)>> = {
+            let work: Vec<_> = views.iter().zip(layer_state.iter()).collect();
+            par_map(
+                worth_parallelizing(parallel, total_views),
+                &work,
+                |_, (machine_views, machine_states)| {
+                    machine_views
+                        .iter()
+                        .zip(machine_states.iter())
+                        .flat_map(|(view, st)| {
+                            let out_label =
+                                st.out_label.as_ref().expect("boundary out-label present");
+                            let member_labels =
+                                problem.label_members(view, out_label, st.in_label.as_ref());
+                            view.members
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| *i != view.top)
+                                .map(|(i, m)| (m.element.out_edge.child, member_labels[i].clone()))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                },
+            )
+        };
+        let mut sends = vec![0usize; machines];
+        let mut recvs = vec![0usize; machines];
+        let mut any_delivered = false;
+        for (src, machine_labels) in produced.into_iter().enumerate() {
+            for (key, label) in machine_labels {
+                any_delivered |=
+                    self.place_label(key, &label, src, layer, state, &mut sends, &mut recvs);
+                label_chunks[src].push((key, label));
+            }
+        }
+        if any_delivered {
+            ctx.charge_rounds(1);
+            ctx.record_comm(&sends, &recvs, "plan-down");
+        }
+    }
+
+    /// Deliver one produced label to every reader strictly below `producer_layer`,
+    /// charging one round if anything is (or could be) forwarded.
+    fn deliver_label<P: ClusterDp>(
+        &self,
+        ctx: &mut MpcContext,
+        key: NodeId,
+        label: &P::Label,
+        src: usize,
+        producer_layer: u32,
+        state: &mut [Vec<Vec<ViewState<P>>>],
+    ) {
+        let machines = self.num_machines;
+        let mut sends = vec![0usize; machines];
+        let mut recvs = vec![0usize; machines];
+        let delivered = self.place_label(
+            key,
+            label,
+            src,
+            producer_layer,
+            state,
+            &mut sends,
+            &mut recvs,
+        );
+        if delivered {
+            ctx.charge_rounds(1);
+            ctx.record_comm(&sends, &recvs, "plan-down");
+        }
+    }
+
+    /// Write `label` into every reader slot below `producer_layer`, accumulating the
+    /// moved words. Returns `true` when at least one reader received it (whether or
+    /// not any words crossed machines — the forwarding round still happens).
+    #[allow(clippy::too_many_arguments)]
+    fn place_label<P: ClusterDp>(
+        &self,
+        key: NodeId,
+        label: &P::Label,
+        src: usize,
+        producer_layer: u32,
+        state: &mut [Vec<Vec<ViewState<P>>>],
+        sends: &mut [usize],
+        recvs: &mut [usize],
+    ) -> bool {
+        let mut delivered = false;
+        let mut place = |vslot: &ViewSlot, as_out: bool| {
+            if vslot.layer >= producer_layer {
+                // The fresh solver's label table does not contain this key yet when
+                // that view is processed; it reads `None` there, and so do we.
+                return;
+            }
+            delivered = true;
+            if vslot.machine as usize != src {
+                let w = 1 + label.words();
+                sends[src] += w;
+                recvs[vslot.machine as usize] += w;
+            }
+            let cell =
+                &mut state[vslot.layer as usize - 1][vslot.machine as usize][vslot.view as usize];
+            if as_out {
+                cell.out_label = Some(label.clone());
+            } else {
+                cell.in_label = Some(label.clone());
+            }
+        };
+        for vslot in self.out_label_readers.get(&key).into_iter().flatten() {
+            place(vslot, true);
+        }
+        for vslot in self.in_label_readers.get(&key).into_iter().flatten() {
+            place(vslot, false);
+        }
+        delivered
+    }
+}
+
+/// The per-view working state of one evaluation pass: payload and edge-input slots to
+/// fill before summarization, and the boundary labels delivered before labeling.
+struct ViewState<P: ClusterDp> {
+    payloads: Vec<Option<Payload<P::NodeInput, P::Summary>>>,
+    out_inputs: Vec<Option<P::EdgeInput>>,
+    /// `Some` only when the view's in-edge exists in the edge list (`has_in_data`);
+    /// filled lazily at materialization, defaulting like the fresh edge join.
+    in_input: Option<P::EdgeInput>,
+    out_label: Option<P::Label>,
+    in_label: Option<P::Label>,
+}
+
+impl<P: ClusterDp> ViewState<P> {
+    fn for_view(pv: &PlanView) -> Self {
+        Self {
+            payloads: (0..pv.members.len()).map(|_| None).collect(),
+            out_inputs: (0..pv.members.len()).map(|_| None).collect(),
+            in_input: None,
+            out_label: None,
+            in_label: None,
+        }
+    }
+
+    /// Combine the skeleton with the filled slots into the exact [`ClusterView`] the
+    /// fresh assembly would build (consumes the payload and edge-input slots).
+    fn materialize(&mut self, pv: &PlanView) -> ClusterView<P> {
+        let payloads = std::mem::take(&mut self.payloads);
+        let out_inputs = std::mem::take(&mut self.out_inputs);
+        let members: Vec<Member<P>> = pv
+            .members
+            .iter()
+            .zip(payloads)
+            .zip(out_inputs)
+            .map(|((pm, payload), out_input)| Member {
+                element: pm.element,
+                payload: payload.expect("every member has a payload (input or summary)"),
+                out_kind: pm.out_kind,
+                out_input: out_input.unwrap_or_default(),
+                parent: pm.parent,
+                children: pm.children.clone(),
+            })
+            .collect();
+        let in_input = if pv.has_in_data {
+            Some(self.in_input.take().unwrap_or_default())
+        } else {
+            None
+        };
+        ClusterView {
+            cluster: pv.cluster,
+            kind: pv.kind,
+            members,
+            top: pv.top,
+            out_edge: pv.out_edge,
+            in_edge: pv.in_edge,
+            attach: pv.attach,
+            in_kind: pv.in_kind,
+            in_input,
+        }
+    }
+}

@@ -297,8 +297,10 @@ pub fn label_layer<P: ClusterDp>(
 /// Assemble the [`ClusterView`] of every cluster formed at `layer`, each fully contained
 /// in one machine (a constant number of joins/probes and one group gathering). The
 /// solve-invariant tables arrive pre-sorted in `tables`; `payloads_sorted` is given
-/// during the top-down pass, when the payload table is final.
-fn build_views<P: ClusterDp>(
+/// during the top-down pass, when the payload table is final. Also the assembly engine
+/// behind [`crate::plan::SolvePlan`], which runs it once with a zero-sized probe
+/// problem and caches the resulting skeletons.
+pub(crate) fn build_views<P: ClusterDp>(
     ctx: &mut MpcContext,
     clustering: &Clustering,
     layer: u32,

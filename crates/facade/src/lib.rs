@@ -28,6 +28,8 @@ pub use tree_gen as gen;
 pub use tree_repr as repr;
 
 pub use mpc_engine::{DistVec, MpcConfig, MpcContext, SortKey, SortedTable};
-pub use tree_dp_core::{prepare, ClusterDp, DpSolution, PreparedTree, StateDp, StateEngine};
+pub use tree_dp_core::{
+    prepare, ClusterDp, DpSolution, PreparedTree, SolvePlan, StateDp, StateEngine,
+};
 pub use tree_dp_incremental::{IncrementalSolver, UpdateStats};
 pub use tree_repr::{ListOfEdges, StringOfParentheses, Tree, TreeInput};

@@ -57,6 +57,14 @@ where
     /// Solve the problem once on `prepared` (same contract as
     /// [`PreparedTree::solve`]), caching all per-cluster records for later updates.
     ///
+    /// The initial solve runs over the prepared tree's shared
+    /// [`SolvePlan`](tree_dp_core::SolvePlan): the cached views the incremental
+    /// machinery patches *are* the plan's skeleton views filled with this problem's
+    /// payloads, so constructing a solver on an already-planned tree charges only the
+    /// cheap evaluation pass (and building several solvers — or mixing incremental
+    /// updates with [`SolvePlan::solve`](tree_dp_core::SolvePlan::solve) calls for
+    /// other problems — shares one assembly).
+    ///
     /// * `node_inputs` — inputs of the *original* nodes.
     /// * `aux_input` — the input of every auxiliary node introduced by degree
     ///   reduction (never touched by updates; auxiliary copies keep it).
@@ -70,7 +78,9 @@ where
         edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
     ) -> Self {
         let (_, store) =
-            prepared.solve_with_store(ctx, &problem, node_inputs, aux_input, edge_inputs);
+            prepared
+                .plan(ctx)
+                .solve_with_store(ctx, &problem, node_inputs, aux_input, edge_inputs);
         let topo = Topology::build(&store);
         Self {
             problem,

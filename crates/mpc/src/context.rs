@@ -198,6 +198,34 @@ impl MpcContext {
         }
     }
 
+    /// Check explicit per-machine word counts against the local-memory cap.
+    ///
+    /// [`check_memory`](Self::check_memory) covers the common case of one
+    /// distributed vector; algorithms that *retain* state across steps (e.g. the
+    /// solve-plan evaluation, which keeps every processed layer's views resident
+    /// until its top-down pass finishes) account their cumulative per-machine
+    /// residency themselves and check the totals here.
+    pub fn check_memory_words(&mut self, words: &[usize], what: &str) {
+        let limit = self.cfg.local_capacity();
+        let ctx_name = self.current_context(what);
+        let round = self.metrics.rounds;
+        for (machine, &w) in words.iter().enumerate() {
+            if w > self.metrics.peak_local_memory {
+                self.metrics.peak_local_memory = w;
+            }
+            if w > limit {
+                self.push_violation(Violation {
+                    kind: ViolationKind::LocalMemory,
+                    machine,
+                    round,
+                    observed: w,
+                    limit,
+                    context: ctx_name.clone(),
+                });
+            }
+        }
+    }
+
     fn push_violation(&mut self, v: Violation) {
         if self.cfg.strict {
             panic!("MPC model violation (strict mode): {v}");

@@ -6,9 +6,10 @@
 //! output chunks, and every transient buffer is reused. This test pins the property
 //! with a counting global allocator: after a short warm-up, each further
 //! `sort_by_key` / `sort_with_index` / `rebalance` / `route_sorted` /
-//! `gather_groups` / `join_lookup` / `join_lookup_sorted` cycle leaves **zero net
-//! heap growth** — every byte allocated during the call is freed or returned to the
-//! arena by the time it finishes.
+//! `gather_groups` / `join_lookup` / `join_lookup_sorted` cycle — and each warm
+//! solve-plan evaluation (`SolvePlan::solve` over a pre-built plan) — leaves
+//! **zero net heap growth**: every byte allocated during the call is freed or
+//! returned to the arena by the time it finishes.
 //!
 //! The whole check lives in one `#[test]` so no concurrent test pollutes the global
 //! counters, and it forces sequential machine-local execution (the parallel path
@@ -141,4 +142,48 @@ fn warm_primitive_calls_have_zero_net_heap_growth() {
     // The primitives above really ran: rounds and volume accumulated.
     assert!(ctx.metrics().rounds > 0);
     assert!(ctx.metrics().total_words_sent > 0);
+
+    // --- solve-plan evaluation: with the plan (problem-independent view assembly)
+    // built once, every warm `plan.solve` call must also leave the heap where it
+    // found it — its working state, materialized views, and label chunks are all
+    // freed when the returned solution drops. Metrics are reset inside the window:
+    // the per-phase breakdown strings a solve records are bookkeeping of the
+    // *simulator*, not of the evaluation pass, and would otherwise accumulate.
+    use tree_dp_core::StateEngine;
+    use tree_dp_problems::MaxWeightIndependentSet;
+    use tree_gen::shapes;
+    use tree_repr::{ListOfEdges, TreeInput};
+
+    let tree = shapes::random_recursive(512, 3);
+    let cfg = MpcConfig::new(2 * tree.len(), 0.5)
+        .with_parallel(false)
+        .with_memory_slack(512.0)
+        .with_bandwidth_slack(512.0);
+    let mut ctx = MpcContext::new(cfg);
+    let prepared = tree_dp_core::prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        None,
+    )
+    .expect("prepare");
+    let plan = prepared.plan(&mut ctx).clone();
+    let engine = StateEngine::new(MaxWeightIndependentSet);
+    let inputs = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1 + (v % 13) as i64))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let mut optimum = None;
+    assert_steady_state("plan.solve", 3, 5, |_| {
+        let sol = plan.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
+        let best = sol.root_summary.best(engine.problem());
+        assert!(
+            optimum.is_none() || optimum == Some(best),
+            "optimum drifted"
+        );
+        optimum = Some(best);
+        drop(sol);
+        ctx.reset_metrics();
+    });
 }

@@ -1,0 +1,397 @@
+//! The shared solve-plan engine: plan-based and batched solves must be bit-identical
+//! to fresh `solve_dp` runs (labels, root label, optimum) for MaxIS / MinVC / MinDS /
+//! matching, while charging strictly fewer rounds per problem — and a batch of four
+//! problems over one plan must cost at most 60% of four independent solves.
+
+use mpc_tree_dp::gen::{shapes, suite::small_suite};
+use mpc_tree_dp::problems::{
+    MaxWeightIndependentSet, MaxWeightMatching, MinWeightDominatingSet, MinWeightVertexCover,
+};
+use mpc_tree_dp::{
+    prepare, ClusterDp, ListOfEdges, MpcConfig, MpcContext, PreparedTree, StateEngine, TreeInput,
+};
+use std::collections::BTreeMap;
+use tree_repr::{NodeId, Tree};
+
+fn ctx_for(n: usize) -> MpcContext {
+    MpcContext::new(
+        MpcConfig::new((2 * n).max(16), 0.5)
+            .with_memory_slack(512.0)
+            .with_bandwidth_slack(512.0),
+    )
+}
+
+/// Deterministic pseudo-random stream (the vendored `rand` is a stand-in; tests use
+/// their own splitmix so tree shapes are stable across toolchains).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn random_tree(n: usize, seed: u64) -> Tree {
+    let mut state = seed;
+    let mut parents: Vec<Option<usize>> = vec![None];
+    for v in 1..n {
+        parents.push(Some((splitmix(&mut state) % v as u64) as usize));
+    }
+    Tree::from_parents(parents)
+}
+
+/// Solve `problem` fresh and through the prepared tree's plan; assert bit-identical
+/// labels / root label / root summary and return `(fresh_rounds, plan_eval_rounds)`.
+fn check_problem<P>(
+    ctx: &mut MpcContext,
+    prepared: &PreparedTree,
+    problem: &P,
+    node_inputs: &mpc_tree_dp::DistVec<(NodeId, P::NodeInput)>,
+    aux_input: P::NodeInput,
+    edge_inputs: &mpc_tree_dp::DistVec<(NodeId, P::EdgeInput)>,
+    what: &str,
+) -> (u64, u64)
+where
+    P: ClusterDp,
+    P::Label: PartialEq + std::fmt::Debug,
+    P::Summary: PartialEq + std::fmt::Debug,
+{
+    let before = ctx.metrics().rounds;
+    let fresh = prepared.solve(ctx, problem, node_inputs, aux_input.clone(), edge_inputs);
+    let fresh_rounds = ctx.metrics().rounds - before;
+
+    let plan = prepared.plan(ctx); // cached: free after the first call per tree
+    let before = ctx.metrics().rounds;
+    let planned = plan.solve(ctx, problem, node_inputs, aux_input, edge_inputs);
+    let eval_rounds = ctx.metrics().rounds - before;
+
+    let fresh_labels: BTreeMap<NodeId, P::Label> = fresh.labels.iter().cloned().collect();
+    let plan_labels: BTreeMap<NodeId, P::Label> = planned.labels.iter().cloned().collect();
+    assert_eq!(fresh_labels, plan_labels, "{what}: labels diverge");
+    assert_eq!(
+        fresh.root_label, planned.root_label,
+        "{what}: root label diverges"
+    );
+    assert_eq!(
+        fresh.root_summary, planned.root_summary,
+        "{what}: root summary diverges"
+    );
+    (fresh_rounds, eval_rounds)
+}
+
+/// Run all four Table-1 problems on one tree, checking plan-vs-fresh equivalence and
+/// that every plan evaluation charges strictly fewer rounds than its fresh solve.
+fn check_tree(tree: &Tree, threshold: Option<usize>, seed: u64, what: &str) {
+    let mut ctx = ctx_for(tree.len());
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+        threshold,
+    )
+    .unwrap();
+    let mut state = seed;
+    let weights: Vec<i64> = (0..tree.len())
+        .map(|_| 1 + (splitmix(&mut state) % 30) as i64)
+        .collect();
+    let node_w = ctx.from_vec(
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
+    );
+    let unit = ctx.from_vec((0..tree.len()).map(|v| (v as u64, ())).collect::<Vec<_>>());
+    let edge_w = ctx.from_vec(
+        (1..tree.len())
+            .map(|v| (v as u64, 1 + (v % 9) as i64))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+
+    let mut results = Vec::new();
+    results.push(check_problem(
+        &mut ctx,
+        &prepared,
+        &StateEngine::new(MaxWeightIndependentSet),
+        &node_w,
+        0,
+        &no_edges,
+        &format!("{what}/max-is"),
+    ));
+    results.push(check_problem(
+        &mut ctx,
+        &prepared,
+        &StateEngine::new(MinWeightVertexCover),
+        &node_w,
+        0,
+        &no_edges,
+        &format!("{what}/min-vc"),
+    ));
+    results.push(check_problem(
+        &mut ctx,
+        &prepared,
+        &StateEngine::new(MinWeightDominatingSet),
+        &node_w,
+        0,
+        &no_edges,
+        &format!("{what}/min-ds"),
+    ));
+    results.push(check_problem(
+        &mut ctx,
+        &prepared,
+        &StateEngine::new(MaxWeightMatching),
+        &unit,
+        (),
+        &edge_w,
+        &format!("{what}/matching"),
+    ));
+    for (fresh, eval) in results {
+        assert!(
+            eval < fresh,
+            "{what}: plan evaluation ({eval} rounds) not cheaper than fresh solve ({fresh})"
+        );
+    }
+}
+
+#[test]
+fn plan_solves_match_fresh_solves_on_the_standard_suite() {
+    for entry in small_suite(7) {
+        check_tree(
+            &entry.tree,
+            None,
+            0xC0FFEE ^ entry.tree.len() as u64,
+            &entry.name,
+        );
+    }
+}
+
+#[test]
+fn plan_solves_match_fresh_solves_on_random_trees() {
+    for i in 0..20u64 {
+        let n = 24 + (i as usize) * 9;
+        let tree = random_tree(n, 0xBEEF + i * 101);
+        // A small threshold forces several clustering layers even on tiny trees.
+        check_tree(&tree, Some(4), i * 7 + 1, &format!("random-{i}"));
+    }
+}
+
+#[test]
+fn solve_many_matches_individual_plan_solves() {
+    let tree = shapes::caterpillar(24, 3);
+    let mut ctx = ctx_for(tree.len());
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        Some(4),
+    )
+    .unwrap();
+    let engine = StateEngine::new(MaxWeightIndependentSet);
+    let w1 = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1 + (v % 5) as i64))
+            .collect::<Vec<_>>(),
+    );
+    let w2 = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1 + (v % 3) as i64))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let plan = prepared.plan(&mut ctx).clone();
+
+    let before = ctx.metrics().rounds;
+    let a = plan.solve(&mut ctx, &engine, &w1, 0, &no_edges);
+    let b = plan.solve(&mut ctx, &engine, &w2, 0, &no_edges);
+    let individual_rounds = ctx.metrics().rounds - before;
+
+    let before = ctx.metrics().rounds;
+    let batch = plan.solve_many(
+        &mut ctx,
+        &[(&engine, &w1, 0, &no_edges), (&engine, &w2, 0, &no_edges)],
+    );
+    let batch_rounds = ctx.metrics().rounds - before;
+
+    assert_eq!(batch.len(), 2);
+    assert_eq!(batch_rounds, individual_rounds);
+    for (one, many) in [(&a, &batch[0]), (&b, &batch[1])] {
+        let l1: BTreeMap<u64, _> = one.labels.iter().cloned().collect();
+        let l2: BTreeMap<u64, _> = many.labels.iter().cloned().collect();
+        assert_eq!(l1, l2);
+        assert_eq!(one.root_summary, many.root_summary);
+    }
+}
+
+#[test]
+fn plan_is_built_once_and_cached() {
+    let tree = shapes::path(96);
+    let mut ctx = ctx_for(tree.len());
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        Some(4),
+    )
+    .unwrap();
+    let before = ctx.metrics().rounds;
+    let first_views = prepared.plan(&mut ctx).num_views();
+    let build_rounds = ctx.metrics().rounds - before;
+    assert!(build_rounds > 0, "plan build must charge assembly rounds");
+    assert!(first_views > 0);
+    let before = ctx.metrics().rounds;
+    let second_views = prepared.plan(&mut ctx).num_views();
+    assert_eq!(ctx.metrics().rounds, before, "cached plan must be free");
+    assert_eq!(first_views, second_views);
+}
+
+/// The acceptance criterion of the plan engine: batched {MaxIS, MinVC, MinDS,
+/// matching} through one `SolvePlan` — including the plan build itself — charges at
+/// most 60% of the summed rounds of four independent `solve_dp` runs, with
+/// bit-identical labels and optima (asserted via `check_problem` in the suite tests;
+/// re-asserted here on the optima). Runs on `path-4096`, the shape named in the
+/// acceptance criteria.
+#[test]
+fn batched_solves_charge_at_most_sixty_percent_of_independent_solves() {
+    let tree = shapes::path(4096);
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        None,
+    )
+    .unwrap();
+    let node_w = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1 + (v % 30) as i64))
+            .collect::<Vec<_>>(),
+    );
+    let unit = ctx.from_vec((0..tree.len()).map(|v| (v as u64, ())).collect::<Vec<_>>());
+    let edge_w = ctx.from_vec(
+        (1..tree.len())
+            .map(|v| (v as u64, 1 + (v % 7) as i64))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let is = StateEngine::new(MaxWeightIndependentSet);
+    let vc = StateEngine::new(MinWeightVertexCover);
+    let ds = StateEngine::new(MinWeightDominatingSet);
+    let mm = StateEngine::new(MaxWeightMatching);
+
+    // Four independent fresh solves.
+    let before = ctx.metrics().rounds;
+    let f_is = prepared.solve(&mut ctx, &is, &node_w, 0, &no_edges);
+    let f_vc = prepared.solve(&mut ctx, &vc, &node_w, 0, &no_edges);
+    let f_ds = prepared.solve(&mut ctx, &ds, &node_w, 0, &no_edges);
+    let f_mm = prepared.solve(&mut ctx, &mm, &unit, (), &edge_w);
+    let independent = ctx.metrics().rounds - before;
+
+    // One plan, four cheap evaluations (the plan build is part of the batch's bill).
+    let before = ctx.metrics().rounds;
+    let plan = prepared.plan(&mut ctx);
+    let p_is = plan.solve(&mut ctx, &is, &node_w, 0, &no_edges);
+    let p_vc = plan.solve(&mut ctx, &vc, &node_w, 0, &no_edges);
+    let p_ds = plan.solve(&mut ctx, &ds, &node_w, 0, &no_edges);
+    let p_mm = plan.solve(&mut ctx, &mm, &unit, (), &edge_w);
+    let batched = ctx.metrics().rounds - before;
+
+    assert_eq!(f_is.root_summary, p_is.root_summary);
+    assert_eq!(f_vc.root_summary, p_vc.root_summary);
+    assert_eq!(f_ds.root_summary, p_ds.root_summary);
+    assert_eq!(f_mm.root_summary, p_mm.root_summary);
+    assert!(
+        batched * 100 <= independent * 60,
+        "batched plan solves charged {batched} rounds, more than 60% of the {independent} \
+         rounds of four independent solves"
+    );
+}
+
+/// Metrics accounting of the batched path: the total rounds of a {MaxIS, MinVC} batch
+/// equal the plan-build (assembly) rounds plus exactly twice the per-problem
+/// evaluation rounds — the assembly is charged once, never per problem, and the
+/// evaluation round count is problem-independent. The measured assembly/evaluation
+/// counts must also stay within the committed `rounds-baseline-n4096.txt` entries
+/// (the same numbers the CI `--check-rounds` guard enforces through `bench-json`).
+#[test]
+fn multi_bench_rounds_are_assembly_plus_two_evaluations() {
+    let tree = shapes::path(4096);
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), 0.5));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        None,
+    )
+    .unwrap();
+    let node_w = ctx.from_vec(
+        (0..tree.len())
+            .map(|v| (v as u64, 1 + (v % 30) as i64))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+
+    let total_before = ctx.metrics().rounds;
+    let before = ctx.metrics().rounds;
+    let plan = prepared.plan(&mut ctx);
+    let assembly = ctx.metrics().rounds - before;
+
+    let before = ctx.metrics().rounds;
+    let _ = plan.solve(
+        &mut ctx,
+        &StateEngine::new(MaxWeightIndependentSet),
+        &node_w,
+        0,
+        &no_edges,
+    );
+    let eval_is = ctx.metrics().rounds - before;
+
+    let before = ctx.metrics().rounds;
+    let _ = plan.solve(
+        &mut ctx,
+        &StateEngine::new(MinWeightVertexCover),
+        &node_w,
+        0,
+        &no_edges,
+    );
+    let eval_vc = ctx.metrics().rounds - before;
+    let total = ctx.metrics().rounds - total_before;
+
+    assert_eq!(
+        eval_is, eval_vc,
+        "evaluation rounds must be problem-independent"
+    );
+    assert_eq!(
+        total,
+        assembly + 2 * eval_is,
+        "batch total must be assembly + 2 × evaluation (no double-charged assembly)"
+    );
+    assert_eq!(assembly, ctx.metrics().phase_rounds("plan-build"));
+
+    // Cross-check against the committed baseline the CI rounds guard enforces.
+    let baseline_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../rounds-baseline-n4096.txt"
+    );
+    let baseline = std::fs::read_to_string(baseline_path).expect("baseline file readable");
+    let line = baseline
+        .lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("path-4096"))
+        .expect("path-4096 baseline entry");
+    let nums: Vec<u64> = line
+        .split_whitespace()
+        .skip(1)
+        .map(|x| x.parse().expect("baseline number"))
+        .collect();
+    assert_eq!(
+        nums.len(),
+        5,
+        "baseline line must carry prepare/max_is/min_vc/plan_build/plan_eval"
+    );
+    assert!(
+        assembly <= nums[3],
+        "plan assembly regressed: {assembly} rounds > baseline {}",
+        nums[3]
+    );
+    assert!(
+        eval_is <= nums[4],
+        "plan evaluation regressed: {eval_is} rounds > baseline {}",
+        nums[4]
+    );
+}

@@ -1,10 +1,78 @@
 //! Property-based tests (proptest): random trees and weights, checking the core
 //! invariants of the framework against independent computations.
 
+use mpc_tree_dp::clustering::{Clustering, ElementKind};
+use mpc_tree_dp::gen::TreeShape;
 use mpc_tree_dp::problems::{MaxWeightIndependentSet, SubtreeAggregate};
 use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use tree_repr::Tree;
+
+/// The paper's clustering invariants, checked host-side: every cluster of every layer
+/// stays within the `n^δ`-style member bound `threshold · (threshold + 1)`
+/// (Definition 3 / Section 4), and the layer count is `O(1)` for constant `δ` —
+/// concretely at most `2 · ⌈log_threshold n⌉ + 3`, the doubling-construction bound
+/// that every probed shape/seed/δ combination satisfies with slack.
+fn assert_clustering_invariants(clustering: &Clustering, num_nodes: usize, what: &str) {
+    let member_cap = clustering.threshold * (clustering.threshold + 1);
+    // Per-layer cluster sizes: group every absorbed element by (layer, cluster).
+    let mut sizes: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+    for e in clustering.elements.iter() {
+        if e.kind != ElementKind::TopCluster {
+            *sizes.entry((e.absorbed_at, e.absorbed_into)).or_default() += 1;
+        }
+    }
+    assert!(!sizes.is_empty(), "{what}: no cluster was ever formed");
+    for (&(layer, cluster), &size) in &sizes {
+        assert!(
+            layer >= 1 && layer <= clustering.num_layers,
+            "{what}: cluster {cluster} absorbed members at invalid layer {layer}"
+        );
+        assert!(
+            size <= member_cap,
+            "{what}: cluster {cluster} at layer {layer} has {size} members, \
+             above the threshold bound {member_cap}"
+        );
+    }
+    let base = clustering.threshold.max(2) as f64;
+    let layer_bound = 2 * ((num_nodes as f64).ln() / base.ln()).ceil() as u32 + 3;
+    assert!(
+        clustering.num_layers >= 1 && clustering.num_layers <= layer_bound,
+        "{what}: {} layers exceed the O(1) bound {layer_bound} \
+         (threshold {}, {num_nodes} nodes)",
+        clustering.num_layers,
+        clustering.threshold
+    );
+}
+
+/// Clustering invariants over every `treegen` shape, multiple seeds, and multiple
+/// `δ` regimes (which drive the `n^{δ/2}` threshold through the config).
+#[test]
+fn clustering_respects_size_threshold_and_layer_bound_on_all_shapes() {
+    for shape in TreeShape::ALL {
+        for seed in [1u64, 9, 23] {
+            for delta in [0.3f64, 0.5, 0.7] {
+                let tree = shape.generate(512, seed);
+                let mut ctx = MpcContext::new(MpcConfig::new(2 * tree.len(), delta));
+                let prepared = prepare(
+                    &mut ctx,
+                    TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+                    None,
+                )
+                .unwrap();
+                let what = format!("{}-seed{seed}-d{delta}", shape.name());
+                assert_clustering_invariants(&prepared.clustering, prepared.num_nodes, &what);
+                // The full structural validator must agree.
+                let edges: Vec<_> = prepared.edges.iter().map(|(e, _)| *e).collect();
+                assert!(
+                    prepared.clustering.validate(&edges).is_empty(),
+                    "{what}: clustering validator found violations"
+                );
+            }
+        }
+    }
+}
 
 fn arbitrary_tree(max_n: usize) -> impl Strategy<Value = Tree> {
     (2..max_n).prop_flat_map(|n| {
@@ -68,8 +136,9 @@ proptest! {
         // Any tree has an independent set containing all leaves or all non-leaves.
         prop_assert!(value as usize >= tree.leaves().len().max(tree.len() - tree.leaves().len())
             || value as usize >= tree.len() / 2);
-        // The clustering must validate.
+        // The clustering must validate and respect the size/layer invariants.
         let edges: Vec<_> = prepared.edges.iter().map(|(e, _)| *e).collect();
         prop_assert!(prepared.clustering.validate(&edges).is_empty());
+        assert_clustering_invariants(&prepared.clustering, prepared.num_nodes, "random-tree");
     }
 }
