@@ -15,8 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod bateni;
-pub mod rake_compress;
+mod bateni;
+mod rake_compress;
 
 pub use bateni::{bateni_max_is, BateniResult};
 pub use rake_compress::rake_compress_subtree_sizes;

@@ -841,7 +841,10 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str
                 "      \"prepare\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
                 "      \"prepare_phases\": {{\n{}\n      }},\n",
                 "      \"max_is\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
-                "      \"min_vc\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }}\n",
+                "      \"min_vc\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"violations\": {},\n",
+                "      \"memory_headroom\": {{ \"peak_local_memory\": {}, ",
+                "\"local_capacity\": {}, \"ratio\": {:.4} }}\n",
                 "    }}"
             ),
             entry.name,
@@ -856,6 +859,10 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str
             vc_value,
             vc_rounds,
             vc_ms,
+            ctx.metrics().violations.len(),
+            ctx.metrics().peak_local_memory,
+            ctx.config().local_capacity(),
+            ctx.metrics().memory_headroom(ctx.config().local_capacity()),
         ));
     }
     // Incremental vs. full re-solve, aggregated over the whole suite per batch size.
@@ -922,7 +929,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, check_rounds: Option<&str
     println!(
         concat!(
             "{{\n",
-            "  \"schema\": \"mpc-tree-dp-bench/v5\",\n",
+            "  \"schema\": \"mpc-tree-dp-bench/v6\",\n",
             "  \"suite\": \"standard\",\n",
             "  \"n\": {},\n",
             "  \"delta\": 0.5,\n",

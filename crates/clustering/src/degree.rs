@@ -17,7 +17,7 @@ use tree_repr::{DirectedEdge, NodeId};
 
 /// Base for auxiliary node ids (far above any original node id used in this workspace,
 /// but below the 2^48 limit required by cluster-id packing).
-pub const AUX_BASE: NodeId = 1 << 44;
+pub(crate) const AUX_BASE: NodeId = 1 << 44;
 
 /// Result of [`reduce_degrees`].
 #[derive(Debug, Clone)]

@@ -19,7 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod builder;
+mod builder;
 pub mod clustering;
 pub mod degree;
 pub mod element;

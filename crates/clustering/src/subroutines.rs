@@ -22,6 +22,7 @@ use mpc_engine::{DistVec, MpcContext, Words};
 
 /// Result of [`count_subtree_sizes`] for one node.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// mpc-lint: allow(dead-pub-api) — named return type of count_subtree_sizes; callers read fields via inference
 pub struct SubtreeInfo {
     /// The node this record describes.
     pub id: ElementId,
@@ -119,6 +120,7 @@ pub fn count_subtree_sizes(
         // machine — so the per-node union is machine-local: no `gather_groups`
         // detour and no second join to merge the unions back (both used to move
         // every answer across the network again).
+        // mpc-lint: allow(metered-exchange) — requests are emitted on the machine owning the state; chunk i stays put
         let requests: DistVec<(ElementId, ElementId)> = DistVec::from_chunks(
             states
                 .chunks()
@@ -143,9 +145,11 @@ pub fn count_subtree_sizes(
         let mut changed = 0u64;
         let mut union: Vec<ElementId> = Vec::new();
         for ((state_chunk, chunk_frontiers), answer_chunk) in states
+            // mpc-lint: allow(metered-exchange) — in-place union over each machine's own records
             .chunks_mut()
             .iter_mut()
             .zip(frontiers.iter_mut())
+            // mpc-lint: allow(metered-exchange) — join answers are consumed on the machine that issued the requests
             .zip(answered.into_chunks())
         {
             let mut answers = answer_chunk.into_iter();

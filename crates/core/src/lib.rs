@@ -56,12 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod pipeline;
+mod pipeline;
 pub mod plan;
 pub mod problem;
-pub mod sequential;
+mod sequential;
 pub mod solver;
-pub mod state_dp;
+mod state_dp;
 pub mod store;
 
 pub use pipeline::{prepare, prepare_and_solve, PipelineError, PreparedTree};

@@ -206,11 +206,13 @@ pub(crate) fn build_plan(
                 ctx, clustering, layer, &payloads, None, &edge_data, &tables,
             );
             if views.is_empty() {
+                // mpc-lint: allow(alloc-hygiene) — once per empty layer: O(machines) empty slot vecs, not per-record work
                 plan.layers.push(vec![Vec::new(); machines]);
                 continue;
             }
             // The probe's summaries keep the payload table shaped exactly like a real
             // solve's, so the next layer's assembly joins charge the same way.
+            // mpc-lint: allow(metered-exchange) — probe summaries replace chunk i's views on machine i; no movement
             let summaries: PayloadTable<PlanProbe> = DistVec::from_chunks(
                 views
                     .chunks()
@@ -219,8 +221,10 @@ pub(crate) fn build_plan(
                         chunk
                             .iter()
                             .map(|v| (v.cluster, Payload::Summary(())))
+                            // mpc-lint: allow(alloc-hygiene) — per-chunk probe table moves into the DistVec; built once per layer
                             .collect()
                     })
+                    // mpc-lint: allow(alloc-hygiene) — outer chunk list, one vec per machine per layer
                     .collect(),
             );
             let mut layer_views: Vec<Vec<PlanView>> = Vec::with_capacity(machines);
@@ -240,6 +244,7 @@ pub(crate) fn build_plan(
                                 parent: m.parent,
                                 children: m.children.clone(),
                             })
+                            // mpc-lint: allow(alloc-hygiene) — plan skeleton outlives the loop; built once per plan, not per solve
                             .collect(),
                         top: view.top,
                         out_edge: view.out_edge,
@@ -448,6 +453,7 @@ impl SolvePlan {
             for layer in 1..=self.num_layers {
                 let li = (layer - 1) as usize;
                 if self.layers[li].iter().all(Vec::is_empty) {
+                    // mpc-lint: allow(alloc-hygiene) — once per skipped layer: O(machines) empty slots
                     materialized.push(vec![Vec::new(); machines]);
                     continue;
                 }
@@ -500,6 +506,7 @@ impl SolvePlan {
                 }
             });
 
+            // mpc-lint: allow(metered-exchange) — label_chunks[i] was produced on machine i by the top-down pass
             let labels = DistVec::from_chunks(label_chunks);
             ctx.check_memory(&labels, "plan/labels");
             if let Some(store) = store {
@@ -662,6 +669,7 @@ impl SolvePlan {
                 },
             )
         };
+        // mpc-lint: allow(metered-exchange) — chunk i was materialized on machine i; reassembly is machine-local
         let views = DistVec::from_chunks(chunks);
         // This layer's views join the resident set (released only after top-down).
         for (machine, chunk) in views.chunks().iter().enumerate() {
@@ -723,6 +731,7 @@ impl SolvePlan {
             ctx.charge_rounds(1);
             ctx.record_comm(&sends, &recvs, "plan-up");
         }
+        // mpc-lint: allow(metered-exchange) — hands each chunk back to the machine that owns it
         views.into_chunks()
     }
 

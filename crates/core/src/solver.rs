@@ -246,6 +246,7 @@ pub fn summarize_layer<P: ClusterDp>(
     // why retained views can be reused by the top-down pass and by incremental
     // re-solves. Clusters of one layer are independent, so the per-machine summarize
     // calls fan out over threads when parallel execution is enabled.
+    // mpc-lint: allow(metered-exchange) — par_map produces chunk i from chunk i; summarize is machine-local
     let summaries = DistVec::from_chunks(par_map(
         worth_parallelizing(ctx.config().parallel, views.len()),
         views.chunks(),

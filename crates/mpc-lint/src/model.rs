@@ -1,0 +1,326 @@
+//! Per-file context model built on top of the scrubbed source: which lines are test
+//! code, which lines sit inside a loop body, and the span of every function — the
+//! structural facts the rules condition on.
+
+use crate::lexer::{scrub, Allow, Scrubbed};
+
+/// Where a file sits in the workspace, which decides which rules apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library/binary source under `crates/<name>/src/`.
+    LibSrc,
+    /// Test code: `crates/*/tests/`, the workspace `tests/` directory, or a
+    /// `tests.rs` module file (the repo's convention for out-of-line test modules).
+    Test,
+    /// `examples/` programs.
+    Example,
+    /// Criterion benches under `crates/*/benches/`.
+    Bench,
+}
+
+/// One function's extent in the file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start: usize,
+    /// 1-based line of the closing brace (inclusive).
+    pub end: usize,
+    /// Declared under `#[test]` or inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// The analyzed form of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub kind: FileKind,
+    /// Crate name for `crates/<name>/…` paths, empty otherwise.
+    pub crate_name: String,
+    /// Scrubbed source lines (comments and literal contents blanked).
+    pub lines: Vec<String>,
+    /// Per line (0-based index): inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: Vec<bool>,
+    /// Per line: inside a `for` / `while` / `loop` body.
+    pub in_loop: Vec<bool>,
+    pub fns: Vec<FnSpan>,
+    pub allows: Vec<Allow>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RegionKind {
+    Test,
+    Loop,
+    Fn(usize), // index into fns
+}
+
+impl FileModel {
+    /// Analyze `source` as the file at workspace-relative `path`.
+    pub fn build(path: &str, source: &str) -> FileModel {
+        let path = path.replace('\\', "/");
+        let Scrubbed { lines, allows } = scrub(source);
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        let kind = classify(&path);
+
+        let mut model = FileModel {
+            path,
+            kind,
+            crate_name,
+            in_test: vec![false; lines.len()],
+            in_loop: vec![false; lines.len()],
+            fns: Vec::new(),
+            allows,
+            lines,
+        };
+        model.scan_regions();
+        model
+    }
+
+    /// Single pass over the scrubbed lines tracking brace depth and open regions.
+    fn scan_regions(&mut self) {
+        let mut depth = 0usize;
+        // Open regions, each tagged with the depth its `{` created.
+        let mut regions: Vec<(RegionKind, usize)> = Vec::new();
+        // Markers seen since the last `{` / `;` that will bind to the next brace.
+        let mut pending_test = false;
+        let mut pending_loop = false;
+        let mut pending_fn: Option<(String, usize)> = None;
+        // `impl Display for Foo {` — that `for` is not a loop.
+        let mut pending_impl = false;
+        // `;` only terminates an item at bracket/paren depth 0 (`[u8; 4]` does not).
+        let mut inner = 0usize;
+
+        for idx in 0..self.lines.len() {
+            let line = self.lines[idx].clone();
+            let lineno = idx + 1;
+            // Attributes are line-atomic in practice; detect them textually.
+            let trimmed = line.trim_start();
+            if trimmed.contains("#[cfg(test)") || trimmed.contains("#[test]") {
+                pending_test = true;
+            }
+            let mut test_seen = pending_test || regions.iter().any(|(k, _)| *k == RegionKind::Test);
+            let mut loop_seen = regions.iter().any(|(k, _)| *k == RegionKind::Loop);
+
+            let mut ident = String::new();
+            let mut chars = line.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c.is_alphanumeric() || c == '_' {
+                    ident.push(c);
+                    if chars.peek().is_some() {
+                        continue;
+                    }
+                }
+                // Identifier just ended (or end of line): classify it.
+                match ident.as_str() {
+                    "fn" => {
+                        // The next identifier is the function name.
+                        let mut name = String::new();
+                        while let Some(&n) = chars.peek() {
+                            if n.is_alphanumeric() || n == '_' {
+                                name.push(n);
+                                chars.next();
+                            } else if name.is_empty() && n == ' ' {
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        pending_fn = Some((name, lineno));
+                    }
+                    "for" if !pending_impl => pending_loop = true,
+                    "while" | "loop" => pending_loop = true,
+                    "impl" => pending_impl = true,
+                    _ => {}
+                }
+                ident.clear();
+                match c {
+                    '(' | '[' => inner += 1,
+                    ')' | ']' => inner = inner.saturating_sub(1),
+                    _ => {}
+                }
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if let Some((name, start)) = pending_fn.take() {
+                            let is_test =
+                                pending_test || regions.iter().any(|(k, _)| *k == RegionKind::Test);
+                            self.fns.push(FnSpan {
+                                name,
+                                start,
+                                end: start,
+                                is_test,
+                            });
+                            regions.push((RegionKind::Fn(self.fns.len() - 1), depth));
+                        }
+                        if pending_test {
+                            regions.push((RegionKind::Test, depth));
+                            pending_test = false;
+                        }
+                        if pending_loop {
+                            regions.push((RegionKind::Loop, depth));
+                            pending_loop = false;
+                            loop_seen = true;
+                        }
+                        pending_impl = false;
+                        test_seen =
+                            test_seen || regions.iter().any(|(k, _)| *k == RegionKind::Test);
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        while regions.last().is_some_and(|&(_, d)| d > depth) {
+                            let (kind, _) = regions.pop().expect("regions non-empty");
+                            if let RegionKind::Fn(fi) = kind {
+                                self.fns[fi].end = lineno;
+                            }
+                        }
+                    }
+                    // A terminated item between attribute and brace (e.g.
+                    // `#[cfg(test)] mod tests;`, trait method decls) consumes
+                    // the pending markers so they cannot leak onto the next
+                    // unrelated block.
+                    ';' if inner == 0 && regions.last().map(|&(_, d)| d).unwrap_or(0) == depth => {
+                        pending_fn = None;
+                        pending_test = false;
+                        pending_loop = false;
+                        pending_impl = false;
+                    }
+                    _ => {}
+                }
+            }
+            self.in_test[idx] = test_seen;
+            self.in_loop[idx] = loop_seen || regions.iter().any(|(k, _)| *k == RegionKind::Loop);
+        }
+        // Close any function left open by truncated input.
+        let last = self.lines.len();
+        for (kind, _) in regions {
+            if let RegionKind::Fn(fi) = kind {
+                self.fns[fi].end = last;
+            }
+        }
+    }
+
+    /// Whether the 1-based `line` is test code (either by region or because the
+    /// whole file is test code).
+    pub fn line_is_test(&self, line: usize) -> bool {
+        self.kind == FileKind::Test || self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+fn classify(path: &str) -> FileKind {
+    let in_crates = path.starts_with("crates/");
+    if path.starts_with("tests/") || (in_crates && path.contains("/tests/")) {
+        return FileKind::Test;
+    }
+    if path.ends_with("/tests.rs") {
+        // Out-of-line `#[cfg(test)] mod tests;` module files.
+        return FileKind::Test;
+    }
+    if path.starts_with("examples/") || (in_crates && path.contains("/examples/")) {
+        return FileKind::Example;
+    }
+    if in_crates && path.contains("/benches/") {
+        return FileKind::Bench;
+    }
+    FileKind::LibSrc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_and_test_regions_are_tracked() {
+        let src = "\
+fn alpha() {
+    let x = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn beta() {
+        assert!(true);
+    }
+}
+";
+        let m = FileModel::build("crates/demo/src/lib.rs", src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "alpha");
+        assert!(!m.fns[0].is_test);
+        assert_eq!((m.fns[0].start, m.fns[0].end), (1, 3));
+        assert_eq!(m.fns[1].name, "beta");
+        assert!(m.fns[1].is_test);
+        assert!(!m.line_is_test(2));
+        assert!(m.line_is_test(9));
+    }
+
+    #[test]
+    fn loop_bodies_are_tracked() {
+        let src = "\
+fn f() {
+    let a = vec![1];
+    for x in 0..3 {
+        let b = Vec::new();
+    }
+    while cond() {
+        let c = vec![2];
+    }
+}
+";
+        let m = FileModel::build("crates/demo/src/lib.rs", src);
+        assert!(!m.in_loop[1]);
+        assert!(m.in_loop[2]); // the `for` header line opens the region
+        assert!(m.in_loop[3]);
+        assert!(!m.in_loop[8]); // closing fn brace is outside any loop
+        assert!(m.in_loop[6]);
+    }
+
+    #[test]
+    fn cfg_test_mod_semicolon_does_not_leak() {
+        let src = "\
+#[cfg(test)]
+mod tests;
+
+fn real() {
+    work();
+}
+";
+        let m = FileModel::build("crates/demo/src/lib.rs", src);
+        assert_eq!(m.fns.len(), 1);
+        assert!(!m.fns[0].is_test, "pending #[cfg(test)] must not leak");
+        assert!(!m.line_is_test(5));
+    }
+
+    #[test]
+    fn file_kinds() {
+        assert_eq!(
+            FileModel::build("tests/integration_x.rs", "").kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            FileModel::build("crates/a/tests/t.rs", "").kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            FileModel::build("crates/problems/src/tests.rs", "").kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            FileModel::build("examples/quickstart.rs", "").kind,
+            FileKind::Example
+        );
+        assert_eq!(
+            FileModel::build("crates/bench/benches/b.rs", "").kind,
+            FileKind::Bench
+        );
+        assert_eq!(
+            FileModel::build("crates/mpc/src/lib.rs", "").kind,
+            FileKind::LibSrc
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Finding representation and the two output formats: rustc-style text and JSON.
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`metered-exchange`, `determinism`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+/// Render findings rustc-style, one `error[...]` block per finding.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "error[mpc-lint::{}]: {}\n  --> {}:{}\n",
+            f.rule, f.message, f.file, f.line
+        ));
+    }
+    out
+}
+
+/// Render findings as a JSON document (`--json` mode). Hand-rolled — the workspace
+/// is offline and dependency-free by policy.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\" }}",
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"count\": {},\n  \"files_scanned\": {}\n}}\n",
+        findings.len(),
+        files_scanned
+    ));
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "panic-policy",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "`.unwrap()` in a \"library\" crate".into(),
+        }]
+    }
+
+    #[test]
+    fn text_format_is_rustc_style() {
+        let t = render_text(&sample());
+        assert!(t.contains("error[mpc-lint::panic-policy]"));
+        assert!(t.contains("--> crates/x/src/lib.rs:7"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = render_json(&sample(), 3);
+        assert!(j.contains("\\\"library\\\""));
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn json_empty_findings() {
+        let j = render_json(&[], 0);
+        assert!(j.contains("\"findings\": []"));
+    }
+}

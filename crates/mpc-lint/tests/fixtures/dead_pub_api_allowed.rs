@@ -1,0 +1,7 @@
+//@ path: crates/problems/src/fixture.rs
+// Items that must stay public for downstream users carry the argument inline.
+
+// mpc-lint: allow(dead-pub-api) — entry point for external embedders, see README quickstart
+pub fn orphan_solver(x: u64) -> u64 {
+    x * 2
+}

@@ -1,0 +1,17 @@
+//@ path: crates/problems/src/fixture.rs
+// R6: pub items nobody else in the workspace names. (This fixture is linted as a
+// one-file workspace, so nothing outside it can use them.)
+
+pub fn orphan_solver(x: u64) -> u64 { //~ dead-pub-api
+    x * 2
+}
+
+pub struct OrphanState { //~ dead-pub-api
+    pub items: Vec<u64>,
+}
+
+pub const ORPHAN_LIMIT: usize = 16; //~ dead-pub-api
+
+fn private_helpers_are_not_checked() -> usize {
+    ORPHAN_LIMIT
+}

@@ -1,0 +1,11 @@
+//@ path: crates/core/src/fixture.rs
+// Deterministic containers need no exemption; a justified hash map carries one.
+
+use std::collections::BTreeMap;
+
+fn tally(xs: &[u64]) -> usize {
+    let seen: BTreeMap<u64, u64> = xs.iter().map(|&x| (x, x)).collect();
+    // mpc-lint: allow(determinism) — keyed by machine id, drained via sorted keys below
+    let cache: HashMap<u64, u64> = HashMap::new();
+    seen.len() + cache.len()
+}

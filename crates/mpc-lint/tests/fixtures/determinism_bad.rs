@@ -1,0 +1,20 @@
+//@ path: crates/core/src/fixture.rs
+// R2: hash-order iteration, wall clocks, and unseeded RNG in solver code.
+
+use std::collections::HashMap; //~ determinism
+
+fn tally(xs: &[u64]) -> usize {
+    let mut seen: HashSet<u64> = xs.iter().copied().collect(); //~ determinism
+    let t0 = std::time::Instant::now(); //~ determinism
+    let mut rng = thread_rng(); //~ determinism
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: hash containers are fine where determinism is asserted
+    // by the test itself.
+    fn helper() {
+        let m: HashMap<u64, u64> = HashMap::new();
+    }
+}

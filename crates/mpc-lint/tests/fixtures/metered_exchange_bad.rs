@@ -1,0 +1,15 @@
+//@ path: crates/clustering/src/fixture.rs
+// R1: direct DistVec chunk access outside crates/mpc moves words without metering.
+
+fn smuggle(dv: DistVec<u64>) -> DistVec<u64> {
+    let mut chunks = dv.into_chunks(); //~ metered-exchange
+    chunks[0].push(7);
+    for c in dv2.chunks_mut() { //~ metered-exchange
+        c.clear();
+    }
+    DistVec::from_chunks(chunks) //~ metered-exchange
+}
+
+fn unmetered_build(cfg: &MpcConfig, data: Vec<u64>) -> DistVec<u64> {
+    DistVec::from_vec_cfg(cfg, data) //~ metered-exchange
+}

@@ -1,0 +1,8 @@
+//@ path: crates/repr/src/fixture.rs
+// An unwrap whose infallibility argument is written down may stay.
+
+fn parent_of(tree: &Tree, v: usize) -> usize {
+    debug_assert!(v != tree.root());
+    // mpc-lint: allow(panic-policy) — v is never the root here, checked by the caller loop
+    tree.parent(v).unwrap()
+}

@@ -1,0 +1,24 @@
+//@ path: crates/repr/src/fixture.rs
+// R5: unwrap in library code, and expect() with an empty message.
+
+fn parent_of(tree: &Tree, v: usize) -> usize {
+    tree.parent(v).unwrap() //~ panic-policy
+}
+
+fn root_of(tree: &Tree) -> usize {
+    tree.root_checked().expect("") //~ panic-policy
+}
+
+fn fine(tree: &Tree) -> usize {
+    tree.root_checked()
+        .expect("normalize() always produces a rooted tree")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

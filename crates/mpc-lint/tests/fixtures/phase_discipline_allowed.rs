@@ -1,0 +1,13 @@
+//@ path: crates/clustering/src/fixture.rs
+// A split begin/end pair across helper methods is legitimate when documented:
+// the pairing invariant lives one level up.
+
+// mpc-lint: allow(phase-discipline) — closed by finish() below; callers must pair start/finish
+fn start(ctx: &mut MpcContext) {
+    ctx.begin_phase("streaming");
+}
+
+// mpc-lint: allow(phase-discipline) — closes the phase opened by start()
+fn finish(ctx: &mut MpcContext) {
+    ctx.end_phase();
+}

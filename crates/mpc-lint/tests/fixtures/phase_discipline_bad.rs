@@ -1,0 +1,21 @@
+//@ path: crates/clustering/src/fixture.rs
+// R4: a function that opens a phase it does not close (or vice versa) corrupts
+// round attribution for everything after it.
+
+fn leaky(ctx: &mut MpcContext) { //~ phase-discipline
+    ctx.begin_phase("cluster");
+    do_work(ctx);
+    // forgot end_phase
+}
+
+fn overclosed(ctx: &mut MpcContext) { //~ phase-discipline
+    ctx.begin_phase("sort");
+    ctx.end_phase();
+    ctx.end_phase();
+}
+
+fn balanced(ctx: &mut MpcContext) {
+    ctx.begin_phase("route");
+    do_work(ctx);
+    ctx.end_phase();
+}

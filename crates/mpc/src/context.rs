@@ -4,7 +4,7 @@
 use crate::config::MpcConfig;
 use crate::distvec::DistVec;
 use crate::error::{MpcError, MpcResult, Violation, ViolationKind};
-use crate::metrics::{Metrics, PhaseMetrics};
+use crate::metrics::{Metrics, PhaseMetrics, PhaseTimer};
 use crate::par::{par_map_mut, par_map_reduce, par_scatter, worth_parallelizing};
 use crate::scratch::Scratch;
 use crate::words::{slice_words, Words};
@@ -56,7 +56,7 @@ impl<M> Default for Outbox<M> {
 pub struct MpcContext {
     cfg: MpcConfig,
     metrics: Metrics,
-    phase_stack: Vec<(String, u64, u64)>,
+    phase_stack: Vec<PhaseTimer>,
     /// Reusable scratch buffers for the primitive hot path (radix pairs, merge heap,
     /// counters, record-buffer pool) — see [`crate::scratch`]. Invisible to the MPC
     /// model: affects only the simulator's wall-clock time and allocator traffic.
@@ -99,24 +99,47 @@ impl MpcContext {
     }
 
     /// Run `f` as a named phase; rounds, communication, and wall-clock time consumed
-    /// inside are attributed to `name` in [`Metrics::phases`].
+    /// inside are attributed to `name` in [`Metrics::phases`]. This closure form
+    /// cannot be left unbalanced; prefer it over explicit
+    /// [`begin_phase`](Self::begin_phase) / [`end_phase`](Self::end_phase) pairs
+    /// wherever control flow allows.
     pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
-        self.phase_stack.push((
-            name.to_string(),
-            self.metrics.rounds,
-            self.metrics.total_words_sent,
-        ));
-        let start = std::time::Instant::now();
+        self.begin_phase(name);
         let out = f(self);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        let (name, rounds0, sent0) = self.phase_stack.pop().expect("phase stack balanced");
+        self.end_phase();
+        out
+    }
+
+    /// Open a named phase explicitly. Every `begin_phase` needs a matching
+    /// [`end_phase`](Self::end_phase) on all control-flow paths — the
+    /// `phase-discipline` lint checks the pairing per function statically. Use this
+    /// form only when a phase spans structures a closure cannot (e.g. opened in one
+    /// method, closed in another of the same struct); otherwise use
+    /// [`phase`](Self::phase).
+    pub fn begin_phase(&mut self, name: &str) {
+        self.phase_stack
+            .push(PhaseTimer::start(name, &self.metrics));
+    }
+
+    /// Close the innermost open phase and attribute the rounds, communication, and
+    /// wall-clock time consumed since its [`begin_phase`](Self::begin_phase) to it
+    /// in [`Metrics::phases`].
+    ///
+    /// # Panics
+    /// Panics if no phase is open — an unbalanced `end_phase` is a phase-accounting
+    /// bug, the dynamic counterpart of what the `phase-discipline` lint rejects.
+    pub fn end_phase(&mut self) {
+        let timer = self
+            .phase_stack
+            .pop()
+            .expect("end_phase without a matching begin_phase");
+        let wall_ms = timer.elapsed_ms();
         self.metrics.phases.push(PhaseMetrics {
-            name,
-            rounds: self.metrics.rounds - rounds0,
-            words_sent: self.metrics.total_words_sent - sent0,
+            rounds: self.metrics.rounds - timer.rounds0,
+            words_sent: self.metrics.total_words_sent - timer.sent0,
+            name: timer.name,
             wall_ms,
         });
-        out
     }
 
     // ----- internal accounting ---------------------------------------------------
@@ -125,7 +148,7 @@ impl MpcContext {
     fn current_context(&self, fallback: &str) -> String {
         self.phase_stack
             .last()
-            .map(|(n, _, _)| format!("{n}/{fallback}"))
+            .map(|t| format!("{}/{fallback}", t.name))
             .unwrap_or_else(|| fallback.to_string())
     }
 
@@ -614,6 +637,30 @@ mod tests {
         let _ = c.phase("balance", |c| c.rebalance(dv));
         assert_eq!(c.metrics().phase_rounds("shuffle"), 1);
         assert!(c.metrics().phase_rounds("balance") >= 1);
+    }
+
+    #[test]
+    fn explicit_begin_end_phase_matches_closure_form() {
+        let mut a = ctx(256);
+        let dv = a.from_vec((0u64..64).collect());
+        a.begin_phase("shuffle");
+        let _ = a.route(dv, |x| (*x % 3) as usize);
+        a.end_phase();
+        let mut b = ctx(256);
+        let dv = b.from_vec((0u64..64).collect());
+        let _ = b.phase("shuffle", |c| c.route(dv, |x| (*x % 3) as usize));
+        assert_eq!(
+            a.metrics().phase_rounds("shuffle"),
+            b.metrics().phase_rounds("shuffle")
+        );
+        assert_eq!(a.metrics().total_words_sent, b.metrics().total_words_sent);
+    }
+
+    #[test]
+    #[should_panic(expected = "end_phase without a matching begin_phase")]
+    fn unbalanced_end_phase_panics() {
+        let mut c = ctx(256);
+        c.end_phase();
     }
 
     #[test]

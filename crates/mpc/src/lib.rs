@@ -87,7 +87,7 @@ pub mod error;
 pub mod metrics;
 pub mod par;
 pub mod prefix;
-pub mod primitives;
+pub(crate) mod primitives;
 pub(crate) mod scratch;
 pub mod sortkey;
 pub mod words;

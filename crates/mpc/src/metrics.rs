@@ -41,10 +41,47 @@ pub struct PhaseMetrics {
     pub wall_ms: f64,
 }
 
+/// A started phase: the metric values at `begin_phase` time plus the wall clock.
+///
+/// Wall-clock measurement lives here — with the rest of the metrics plumbing — and
+/// not in algorithm code: timing is simulator bookkeeping that must never influence
+/// algorithm behavior (the `determinism` lint bans `Instant::now` elsewhere).
+#[derive(Debug)]
+pub struct PhaseTimer {
+    pub(crate) name: String,
+    pub(crate) rounds0: u64,
+    pub(crate) sent0: u64,
+    start: std::time::Instant,
+}
+
+impl PhaseTimer {
+    /// Snapshot the metric counters and the wall clock at phase entry.
+    pub(crate) fn start(name: &str, metrics: &Metrics) -> Self {
+        PhaseTimer {
+            name: name.to_string(),
+            rounds0: metrics.rounds,
+            sent0: metrics.total_words_sent,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since [`start`](Self::start).
+    pub(crate) fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
 impl Metrics {
     /// `true` when no model constraint was violated.
     pub fn compliant(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Ratio of [`peak_local_memory`](Self::peak_local_memory) to the given
+    /// capacity — the model-headroom number the bench report tracks (1.0 means a
+    /// machine touched its entire `Θ(n^δ)` budget; above 1.0 is a violation).
+    pub fn memory_headroom(&self, local_capacity: usize) -> f64 {
+        self.peak_local_memory as f64 / local_capacity.max(1) as f64
     }
 
     /// Rounds consumed by the phase with the given name (summed over repeats),

@@ -181,6 +181,7 @@ where
 /// The result of a [`par_scatter`]: per-destination buckets plus the exact per-machine
 /// send and receive volumes of the implied communication round.
 #[derive(Debug)]
+// mpc-lint: allow(dead-pub-api) — named return type of par_scatter; callers destructure fields without naming it
 pub struct Scatter<T> {
     /// Records grouped by destination, each bucket in global input order.
     pub buckets: Vec<Vec<T>>,

@@ -650,6 +650,7 @@ impl MpcContext {
             for (k, item, src) in sorted {
                 match groups.last_mut() {
                     Some((gk, items)) if *gk == k => items.push((item, src)),
+                    // mpc-lint: allow(alloc-hygiene) — opens a new group owned by the result; arena buffers cannot outlive the call
                     _ => groups.push((k, vec![(item, src)])),
                 }
             }
@@ -683,6 +684,7 @@ impl MpcContext {
                         }
                         item
                     })
+                    // mpc-lint: allow(alloc-hygiene) — group members move into the result chunks; ownership leaves the loop
                     .collect();
                 chunks[machine].push((k, members));
             }

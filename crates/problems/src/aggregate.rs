@@ -21,7 +21,7 @@ pub enum AggregateOp {
 
 impl AggregateOp {
     /// The neutral element of the aggregate.
-    pub fn identity(&self) -> i64 {
+    pub(crate) fn identity(&self) -> i64 {
         match self {
             AggregateOp::Sum => 0,
             AggregateOp::Min => i64::MAX,

@@ -103,7 +103,9 @@ pub fn max_weight_matching(tree: &Tree, edge_weight: &[i64]) -> i64 {
         let mut w = 0;
         for (i, &v) in edges.iter().enumerate() {
             if mask >> i & 1 == 1 {
-                let p = tree.parent(v).unwrap();
+                let p = tree
+                    .parent(v)
+                    .expect("edges holds only nodes with a parent");
                 if used[v] || used[p] {
                     ok = false;
                     break;
@@ -192,7 +194,9 @@ pub fn count_matchings_mod(tree: &Tree, k: u64) -> u64 {
         let mut ok = true;
         for (i, &v) in edges.iter().enumerate() {
             if mask >> i & 1 == 1 {
-                let p = tree.parent(v).unwrap();
+                let p = tree
+                    .parent(v)
+                    .expect("edges holds only nodes with a parent");
                 if used[v] || used[p] {
                     ok = false;
                     break;

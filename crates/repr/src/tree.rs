@@ -30,12 +30,9 @@ impl Tree {
         for (v, p) in parents.iter().enumerate() {
             match p {
                 None => {
-                    assert!(
-                        root.is_none(),
-                        "multiple roots: {} and {}",
-                        root.unwrap(),
-                        v
-                    );
+                    if let Some(first) = root {
+                        panic!("multiple roots: {} and {}", first, v);
+                    }
                     root = Some(v);
                 }
                 Some(p) => {

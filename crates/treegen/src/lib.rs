@@ -13,11 +13,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod gaussian;
+mod gaussian;
 pub mod labels;
 pub mod shapes;
 pub mod suite;
 
-pub use gaussian::GaussianTreeModel;
+pub use gaussian::{GaussianNode, GaussianTreeModel};
 pub use shapes::TreeShape;
 pub use suite::{standard_suite, SuiteEntry};

@@ -4,6 +4,8 @@
 use mpc_tree_dp::problems::MaxWeightIndependentSet;
 use mpc_tree_dp::{prepare, MpcConfig, MpcContext, StateEngine, TreeInput};
 use tree_gen::shapes;
+use tree_repr::parentheses::{match_parentheses_mpc, MatchedParentheses};
+use tree_repr::rooting::{root_undirected, RootedTreeEdges};
 use tree_repr::{
     BfsTraversal, DfsTraversal, ListOfEdges, PointersToParents, StringOfParentheses,
     UndirectedEdges,
@@ -64,4 +66,54 @@ fn all_representations_yield_the_same_unweighted_optimum() {
     for (name, v) in &values {
         assert_eq!(*v, first, "{name} disagrees: {v} vs {first}");
     }
+}
+
+/// Host-side conversions round-trip, and the MPC normalization subroutines agree with
+/// them on the same inputs.
+#[test]
+fn representations_round_trip_through_to_tree() {
+    let tree = shapes::random_recursive(257, 11);
+    let n = tree.len();
+
+    // Identity-preserving representations reproduce the exact parent array.
+    let parents = PointersToParents::from_tree(&tree).to_tree();
+    let edges = ListOfEdges::from_tree(&tree).to_tree();
+    for v in 0..n {
+        assert_eq!(
+            parents.parent(v),
+            tree.parent(v),
+            "parents roundtrip at {v}"
+        );
+        assert_eq!(edges.parent(v), tree.parent(v), "edges roundtrip at {v}");
+    }
+
+    // Traversal representations renumber nodes but preserve the shape: same size,
+    // same multiset of child counts.
+    let shape_of = |t: &tree_repr::Tree| {
+        let mut degs: Vec<usize> = (0..t.len()).map(|v| t.degree_down(v)).collect();
+        degs.sort_unstable();
+        degs
+    };
+    let bfs = BfsTraversal::from_tree(&tree).to_tree();
+    let dfs = DfsTraversal::from_tree(&tree).to_tree();
+    assert_eq!(shape_of(&bfs), shape_of(&tree), "bfs roundtrip shape");
+    assert_eq!(shape_of(&dfs), shape_of(&tree), "dfs roundtrip shape");
+
+    // The parentheses string is well-formed, and the MPC matcher agrees on the size.
+    let parens = StringOfParentheses::from_tree(&tree);
+    assert!(parens.is_balanced());
+    let mut ctx = MpcContext::new(MpcConfig::new((4 * n).max(64), 0.5));
+    let dist = ctx.from_vec(parens.0.clone());
+    let matched: MatchedParentheses =
+        match_parentheses_mpc(&mut ctx, dist).expect("balanced single-tree string matches");
+    assert_eq!(matched.num_nodes, n);
+
+    // Euler-tour rooting of the undirected edges finds the same node count and the
+    // smallest id as root.
+    let undirected = UndirectedEdges::from_tree(&tree);
+    let dist = ctx.from_vec(undirected.0.clone());
+    let rooted: RootedTreeEdges =
+        root_undirected(&mut ctx, dist).expect("a tree's edge list roots cleanly");
+    assert_eq!(rooted.num_nodes, n);
+    assert_eq!(rooted.root, 0, "smallest node id becomes the root");
 }
