@@ -60,6 +60,7 @@ mod pipeline;
 pub mod plan;
 pub mod problem;
 mod sequential;
+pub mod snapshot;
 pub mod solver;
 mod state_dp;
 pub mod store;
@@ -68,6 +69,10 @@ pub use pipeline::{prepare, prepare_and_solve, PipelineError, PreparedTree};
 pub use plan::{PlanMember, PlanView, SolvePlan};
 pub use problem::{ClusterDp, ClusterView, Member, Payload};
 pub use sequential::{solve_sequential, SequentialSolution};
+pub use snapshot::{
+    open, seal, snapshot_from_bytes, snapshot_to_bytes, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter, KIND_PLAN, KIND_PREPARED_TREE, KIND_STORE, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use solver::{label_layer, solve_dp, solve_dp_with_store, sort_solve_tables, summarize_layer};
 pub use solver::{DpSolution, EdgeData, PayloadTable, SolveTables};
 pub use state_dp::{Score, StateDp, StateEngine, StateSummary};

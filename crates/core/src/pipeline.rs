@@ -64,7 +64,7 @@ pub struct PreparedTree {
     pub aux_to_original: DistVec<(NodeId, NodeId)>,
     /// The lazily built, cached [`SolvePlan`] (see [`plan`](Self::plan)): the
     /// problem-independent view assembly is charged at most once per prepared tree.
-    plan: OnceCell<SolvePlan>,
+    pub(crate) plan: OnceCell<SolvePlan>,
 }
 
 /// Run steps 1 and 2 of the pipeline: normalize any representation, reduce degrees, and
@@ -177,6 +177,32 @@ impl PreparedTree {
     pub fn plan(&self, ctx: &mut MpcContext) -> &SolvePlan {
         self.plan
             .get_or_init(|| build_plan(ctx, &self.clustering, &self.edges, &self.aux_to_original))
+    }
+
+    /// Build a fresh [`SolvePlan`] for this tree, bypassing (and not touching) the
+    /// [`plan`](Self::plan) cache. Every call re-charges the full `plan-build` phase —
+    /// this is the primitive an external plan cache (e.g. the serving layer's
+    /// memory-budgeted cache) uses to make eviction a *real* cost: after dropping a
+    /// tenant's plan, the rebuild goes through here and the miss shows up in rounds.
+    pub fn plan_uncached(&self, ctx: &mut MpcContext) -> SolvePlan {
+        build_plan(ctx, &self.clustering, &self.edges, &self.aux_to_original)
+    }
+
+    /// Whether a [`SolvePlan`] is currently cached on this tree (built by a prior
+    /// [`plan`](Self::plan) call or restored from a snapshot).
+    pub fn has_plan(&self) -> bool {
+        self.plan.get().is_some()
+    }
+
+    /// Approximate resident size of the prepared tree in machine words: clustering
+    /// elements, the degree-reduced edge list, the aux-node map, and the cached plan
+    /// (when built). The serving layer reports this as per-tenant resident bytes.
+    pub fn resident_words(&self) -> usize {
+        let plan = self.plan.get().map_or(0, SolvePlan::resident_words);
+        8 + self.clustering.elements.total_words()
+            + self.edges.total_words()
+            + self.aux_to_original.total_words()
+            + plan
     }
 
     /// Solve one DP problem through the cached [`SolvePlan`] (building it on first

@@ -76,22 +76,39 @@ pub struct PlanMember {
     pub children: Vec<usize>,
 }
 
+impl Words for PlanMember {
+    fn words(&self) -> usize {
+        // element (10) + out_kind + parent + children vec header/entries.
+        10 + 1 + 1 + 1 + self.children.len()
+    }
+}
+
+impl Words for PlanView {
+    fn words(&self) -> usize {
+        let members: usize = self.members.iter().map(Words::words).sum();
+        // cluster, kind, top, out_edge (2), in_edge (1+2), attach, in_kind,
+        // has_in_data + the member list.
+        10 + members
+    }
+}
+
 /// Where an element's payload (input or summary) lives: its member slot inside the
-/// absorbing cluster's skeleton view.
+/// absorbing cluster's skeleton view. Fields are `pub(crate)` so the snapshot codec
+/// (`crate::snapshot`) can persist the routing indexes verbatim.
 #[derive(Debug, Clone, Copy)]
-struct MemberSlot {
-    layer: u32,
-    machine: u32,
-    view: u32,
-    member: u32,
+pub(crate) struct MemberSlot {
+    pub(crate) layer: u32,
+    pub(crate) machine: u32,
+    pub(crate) view: u32,
+    pub(crate) member: u32,
 }
 
 /// One skeleton view, addressed by layer/machine/index.
 #[derive(Debug, Clone, Copy)]
-struct ViewSlot {
-    layer: u32,
-    machine: u32,
-    view: u32,
+pub(crate) struct ViewSlot {
+    pub(crate) layer: u32,
+    pub(crate) machine: u32,
+    pub(crate) view: u32,
 }
 
 /// The problem-independent solve plan of one prepared tree (see the module docs).
@@ -101,31 +118,31 @@ struct ViewSlot {
 /// [`solve`](Self::solve) (or [`solve_many`](Self::solve_many)) for every problem.
 #[derive(Debug, Clone)]
 pub struct SolvePlan {
-    num_layers: u32,
-    num_machines: usize,
-    root: NodeId,
-    top_cluster: ElementId,
+    pub(crate) num_layers: u32,
+    pub(crate) num_machines: usize,
+    pub(crate) root: NodeId,
+    pub(crate) top_cluster: ElementId,
     /// Machine holding the top cluster's view (where the root label is produced).
-    top_machine: usize,
+    pub(crate) top_machine: usize,
     /// Auxiliary nodes introduced by degree reduction, with the machine holding their
     /// `aux_to_original` record (the source of their `aux_input` payload).
-    aux_nodes: Vec<(NodeId, usize)>,
+    pub(crate) aux_nodes: Vec<(NodeId, usize)>,
     /// `layers[layer - 1][machine]` — the skeleton views grouped onto `machine` at
     /// `layer`, in assembly order.
-    layers: Vec<Vec<Vec<PlanView>>>,
+    pub(crate) layers: Vec<Vec<Vec<PlanView>>>,
     /// Element id → the member slot its payload must reach (absent only for the top
     /// cluster, whose summary becomes the root summary).
-    payload_slot: BTreeMap<ElementId, MemberSlot>,
+    pub(crate) payload_slot: BTreeMap<ElementId, MemberSlot>,
     /// Edge child → member slots whose `out_input` carries that edge's input.
-    out_edge_slots: BTreeMap<NodeId, Vec<MemberSlot>>,
+    pub(crate) out_edge_slots: BTreeMap<NodeId, Vec<MemberSlot>>,
     /// Edge child → views whose `in_input` carries that edge's input.
-    in_edge_slots: BTreeMap<NodeId, Vec<ViewSlot>>,
+    pub(crate) in_edge_slots: BTreeMap<NodeId, Vec<ViewSlot>>,
     /// Label key → views reading it as their out-label.
-    out_label_readers: BTreeMap<NodeId, Vec<ViewSlot>>,
+    pub(crate) out_label_readers: BTreeMap<NodeId, Vec<ViewSlot>>,
     /// Label key → views reading it as their in-label. Unlike out-labels, an in-label
     /// may be produced at a layer *below* its reader; the fresh solver then reads
     /// `None`, so deliveries are filtered to readers strictly below the producer.
-    in_label_readers: BTreeMap<NodeId, Vec<ViewSlot>>,
+    pub(crate) in_label_readers: BTreeMap<NodeId, Vec<ViewSlot>>,
 }
 
 /// The unit problem used to drive the problem-independent assembly: all payload types
@@ -334,6 +351,36 @@ impl SolvePlan {
             .flat_map(|layer| layer.iter())
             .map(Vec::len)
             .sum()
+    }
+
+    /// Approximate resident size of the plan in machine words: the skeleton views
+    /// plus the routing indexes (each slot entry counted at its encoded width). This
+    /// is the charge a plan cache levies against its memory budget — an estimate of
+    /// what keeping the plan warm costs, not an exact allocator measurement.
+    pub fn resident_words(&self) -> usize {
+        let skeletons: usize = self
+            .layers
+            .iter()
+            .flat_map(|layer| layer.iter())
+            .flat_map(|views| views.iter())
+            .map(Words::words)
+            .sum();
+        // MemberSlot encodes as 4 words + 1 key word; ViewSlot as 3 + 1.
+        let payload_idx = self.payload_slot.len() * 5;
+        let member_vecs: usize = self
+            .out_edge_slots
+            .values()
+            .map(|slots| 2 + slots.len() * 4)
+            .sum();
+        let view_vecs: usize = self
+            .in_edge_slots
+            .values()
+            .chain(self.in_label_readers.values())
+            .chain(self.out_label_readers.values())
+            .map(|slots| 2 + slots.len() * 3)
+            .sum();
+        let aux = self.aux_nodes.len() * 2;
+        8 + skeletons + payload_idx + member_vecs + view_vecs + aux
     }
 
     /// Solve one DP problem over the cached plan (same contract as

@@ -25,17 +25,17 @@ use tree_repr::NodeId;
 /// Per-cluster records retained by a solve: cached views per layer, final payloads,
 /// and final labels (see the module docs).
 pub struct SolverStore<P: ClusterDp> {
-    num_layers: u32,
+    pub(crate) num_layers: u32,
     /// Final payload of every element: `Input` for nodes, `Summary` for clusters.
-    payloads: BTreeMap<ElementId, Payload<P::NodeInput, P::Summary>>,
+    pub(crate) payloads: BTreeMap<ElementId, Payload<P::NodeInput, P::Summary>>,
     /// Cached cluster views, indexed by the layer they are processed at (`layer - 1`)
     /// and keyed by cluster id.
-    views: Vec<BTreeMap<ElementId, ClusterView<P>>>,
+    pub(crate) views: Vec<BTreeMap<ElementId, ClusterView<P>>>,
     /// One label per edge, keyed by the edge's child endpoint (the virtual root edge
     /// under the root's node id).
-    labels: BTreeMap<NodeId, P::Label>,
-    root_label: Option<P::Label>,
-    root_summary: Option<P::Summary>,
+    pub(crate) labels: BTreeMap<NodeId, P::Label>,
+    pub(crate) root_label: Option<P::Label>,
+    pub(crate) root_summary: Option<P::Summary>,
 }
 
 impl<P: ClusterDp> SolverStore<P> {
@@ -146,6 +146,24 @@ impl<P: ClusterDp> SolverStore<P> {
     /// Overwrite the root summary.
     pub fn set_root_summary(&mut self, summary: P::Summary) {
         self.root_summary = Some(summary);
+    }
+
+    /// Approximate resident size of the store in machine words: payloads, cached
+    /// views, and labels, each counted at its [`Words`](mpc_engine::Words) width plus
+    /// one key word. Used by the serving layer's per-tenant accounting.
+    pub fn resident_words(&self) -> usize {
+        use mpc_engine::Words;
+        let payloads: usize = self.payloads.values().map(|p| 1 + p.words()).sum();
+        let views: usize = self
+            .views
+            .iter()
+            .flat_map(|layer| layer.values())
+            .map(|v| 1 + v.words())
+            .sum();
+        let labels: usize = self.labels.values().map(|l| 1 + l.words()).sum();
+        let roots = self.root_label.as_ref().map_or(0, |l| l.words())
+            + self.root_summary.as_ref().map_or(0, |s| s.words());
+        1 + payloads + views + labels + roots
     }
 
     /// Export the label table as plain records (e.g. for snapshotting).

@@ -8,6 +8,8 @@
 //! * [`clustering`] — the `O(log D)`-round hierarchical clustering (Section 4),
 //! * [`core`] — the DP framework and solver (Definition 1, Section 5),
 //! * [`incremental`] — batched input updates re-solved on the cached clustering,
+//! * [`server`] — the multi-tenant serving layer (snapshot persistence,
+//!   memory-budgeted plan cache, admission batching, per-tenant metrics),
 //! * [`problems`] — the Table-1 problem library,
 //! * [`baselines`] — the Bateni-et-al.-style `O(log n)` baseline and ablations,
 //! * [`gen`] — synthetic workload generators.
@@ -24,12 +26,18 @@ pub use tree_dp_baselines as baselines;
 pub use tree_dp_core as core;
 pub use tree_dp_incremental as incremental;
 pub use tree_dp_problems as problems;
+pub use tree_dp_server as server;
 pub use tree_gen as gen;
 pub use tree_repr as repr;
 
 pub use mpc_engine::{DistVec, MpcConfig, MpcContext, SortKey, SortedTable};
 pub use tree_dp_core::{
-    prepare, ClusterDp, DpSolution, PreparedTree, SolvePlan, StateDp, StateEngine,
+    prepare, ClusterDp, DpSolution, PreparedTree, Snapshot, SnapshotError, SolvePlan, SolverStore,
+    StateDp, StateEngine,
 };
 pub use tree_dp_incremental::{IncrementalSolver, UpdateStats};
+pub use tree_dp_server::{
+    CacheStats, Request, Response, ServerConfig, ServerError, TenantMetrics, TenantSpec,
+    TreeDpServer,
+};
 pub use tree_repr::{ListOfEdges, StringOfParentheses, Tree, TreeInput};

@@ -92,6 +92,34 @@ where
         }
     }
 
+    /// Rebuild a solver from a restored [`SolverStore`] without re-solving — the
+    /// snapshot-restore path of the serving layer (`tree-dp-server`).
+    ///
+    /// The store must hold a complete solve of `problem` on the tree whose top
+    /// cluster is `top_cluster` and whose root is `root` (e.g. a store round-tripped
+    /// through [`SolverStore::to_snapshot`](tree_dp_core::SolverStore)). The cluster
+    /// topology is re-derived from the store's cached views, so the restored solver
+    /// behaves bit-identically to the one that was snapshotted: same labels, same
+    /// update deltas, same round charges. Costs zero MPC rounds — restoration is
+    /// machine-local record placement, not communication.
+    pub fn restore(
+        problem: P,
+        store: SolverStore<P>,
+        top_cluster: ElementId,
+        root: NodeId,
+    ) -> Self {
+        let topo = Topology::build(&store);
+        let num_layers = store.num_layers();
+        Self {
+            problem,
+            store,
+            topo,
+            num_layers,
+            top_cluster,
+            root,
+        }
+    }
+
     /// Apply a batch of node-input changes (keyed by *original* node id; unknown ids
     /// are ignored) and re-solve incrementally.
     pub fn update_node_inputs(

@@ -37,7 +37,14 @@ pub const ALL_RULES: [&str; 6] = [
 
 /// Crates whose solver-visible state must iterate deterministically (the
 /// bit-identical parallel/sequential guarantee of PR 3 rides on it).
-const DETERMINISM_CRATES: [&str; 5] = ["core", "clustering", "incremental", "problems", "repr"];
+const DETERMINISM_CRATES: [&str; 6] = [
+    "core",
+    "clustering",
+    "incremental",
+    "problems",
+    "repr",
+    "tree-dp-server",
+];
 
 /// Pub items whose names are conventional API surface; reachability-by-name is too
 /// blunt an instrument for them.

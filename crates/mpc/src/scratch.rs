@@ -262,6 +262,34 @@ mod tests {
     }
 
     #[test]
+    fn cutoff_boundary_is_invisible() {
+        // Straddle RADIX_MIN_LEN: len-1 takes the comparison branch, len and len+1
+        // the radix branch. All three must equal the stable by-word reference on
+        // duplicate-heavy, sorted, reversed, and high-entropy keys.
+        for len in [RADIX_MIN_LEN - 1, RADIX_MIN_LEN, RADIX_MIN_LEN + 1] {
+            let keysets: [Vec<u64>; 4] = [
+                (0..len as u64).map(|i| i % 13).collect(),
+                (0..len as u64).collect(),
+                (0..len as u64).rev().collect(),
+                (0..len as u64)
+                    .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 40))
+                    .collect(),
+            ];
+            for keys in keysets {
+                let mut pairs: Vec<(u64, u32)> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| (w, i as u32))
+                    .collect();
+                let expected = reference_sort(pairs.clone());
+                let mut tmp = Vec::new();
+                radix_sort_pairs(&mut pairs, &mut tmp);
+                assert_eq!(pairs, expected, "len {len} diverged across the cutoff");
+            }
+        }
+    }
+
+    #[test]
     fn apply_permutation_realizes_sorted_order() {
         let items_orig: Vec<u64> = (0..777).map(|i| (i * 131071) % 997).collect();
         let mut pairs: Vec<(u64, u32)> = items_orig

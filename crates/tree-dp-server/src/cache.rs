@@ -1,0 +1,166 @@
+//! The memory-budgeted plan cache: resident [`SolvePlan`]s under a word budget,
+//! with cost-aware LRU eviction.
+//!
+//! A [`SolvePlan`] is the expensive problem-independent half of a solve (hundreds of
+//! rounds to build on large trees, versus single-digit rounds per cached eval), so
+//! the cache is where the serving layer's memory/latency trade lives: plans resident
+//! in the cache answer queries at plan-eval cost, evicted plans are transparently
+//! rebuilt — re-charging their full `plan-build` rounds, which
+//! [`CacheStats::build_rounds`] accumulates into a measurable miss-cost curve.
+//!
+//! Eviction is cost-aware LRU: among the least-recently-used entries (a window of
+//! [`LRU_WINDOW`]), the victim is the one with the highest words-per-build-round
+//! ratio — prefer dropping plans that are large but cheap to rebuild over small
+//! plans that were expensive to build. The entry being inserted is never its own
+//! victim, and a single plan larger than the whole budget stays resident alone
+//! (evicting it immediately would make every query a miss for nothing).
+
+use crate::metrics::CacheStats;
+use crate::TenantId;
+use std::collections::BTreeMap;
+use tree_dp_core::SolvePlan;
+
+/// How many least-recently-used entries compete for eviction; the victim is the
+/// highest words-per-build-round among them.
+pub const LRU_WINDOW: usize = 4;
+
+struct CacheEntry {
+    plan: SolvePlan,
+    words: usize,
+    build_rounds: u64,
+    last_used: u64,
+}
+
+/// A memory-budgeted cache of [`SolvePlan`]s keyed by tenant id (see module docs).
+pub struct PlanCache {
+    budget_words: usize,
+    clock: u64,
+    entries: BTreeMap<TenantId, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    build_rounds: u64,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `budget_words` words of resident plans.
+    pub fn new(budget_words: usize) -> Self {
+        Self {
+            budget_words,
+            clock: 0,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            build_rounds: 0,
+        }
+    }
+
+    /// The configured budget in words.
+    pub fn budget_words(&self) -> usize {
+        self.budget_words
+    }
+
+    /// Words currently held by resident plans.
+    pub fn resident_words(&self) -> usize {
+        self.entries.values().map(|e| e.words).sum()
+    }
+
+    /// Number of resident plans.
+    pub fn resident_plans(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Record one lookup for `id`: `true` (and an LRU touch + hit) when the plan is
+    /// resident, `false` (and a miss) when the caller must rebuild and
+    /// [`insert`](Self::insert) it.
+    pub fn lookup(&mut self, id: &str) -> bool {
+        self.clock += 1;
+        match self.entries.get_mut(id) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// The resident plan of `id`, without touching LRU state or counters.
+    pub fn plan(&self, id: &str) -> Option<&SolvePlan> {
+        self.entries.get(id).map(|e| &e.plan)
+    }
+
+    /// Insert a freshly built plan that cost `build_rounds` rounds, evicting
+    /// lower-value entries until the budget holds (see module docs for the policy).
+    /// Returns the evicted tenant ids so the server can bump their counters.
+    pub fn insert(&mut self, id: TenantId, plan: SolvePlan, build_rounds: u64) -> Vec<TenantId> {
+        self.clock += 1;
+        self.build_rounds += build_rounds;
+        let entry = CacheEntry {
+            words: plan.resident_words(),
+            plan,
+            build_rounds,
+            last_used: self.clock,
+        };
+        self.entries.insert(id.clone(), entry);
+
+        let mut evicted = Vec::new();
+        while self.resident_words() > self.budget_words && self.entries.len() > 1 {
+            match self.pick_victim(&id) {
+                Some(victim) => {
+                    self.entries.remove(&victim);
+                    self.evictions += 1;
+                    evicted.push(victim);
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Drop the resident plan of `id`, if any (tenant removal).
+    pub fn remove(&mut self, id: &str) {
+        self.entries.remove(id);
+    }
+
+    /// Among the [`LRU_WINDOW`] least-recently-used entries other than `protect`,
+    /// the one with the highest words-per-build-round ratio.
+    fn pick_victim(&self, protect: &str) -> Option<TenantId> {
+        let mut candidates: Vec<(&TenantId, &CacheEntry)> = self
+            .entries
+            .iter()
+            .filter(|(id, _)| id.as_str() != protect)
+            .collect();
+        candidates.sort_by_key(|(_, e)| e.last_used);
+        candidates.truncate(LRU_WINDOW);
+        // words / max(build_rounds, 1) compared by cross-multiplication (exact, no
+        // floats); strict `>` keeps the least-recently-used entry on ties.
+        let mut best: Option<(&TenantId, u128, u128)> = None;
+        for (id, e) in candidates {
+            let w = e.words as u128;
+            let r = e.build_rounds.max(1) as u128;
+            match best {
+                Some((_, bw, br)) if w * br <= bw * r => {}
+                _ => best = Some((id, w, r)),
+            }
+        }
+        best.map(|(id, _, _)| id.clone())
+    }
+
+    /// A point-in-time snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            build_rounds: self.build_rounds,
+            resident_words: self.resident_words(),
+            resident_plans: self.resident_plans(),
+            budget_words: self.budget_words,
+        }
+    }
+}

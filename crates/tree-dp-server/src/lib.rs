@@ -1,0 +1,38 @@
+//! # `tree-dp-server` — Tree-DP-as-a-service
+//!
+//! A long-lived, multi-tenant serving layer over the tree-DP pipeline: the expensive
+//! prepare/plan work is paid once per tenant and amortized across heavy query/update
+//! traffic, which is exactly the shape the cost split invites — on `path-65536` the
+//! prepare charges ~900 rounds while four batched problem evals cost ~170.
+//!
+//! * [`TreeDpServer`] — the engine: tenant registry, request queue, flush loop.
+//! * [`PlanCache`] — memory-budgeted cache of [`SolvePlan`](tree_dp_core::SolvePlan)s
+//!   with cost-aware LRU eviction; a miss re-charges the full plan-build rounds,
+//!   making the memory/latency trade measurable ([`CacheStats::build_rounds`]).
+//! * [`Request`]/[`Response`] — admission batching: per flush and tenant, all weight
+//!   updates fold into one incremental `apply_batch`, all queries into one
+//!   `solve_many` over the cached plan.
+//! * [`TreeDpServer::snapshot_tenant`] / [`TreeDpServer::restore_tenant`] — tenant
+//!   persistence on the hand-rolled binary codec of
+//!   [`tree_dp_core::snapshot`]: kill a server, restore the bytes elsewhere, and
+//!   serving resumes with bit-identical labels and optima.
+//! * [`TenantMetrics`] / [`CacheStats`] — per-tenant and cache-wide counters in
+//!   MPC-model terms (rounds, words, hits/misses/evictions, resident bytes).
+//!
+//! The serving layer never reads a clock and keeps all state in ordered maps, so a
+//! server run is fully deterministic; wall-clock percentiles are measured from the
+//! outside by the bench harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod metrics;
+mod server;
+
+pub use cache::{PlanCache, LRU_WINDOW};
+pub use metrics::{CacheStats, TenantMetrics};
+pub use server::{
+    AdmitReport, Request, Response, ServerConfig, ServerError, TenantId, TenantSpec, TreeDpServer,
+    KIND_TENANT,
+};

@@ -1,0 +1,558 @@
+//! The multi-tenant serving engine: tenant registry, admission batching, plan-cache
+//! routing, and snapshot persistence.
+//!
+//! ## Tenant lifecycle
+//!
+//! 1. **Admit** ([`TreeDpServer::admit`]): prepare the tenant's tree on its own
+//!    [`MpcContext`], build its [`SolvePlan`] (into the shared cache), run the
+//!    initial solve, and stand up an [`IncrementalSolver`] over the solve's store.
+//! 2. **Serve** ([`TreeDpServer::submit`] + [`TreeDpServer::flush`]): queued
+//!    requests are coalesced per tenant — all weight updates of a flush fold into
+//!    *one* `apply_batch` call, all queries into *one* [`SolvePlan::solve_many`]
+//!    call over the cached plan. A flush that finds the tenant's plan evicted
+//!    transparently rebuilds it first (re-charging the full `plan-build` rounds).
+//! 3. **Persist** ([`TreeDpServer::snapshot_tenant`] /
+//!    [`TreeDpServer::restore_tenant`]): a tenant serializes to a self-contained
+//!    [`KIND_TENANT`] snapshot (config, prepared tree, solver store, aux input,
+//!    metrics) and restores on any server — including a freshly started one —
+//!    with bit-identical labels and optima. Restored tenants re-enter with a cold
+//!    plan cache; their first query is an honest miss.
+//!
+//! Within one flush, a tenant's updates apply before its queries (the queries then
+//! see the updated incremental state); across tenants, groups are processed in
+//! first-submission order. Responses always come back in submission order.
+
+use crate::cache::PlanCache;
+use crate::metrics::TenantMetrics;
+use crate::CacheStats;
+use mpc_engine::{DistVec, MpcConfig, MpcContext};
+use std::collections::BTreeMap;
+use tree_dp_core::{
+    open, prepare, seal, ClusterDp, DpSolution, PipelineError, PreparedTree, Snapshot,
+    SnapshotError, SolverStore,
+};
+use tree_dp_incremental::{IncrementalSolver, UpdateStats};
+use tree_repr::{NodeId, TreeInput};
+
+/// Tenants are addressed by plain string ids.
+pub type TenantId = String;
+
+/// Snapshot payload kind of a serialized tenant (layered on the core codec's
+/// header; see [`tree_dp_core::seal`]).
+pub const KIND_TENANT: u32 = 100;
+
+/// Why a serving-layer operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The request names a tenant this server does not hold.
+    UnknownTenant(TenantId),
+    /// An admit/restore would overwrite an existing tenant.
+    DuplicateTenant(TenantId),
+    /// The tenant's tree failed to prepare.
+    Admission(String),
+    /// A tenant snapshot failed to decode.
+    Snapshot(SnapshotError),
+    /// An internal invariant did not hold (never expected; returned instead of
+    /// panicking, per the repo's panic policy).
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            ServerError::DuplicateTenant(id) => write!(f, "tenant {id:?} already admitted"),
+            ServerError::Admission(msg) => write!(f, "admission failed: {msg}"),
+            ServerError::Snapshot(e) => write!(f, "tenant snapshot: {e}"),
+            ServerError::Internal(what) => write!(f, "internal serving error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SnapshotError> for ServerError {
+    fn from(e: SnapshotError) -> Self {
+        ServerError::Snapshot(e)
+    }
+}
+
+impl From<PipelineError> for ServerError {
+    fn from(e: PipelineError) -> Self {
+        ServerError::Admission(e.to_string())
+    }
+}
+
+/// Server-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Memory budget of the shared plan cache, in machine words.
+    pub plan_budget_words: usize,
+}
+
+/// Everything needed to admit one tenant (see [`TreeDpServer::admit`]).
+pub struct TenantSpec<P: ClusterDp> {
+    /// MPC configuration for the tenant's own context (sized to its tree).
+    pub config: MpcConfig,
+    /// The tenant's tree, in any supported representation.
+    pub input: TreeInput,
+    /// Cluster-size threshold override (`None` for the config's `n^{δ/2}`).
+    pub threshold: Option<usize>,
+    /// The DP problem this tenant serves.
+    pub problem: P,
+    /// Initial inputs of the original nodes.
+    pub node_inputs: Vec<(NodeId, P::NodeInput)>,
+    /// Input assigned to auxiliary nodes introduced by degree reduction.
+    pub aux_input: P::NodeInput,
+    /// Initial per-edge inputs (keyed by the edge's child endpoint).
+    pub edge_inputs: Vec<(NodeId, P::EdgeInput)>,
+}
+
+/// Round costs of one admission, by pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitReport {
+    /// Rounds charged by normalize + degree-reduction + clustering.
+    pub prepare_rounds: u64,
+    /// Rounds charged by the initial plan build.
+    pub plan_build_rounds: u64,
+    /// Rounds charged by the initial solve (store-filling plan eval).
+    pub solve_rounds: u64,
+}
+
+/// One queued request against a tenant.
+pub enum Request<P: ClusterDp> {
+    /// Solve one ad-hoc problem instance over the tenant's cached plan. Queries in
+    /// the same flush batch into a single [`SolvePlan::solve_many`]
+    /// (`tree_dp_core::SolvePlan::solve_many`) call.
+    Query {
+        /// Inputs of the original nodes for this instance.
+        node_inputs: Vec<(NodeId, P::NodeInput)>,
+        /// Per-edge inputs for this instance.
+        edge_inputs: Vec<(NodeId, P::EdgeInput)>,
+    },
+    /// Change some of the tenant's persistent inputs. Updates in the same flush
+    /// fold into a single incremental `apply_batch` (within one flush, later
+    /// writes to the same key win).
+    Update {
+        /// Node-input changes, keyed by original node id.
+        node_updates: Vec<(NodeId, P::NodeInput)>,
+        /// Edge-input changes, keyed by the edge's child endpoint.
+        edge_updates: Vec<(NodeId, P::EdgeInput)>,
+    },
+}
+
+/// The answer to one [`Request`], in submission order.
+pub enum Response<P: ClusterDp> {
+    /// A query's solution.
+    Solution(DpSolution<P>),
+    /// The folded statistics of the update batch this request was part of (shared
+    /// by every update of the same tenant in the same flush).
+    Update(UpdateStats),
+    /// The request could not be served.
+    Rejected(ServerError),
+}
+
+/// A request with its position in the submission queue.
+type IndexedRequests<P> = Vec<(usize, Request<P>)>;
+/// A pending query: queue position plus its instance inputs.
+type QueryItem<P> = (
+    usize,
+    Vec<(NodeId, <P as ClusterDp>::NodeInput)>,
+    Vec<(NodeId, <P as ClusterDp>::EdgeInput)>,
+);
+/// One query's distributed input tables.
+type InputTables<P> = (
+    DistVec<(NodeId, <P as ClusterDp>::NodeInput)>,
+    DistVec<(NodeId, <P as ClusterDp>::EdgeInput)>,
+);
+
+struct Tenant<P: ClusterDp>
+where
+    P::Summary: PartialEq,
+    P::Label: PartialEq,
+{
+    ctx: MpcContext,
+    config: MpcConfig,
+    prepared: PreparedTree,
+    solver: IncrementalSolver<P>,
+    aux_input: P::NodeInput,
+    metrics: TenantMetrics,
+}
+
+/// A long-lived, multi-tenant tree-DP serving engine (see module docs).
+///
+/// One server instance serves one problem type `P`; each tenant owns its tree, its
+/// [`MpcContext`], and its incremental solver state, while all tenants share the
+/// memory-budgeted plan cache.
+pub struct TreeDpServer<P: ClusterDp>
+where
+    P::Summary: PartialEq,
+    P::Label: PartialEq,
+{
+    cache: PlanCache,
+    tenants: BTreeMap<TenantId, Tenant<P>>,
+    queue: Vec<(TenantId, Request<P>)>,
+}
+
+impl<P: ClusterDp> TreeDpServer<P>
+where
+    P::Summary: PartialEq,
+    P::Label: PartialEq,
+{
+    /// An empty server with the given plan-cache budget.
+    pub fn new(config: ServerConfig) -> Self {
+        Self {
+            cache: PlanCache::new(config.plan_budget_words),
+            tenants: BTreeMap::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// Admit a new tenant: prepare its tree, build and cache its plan, run the
+    /// initial solve, and stand up its incremental solver (see module docs).
+    pub fn admit(
+        &mut self,
+        id: impl Into<TenantId>,
+        spec: TenantSpec<P>,
+    ) -> Result<AdmitReport, ServerError> {
+        let id = id.into();
+        if self.tenants.contains_key(&id) {
+            return Err(ServerError::DuplicateTenant(id));
+        }
+        let mut ctx = MpcContext::new(spec.config);
+        let r0 = ctx.metrics().rounds;
+        let prepared = prepare(&mut ctx, spec.input, spec.threshold)?;
+        let r1 = ctx.metrics().rounds;
+        // Build the plan through the cache path (never the tree's own OnceCell):
+        // eviction must leave the tenant plan-less so a later flush genuinely
+        // re-charges the build.
+        let plan = prepared.plan_uncached(&mut ctx);
+        let r2 = ctx.metrics().rounds;
+
+        let node_inputs = ctx.from_vec(spec.node_inputs);
+        let edge_inputs = ctx.from_vec(spec.edge_inputs);
+        let (_, store) = plan.solve_with_store(
+            &mut ctx,
+            &spec.problem,
+            &node_inputs,
+            spec.aux_input.clone(),
+            &edge_inputs,
+        );
+        let r3 = ctx.metrics().rounds;
+        let solver = IncrementalSolver::restore(
+            spec.problem,
+            store,
+            prepared.clustering.top_cluster,
+            prepared.clustering.root,
+        );
+
+        let evicted = self.cache.insert(id.clone(), plan, r2 - r1);
+        for ev in &evicted {
+            if let Some(t) = self.tenants.get_mut(ev) {
+                t.metrics.evictions += 1;
+            }
+        }
+        let metrics = TenantMetrics {
+            rounds_charged: r3 - r0,
+            words_sent: ctx.metrics().total_words_sent,
+            ..TenantMetrics::default()
+        };
+        self.tenants.insert(
+            id,
+            Tenant {
+                ctx,
+                config: spec.config,
+                prepared,
+                solver,
+                aux_input: spec.aux_input,
+                metrics,
+            },
+        );
+        Ok(AdmitReport {
+            prepare_rounds: r1 - r0,
+            plan_build_rounds: r2 - r1,
+            solve_rounds: r3 - r2,
+        })
+    }
+
+    /// Queue one request against `id`; it runs at the next [`flush`](Self::flush).
+    pub fn submit(&mut self, id: impl Into<TenantId>, request: Request<P>) {
+        self.queue.push((id.into(), request));
+    }
+
+    /// Number of requests waiting for the next flush.
+    pub fn pending_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Serve every queued request and return the responses in submission order
+    /// (admission batching: per tenant, one folded update batch then one
+    /// `solve_many` over all queries — see module docs).
+    pub fn flush(&mut self) -> Vec<(TenantId, Response<P>)> {
+        let queue = std::mem::take(&mut self.queue);
+        let cache = &mut self.cache;
+        let tenants = &mut self.tenants;
+
+        // Group requests by tenant, keeping first-submission order of the groups.
+        let mut group_index: BTreeMap<TenantId, usize> = BTreeMap::new();
+        let mut groups: Vec<(TenantId, IndexedRequests<P>)> = Vec::new();
+        let mut ids: Vec<TenantId> = Vec::with_capacity(queue.len());
+        for (pos, (id, req)) in queue.into_iter().enumerate() {
+            ids.push(id.clone());
+            let gi = *group_index.entry(id.clone()).or_insert_with(|| {
+                groups.push((id, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push((pos, req));
+        }
+
+        let mut responses: Vec<Option<Response<P>>> = ids.iter().map(|_| None).collect();
+        for (id, items) in groups {
+            if !tenants.contains_key(&id) {
+                for (pos, _) in items {
+                    responses[pos] =
+                        Some(Response::Rejected(ServerError::UnknownTenant(id.clone())));
+                }
+                continue;
+            }
+            Self::serve_group(cache, tenants, &id, items, &mut responses);
+        }
+
+        ids.into_iter()
+            .zip(responses)
+            .map(|(id, resp)| {
+                let resp =
+                    resp.unwrap_or_else(|| Response::Rejected(ServerError::Internal("unserved")));
+                (id, resp)
+            })
+            .collect()
+    }
+
+    /// Serve one tenant's share of a flush: fold updates, ensure the plan is
+    /// resident, batch-evaluate queries, account metrics.
+    fn serve_group(
+        cache: &mut PlanCache,
+        tenants: &mut BTreeMap<TenantId, Tenant<P>>,
+        id: &str,
+        items: IndexedRequests<P>,
+        responses: &mut [Option<Response<P>>],
+    ) {
+        let mut node_updates: BTreeMap<NodeId, P::NodeInput> = BTreeMap::new();
+        let mut edge_updates: BTreeMap<NodeId, P::EdgeInput> = BTreeMap::new();
+        let mut update_positions: Vec<usize> = Vec::new();
+        let mut queries: Vec<QueryItem<P>> = Vec::new();
+        for (pos, req) in items {
+            match req {
+                Request::Update {
+                    node_updates: nu,
+                    edge_updates: eu,
+                } => {
+                    node_updates.extend(nu);
+                    edge_updates.extend(eu);
+                    update_positions.push(pos);
+                }
+                Request::Query {
+                    node_inputs,
+                    edge_inputs,
+                } => queries.push((pos, node_inputs, edge_inputs)),
+            }
+        }
+
+        let (rounds_before, words_before) = match tenants.get(id) {
+            Some(t) => (t.ctx.metrics().rounds, t.ctx.metrics().total_words_sent),
+            None => return,
+        };
+
+        // Stage 1: one folded update batch through the incremental solver.
+        if !update_positions.is_empty() {
+            if let Some(tenant) = tenants.get_mut(id) {
+                let nu: Vec<(NodeId, P::NodeInput)> = node_updates.into_iter().collect();
+                let eu: Vec<(NodeId, P::EdgeInput)> = edge_updates.into_iter().collect();
+                let stats = tenant.solver.apply_batch(&mut tenant.ctx, &nu, &eu);
+                tenant.metrics.updates += update_positions.len() as u64;
+                for pos in update_positions {
+                    responses[pos] = Some(Response::Update(stats));
+                }
+            }
+        }
+
+        // Stage 2: queries over the cached plan, rebuilding on a miss.
+        if !queries.is_empty() {
+            let evicted = if cache.lookup(id) {
+                if let Some(tenant) = tenants.get_mut(id) {
+                    tenant.metrics.plan_hits += 1;
+                }
+                Vec::new()
+            } else if let Some(tenant) = tenants.get_mut(id) {
+                let before = tenant.ctx.metrics().rounds;
+                let plan = tenant.prepared.plan_uncached(&mut tenant.ctx);
+                let build_rounds = tenant.ctx.metrics().rounds - before;
+                tenant.metrics.plan_misses += 1;
+                cache.insert(id.to_string(), plan, build_rounds)
+            } else {
+                Vec::new()
+            };
+            for ev in &evicted {
+                if let Some(t) = tenants.get_mut(ev) {
+                    t.metrics.evictions += 1;
+                }
+            }
+
+            if let Some(tenant) = tenants.get_mut(id) {
+                match cache.plan(id) {
+                    Some(plan) => {
+                        let solver = &tenant.solver;
+                        let ctx = &mut tenant.ctx;
+                        let mut tables: Vec<InputTables<P>> = Vec::with_capacity(queries.len());
+                        for (_, ni, ei) in &queries {
+                            let n = ctx.from_vec(ni.clone());
+                            let e = ctx.from_vec(ei.clone());
+                            tables.push((n, e));
+                        }
+                        let jobs: Vec<_> = tables
+                            .iter()
+                            .map(|(n, e)| (solver.problem(), n, tenant.aux_input.clone(), e))
+                            .collect();
+                        let sols = plan.solve_many(ctx, &jobs);
+                        tenant.metrics.queries += queries.len() as u64;
+                        for ((pos, _, _), sol) in queries.into_iter().zip(sols) {
+                            responses[pos] = Some(Response::Solution(sol));
+                        }
+                    }
+                    None => {
+                        for (pos, _, _) in queries {
+                            responses[pos] = Some(Response::Rejected(ServerError::Internal(
+                                "plan not resident",
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(tenant) = tenants.get_mut(id) {
+            tenant.metrics.rounds_charged += tenant.ctx.metrics().rounds - rounds_before;
+            tenant.metrics.words_sent += tenant.ctx.metrics().total_words_sent - words_before;
+        }
+    }
+
+    /// Number of admitted tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The ids of all admitted tenants, in order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.keys().cloned().collect()
+    }
+
+    /// This tenant's serving counters, with `resident_bytes` computed now (prepared
+    /// tree + solver store + cached plan when resident, at 8 bytes per word).
+    pub fn tenant_metrics(&self, id: &str) -> Option<TenantMetrics> {
+        let tenant = self.tenants.get(id)?;
+        let plan_words = self
+            .cache
+            .plan(id)
+            .map_or(0, tree_dp_core::SolvePlan::resident_words);
+        let words =
+            tenant.prepared.resident_words() + tenant.solver.store().resident_words() + plan_words;
+        let mut m = tenant.metrics;
+        m.resident_bytes = words * 8;
+        Some(m)
+    }
+
+    /// A point-in-time snapshot of the shared plan cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The tenant's MPC context (e.g. to assert strict-mode compliance in tests).
+    pub fn context(&self, id: &str) -> Option<&MpcContext> {
+        self.tenants.get(id).map(|t| &t.ctx)
+    }
+
+    /// The tenant's current root summary (of the incremental state).
+    pub fn root_summary(&self, id: &str) -> Option<&P::Summary> {
+        self.tenants.get(id).map(|t| t.solver.root_summary())
+    }
+
+    /// The tenant's current incremental labels, keyed by edge child endpoint.
+    pub fn labels(&self, id: &str) -> Option<&BTreeMap<NodeId, P::Label>> {
+        self.tenants.get(id).map(|t| t.solver.labels())
+    }
+
+    /// Drop a tenant, its cached plan, and any of its queued requests. Returns
+    /// `true` when the tenant existed.
+    pub fn remove_tenant(&mut self, id: &str) -> bool {
+        self.cache.remove(id);
+        self.queue.retain(|(qid, _)| qid != id);
+        self.tenants.remove(id).is_some()
+    }
+}
+
+impl<P: ClusterDp> TreeDpServer<P>
+where
+    P::Summary: PartialEq,
+    P::Label: PartialEq,
+    P::NodeInput: Snapshot,
+    P::EdgeInput: Snapshot,
+    P::Summary: Snapshot,
+    P::Label: Snapshot,
+{
+    /// Serialize `id` as a self-contained [`KIND_TENANT`] snapshot: config,
+    /// prepared tree, solver store, aux input, and metrics. The cached plan
+    /// deliberately does *not* travel — a restored tenant's first query is an
+    /// honest cache miss that rebuilds it (bit-identical, since plans are a pure
+    /// function of the clustering).
+    pub fn snapshot_tenant(&self, id: &str) -> Result<Vec<u8>, ServerError> {
+        let tenant = self
+            .tenants
+            .get(id)
+            .ok_or_else(|| ServerError::UnknownTenant(id.to_string()))?;
+        let mut w = tree_dp_core::SnapshotWriter::new();
+        id.to_string().encode(&mut w);
+        tenant.config.encode(&mut w);
+        tenant.prepared.encode(&mut w);
+        tenant.solver.store().encode(&mut w);
+        tenant.aux_input.encode(&mut w);
+        tenant.metrics.encode(&mut w);
+        Ok(seal(KIND_TENANT, w))
+    }
+
+    /// Restore a tenant from [`snapshot_tenant`](Self::snapshot_tenant) bytes onto
+    /// this server (typically a freshly started one), re-creating its context from
+    /// the persisted config and its incremental solver from the persisted store.
+    /// Returns the restored tenant's id.
+    pub fn restore_tenant(&mut self, bytes: &[u8], problem: P) -> Result<TenantId, ServerError> {
+        let mut r = open(bytes, KIND_TENANT)?;
+        let id = TenantId::decode(&mut r)?;
+        let config = MpcConfig::decode(&mut r)?;
+        let prepared = PreparedTree::decode(&mut r)?;
+        let store = SolverStore::<P>::decode(&mut r)?;
+        let aux_input = P::NodeInput::decode(&mut r)?;
+        let metrics = TenantMetrics::decode(&mut r)?;
+        r.finish().map_err(ServerError::from)?;
+        if self.tenants.contains_key(&id) {
+            return Err(ServerError::DuplicateTenant(id));
+        }
+        let ctx = MpcContext::new(config);
+        let solver = IncrementalSolver::restore(
+            problem,
+            store,
+            prepared.clustering.top_cluster,
+            prepared.clustering.root,
+        );
+        self.tenants.insert(
+            id.clone(),
+            Tenant {
+                ctx,
+                config,
+                prepared,
+                solver,
+                aux_input,
+                metrics,
+            },
+        );
+        Ok(id)
+    }
+}

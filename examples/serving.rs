@@ -1,0 +1,222 @@
+//! Tree-DP-as-a-service: a multi-tenant server under a mixed query/update workload.
+//!
+//! Several tenants — each with its own tree, weights, and MPC context — share one
+//! memory-budgeted plan cache. Queries batch into a single `solve_many` per tenant
+//! and flush, updates fold into one incremental `apply_batch`; a tenant whose plan
+//! was evicted is served transparently, re-charging the plan-build rounds. At the
+//! end, one tenant is snapshotted, "killed", and restored onto a fresh server to
+//! show that serving resumes bit-identically.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use mpc_tree_dp::gen::shapes;
+use mpc_tree_dp::problems::MaxWeightIndependentSet;
+use mpc_tree_dp::{ListOfEdges, UpdateStats};
+use mpc_tree_dp::{
+    MpcConfig, Request, Response, ServerConfig, StateEngine, TenantSpec, TreeDpServer, TreeInput,
+};
+use std::time::Instant;
+
+type MaxIs = StateEngine<MaxWeightIndependentSet>;
+
+fn weights(n: usize, seed: u64) -> Vec<(u64, i64)> {
+    (0..n)
+        .map(|v| (v as u64, ((v as u64 * 131 + seed * 7919) % 1000) as i64))
+        .collect()
+}
+
+fn spec(tree: &tree_repr::Tree, seed: u64) -> TenantSpec<MaxIs> {
+    let n = tree.len();
+    TenantSpec {
+        config: MpcConfig::new(2 * n, 0.5),
+        input: TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+        threshold: None,
+        problem: MaxIs::new(MaxWeightIndependentSet),
+        node_inputs: weights(n, seed),
+        aux_input: 0,
+        edge_inputs: Vec::new(),
+    }
+}
+
+fn main() {
+    // A deliberately tight plan budget: enough for roughly half the fleet, so the
+    // example exercises eviction and transparent rebuild, not just warm hits.
+    let trees: Vec<(String, tree_repr::Tree)> = (0..6)
+        .map(|i| {
+            let tree = match i % 3 {
+                0 => shapes::random_recursive(1024 + 256 * i, 11 + i as u64),
+                1 => shapes::heavy_caterpillar(40 + 8 * i, 20 + 4 * i),
+                _ => shapes::spider(10 + i, 90 + 10 * i),
+            };
+            (format!("tenant-{i}"), tree)
+        })
+        .collect();
+
+    let probe_words = {
+        let mut ctx = mpc_tree_dp::MpcContext::new(MpcConfig::new(2 * trees[0].1.len(), 0.5));
+        let prepared = mpc_tree_dp::prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&trees[0].1)),
+            None,
+        )
+        .expect("well-formed tree");
+        prepared.plan_uncached(&mut ctx).resident_words()
+    };
+    let mut server: TreeDpServer<MaxIs> = TreeDpServer::new(ServerConfig {
+        plan_budget_words: probe_words * 4,
+    });
+
+    println!("admitting {} tenants (budget ~4 small plans):", trees.len());
+    for (i, (id, tree)) in trees.iter().enumerate() {
+        let t0 = Instant::now();
+        let report = server
+            .admit(id.clone(), spec(tree, i as u64))
+            .expect("admission succeeds");
+        println!(
+            "  {id}: n={:<5} prepare {:>4} rounds, plan {:>3} rounds, solve {:>3} rounds ({:.0} ms)",
+            tree.len(),
+            report.prepare_rounds,
+            report.plan_build_rounds,
+            report.solve_rounds,
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+    }
+
+    // Skewed workload: two hot tenants are hit every flush (their plans stay
+    // resident and serve at plan-eval cost), the cold tail rotates through and
+    // periodically re-charges a plan build.
+    println!("\nskewed workload, 8 flushes of 2 hot + 1 rotating cold tenant:");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "flush", "queries", "updates", "hits", "misses", "wall ms"
+    );
+    for round in 0..8u64 {
+        let active = [0usize, 1, 2 + (round as usize % (trees.len() - 2))];
+        for &i in &active {
+            let (id, tree) = &trees[i];
+            let n = tree.len();
+            server.submit(
+                id.clone(),
+                Request::Query {
+                    node_inputs: weights(n, 100 * round + i as u64),
+                    edge_inputs: Vec::new(),
+                },
+            );
+            server.submit(
+                id.clone(),
+                Request::Update {
+                    node_updates: vec![
+                        ((round * 37 + i as u64) % n as u64, 1 + round as i64),
+                        ((round * 101 + 3 * i as u64) % n as u64, 0),
+                    ],
+                    edge_updates: Vec::new(),
+                },
+            );
+        }
+        let before = server.cache_stats();
+        let t0 = Instant::now();
+        let responses = server.flush();
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let after = server.cache_stats();
+        let (mut queries, mut updates) = (0u64, 0u64);
+        for (_, resp) in &responses {
+            match resp {
+                Response::Solution(_) => queries += 1,
+                Response::Update(UpdateStats { .. }) => updates += 1,
+                Response::Rejected(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10.1}",
+            round,
+            queries,
+            updates,
+            after.hits - before.hits,
+            after.misses - before.misses,
+            wall,
+        );
+    }
+
+    println!("\nper-tenant serving metrics:");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "tenant", "queries", "updates", "hits", "misses", "evicted", "rounds", "resident KiB"
+    );
+    for (id, _) in &trees {
+        let m = server.tenant_metrics(id).expect("tenant exists");
+        println!(
+            "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12.1}",
+            id,
+            m.queries,
+            m.updates,
+            m.plan_hits,
+            m.plan_misses,
+            m.evictions,
+            m.rounds_charged,
+            m.resident_bytes as f64 / 1024.0,
+        );
+    }
+    let cs = server.cache_stats();
+    println!(
+        "\nplan cache: {}/{} words resident over {} plans, hit rate {:.2}, \
+         {} evictions, {} build rounds re-charged",
+        cs.resident_words,
+        cs.budget_words,
+        cs.resident_plans,
+        cs.hit_rate(),
+        cs.evictions,
+        cs.build_rounds,
+    );
+
+    // Snapshot → kill → restore: tenant-0 moves to a brand-new server and keeps
+    // serving with bit-identical state.
+    let victim = &trees[0].0;
+    let summary_before = server
+        .root_summary(victim)
+        .expect("tenant exists")
+        .best(&MaxWeightIndependentSet);
+    let bytes = server.snapshot_tenant(victim).expect("snapshot");
+    drop(server); // the "kill"
+
+    let mut revived: TreeDpServer<MaxIs> = TreeDpServer::new(ServerConfig {
+        plan_budget_words: probe_words * 3,
+    });
+    let id = revived
+        .restore_tenant(&bytes, MaxIs::new(MaxWeightIndependentSet))
+        .expect("restore");
+    let summary_after = revived
+        .root_summary(&id)
+        .expect("tenant exists")
+        .best(&MaxWeightIndependentSet);
+    assert_eq!(summary_before, summary_after);
+    println!(
+        "\nsnapshot/restore: {} -> {} bytes, optimum {:?} preserved on a fresh server",
+        victim,
+        bytes.len(),
+        summary_after.expect("optimum"),
+    );
+
+    let misses_restored = revived
+        .tenant_metrics(&id)
+        .expect("tenant exists")
+        .plan_misses;
+    revived.submit(
+        id.clone(),
+        Request::Query {
+            node_inputs: weights(trees[0].1.len(), 9999),
+            edge_inputs: Vec::new(),
+        },
+    );
+    let responses = revived.flush();
+    match &responses[0].1 {
+        Response::Solution(sol) => println!(
+            "first post-restore query (an honest cache miss): optimum {}",
+            sol.root_summary
+                .best(&MaxWeightIndependentSet)
+                .expect("optimum")
+        ),
+        _ => panic!("expected a solution"),
+    }
+    let m = revived.tenant_metrics(&id).expect("tenant exists");
+    assert_eq!(m.plan_misses, misses_restored + 1);
+}

@@ -55,7 +55,10 @@ fn splitmix(seed: u64) -> impl FnMut() -> u64 {
 
 /// Key distributions that stress different radix behaviors: duplicate-heavy keys,
 /// already-sorted and reversed inputs, all-equal keys, full-width random words, keys
-/// that differ only in high bytes (most digit passes skipped), and tiny inputs.
+/// that differ only in high bytes (most digit passes skipped), tiny inputs, and
+/// lengths straddling the internal comparison-vs-radix cutoff (1024): 1023 takes
+/// the comparison branch, 1024 and 1025 the LSD radix branch, and the model must
+/// not be able to tell them apart.
 fn key_cases() -> Vec<(&'static str, Vec<u64>)> {
     let mut rng = splitmix(42);
     vec![
@@ -74,6 +77,9 @@ fn key_cases() -> Vec<(&'static str, Vec<u64>)> {
             "near-sorted",
             (0..1200).map(|i| i as u64 ^ ((i as u64) % 3)).collect(),
         ),
+        ("cutoff-minus-one", (0..1023).map(|i| i % 11).collect()),
+        ("cutoff-exact", (0..1024).map(|i| i % 11).collect()),
+        ("cutoff-plus-one", (0..1025).map(|i| i % 11).collect()),
     ]
 }
 

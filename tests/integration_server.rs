@@ -1,0 +1,562 @@
+//! Serving-layer integration gate, run entirely under `MpcConfig` strict accounting:
+//! eight-plus tenants behind one memory-budgeted plan cache, with the three
+//! acceptance properties asserted end to end —
+//!
+//! 1. a warm cache hit charges exactly the plan-evaluation rounds (equal to a bare
+//!    `SolvePlan::solve` on a fresh plan, asserted round-for-round),
+//! 2. evicted tenants are served transparently, re-charging exactly the plan-build
+//!    rounds on top of the warm cost (the measurable miss-cost curve),
+//! 3. snapshot → kill → restore → serve is bit-identical to a server that never
+//!    stopped.
+
+use mpc_tree_dp::problems::MaxWeightIndependentSet;
+use mpc_tree_dp::server::KIND_TENANT;
+use mpc_tree_dp::{
+    prepare, ListOfEdges, MpcConfig, MpcContext, Request, Response, ServerConfig, ServerError,
+    SnapshotError, StateEngine, TenantSpec, TreeDpServer, TreeInput,
+};
+use std::collections::BTreeMap;
+use tree_gen::shapes::{balanced_kary, heavy_caterpillar, spider, star};
+use tree_repr::Tree;
+
+type MaxIs = StateEngine<MaxWeightIndependentSet>;
+type Server = TreeDpServer<MaxIs>;
+
+/// Same slack as the strict conformance gate: covers the implementation's constant
+/// factors while still tripping on any Ω(n^δ)-factor regression.
+const SLACK: f64 = 64.0;
+
+fn strict_cfg(input_words: usize) -> MpcConfig {
+    MpcConfig::new(input_words, 0.5)
+        .with_memory_slack(SLACK)
+        .with_bandwidth_slack(SLACK)
+        .with_strict(true)
+}
+
+/// A varied fleet of small tenant trees (different shapes stress different plan and
+/// clustering layouts).
+fn tenant_tree(i: usize) -> Tree {
+    match i % 4 {
+        0 => heavy_caterpillar(10 + i, 5 + i / 2),
+        1 => spider(4 + i / 3, 8 + i),
+        2 => balanced_kary(40 + 7 * i, 2 + i % 3),
+        _ => star(30 + 5 * i),
+    }
+}
+
+fn weights_for(n: usize, seed: u64) -> Vec<(u64, i64)> {
+    (0..n)
+        .map(|v| (v as u64, ((v as u64 * 31 + seed * 17) % 97) as i64))
+        .collect()
+}
+
+fn spec_for(i: usize) -> TenantSpec<MaxIs> {
+    let tree = tenant_tree(i);
+    let n = tree.len();
+    TenantSpec {
+        config: strict_cfg(4 * n),
+        input: TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        threshold: Some(4),
+        problem: MaxIs::new(MaxWeightIndependentSet),
+        node_inputs: weights_for(n, i as u64),
+        aux_input: 0,
+        edge_inputs: Vec::new(),
+    }
+}
+
+/// Ground truth for one ad-hoc query: prepare + planned solve on a fresh strict
+/// context, far away from any server.
+fn mirror_solve(tree: &Tree, weights: &[(u64, i64)]) -> (i64, BTreeMap<u64, usize>) {
+    let mut ctx = MpcContext::new(strict_cfg(4 * tree.len()));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+        Some(4),
+    )
+    .expect("well-formed tenant tree");
+    let engine = MaxIs::new(MaxWeightIndependentSet);
+    let inputs = ctx.from_vec(weights.to_vec());
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let sol = prepared.solve_planned(&mut ctx, &engine, &inputs, 0, &no_edges);
+    ctx.check_compliance()
+        .expect("mirror solve stays compliant");
+    let best = sol.root_summary.best(engine.problem()).expect("optimum");
+    (best, sol.labels.iter().cloned().collect())
+}
+
+fn expect_solution(resp: &Response<MaxIs>) -> (i64, BTreeMap<u64, usize>) {
+    match resp {
+        Response::Solution(sol) => {
+            let best = sol
+                .root_summary
+                .best(&MaxWeightIndependentSet)
+                .expect("optimum");
+            (best, sol.labels.iter().cloned().collect())
+        }
+        Response::Update(_) => panic!("expected a solution, got update stats"),
+        Response::Rejected(e) => panic!("expected a solution, got rejection: {e}"),
+    }
+}
+
+fn expect_update(resp: &Response<MaxIs>) -> mpc_tree_dp::UpdateStats {
+    match resp {
+        Response::Update(stats) => *stats,
+        Response::Solution(_) => panic!("expected update stats, got a solution"),
+        Response::Rejected(e) => panic!("expected update stats, got rejection: {e}"),
+    }
+}
+
+/// Acceptance property: ≥8 tenants behind one budgeted cache, mixed query/update
+/// traffic batched per flush, every answer bit-identical to an isolated mirror
+/// solve, and every tenant context strict-compliant at the end.
+#[test]
+fn eight_tenants_serve_under_strict_accounting() {
+    const TENANTS: usize = 8;
+    let mut server = Server::new(ServerConfig {
+        plan_budget_words: 4 << 20,
+    });
+
+    for i in 0..TENANTS {
+        let report = server
+            .admit(format!("tenant-{i}"), spec_for(i))
+            .expect("admission succeeds");
+        assert!(report.prepare_rounds > 0, "prepare charges rounds");
+        assert!(report.plan_build_rounds > 0, "plan build charges rounds");
+        assert!(report.solve_rounds > 0, "initial solve charges rounds");
+    }
+    assert_eq!(server.num_tenants(), TENANTS);
+    assert_eq!(server.tenant_ids().len(), TENANTS);
+    assert_eq!(
+        server.admit("tenant-0", spec_for(0)).err(),
+        Some(ServerError::DuplicateTenant("tenant-0".into()))
+    );
+
+    // One ad-hoc query (fresh weights) and one persistent update per tenant,
+    // all in a single flush.
+    for i in 0..TENANTS {
+        let n = tenant_tree(i).len();
+        server.submit(
+            format!("tenant-{i}"),
+            Request::Query {
+                node_inputs: weights_for(n, 1000 + i as u64),
+                edge_inputs: Vec::new(),
+            },
+        );
+        server.submit(
+            format!("tenant-{i}"),
+            Request::Update {
+                node_updates: vec![(0, 500 + i as i64), (n as u64 - 1, 0)],
+                edge_updates: Vec::new(),
+            },
+        );
+    }
+    assert_eq!(server.pending_requests(), 2 * TENANTS);
+    let responses = server.flush();
+    assert_eq!(server.pending_requests(), 0);
+    assert_eq!(responses.len(), 2 * TENANTS);
+
+    for i in 0..TENANTS {
+        let id = format!("tenant-{i}");
+        let tree = tenant_tree(i);
+        let n = tree.len();
+
+        // The query answer matches an isolated solve of the same instance.
+        let (got_best, got_labels) = expect_solution(&responses[2 * i].1);
+        let (want_best, want_labels) = mirror_solve(&tree, &weights_for(n, 1000 + i as u64));
+        assert_eq!(got_best, want_best, "{id}: query optimum");
+        assert_eq!(got_labels, want_labels, "{id}: query labels");
+
+        // The update folded into the persistent state: the tenant's incremental
+        // root summary now matches a from-scratch solve of the updated weights.
+        let stats = expect_update(&responses[2 * i + 1].1);
+        assert_eq!(stats.batch_size, 2);
+        let mut updated = weights_for(n, i as u64);
+        updated[0].1 = 500 + i as i64;
+        updated[n - 1].1 = 0;
+        let (want_best, want_labels) = mirror_solve(&tree, &updated);
+        let summary = server.root_summary(&id).expect("tenant exists");
+        assert_eq!(
+            summary.best(&MaxWeightIndependentSet),
+            Some(want_best),
+            "{id}: incremental optimum after update"
+        );
+        assert_eq!(
+            server.labels(&id).expect("tenant exists"),
+            &want_labels,
+            "{id}: incremental labels after update"
+        );
+
+        // Strict compliance per tenant, and serving counters in place.
+        server
+            .context(&id)
+            .expect("tenant exists")
+            .check_compliance()
+            .unwrap_or_else(|v| panic!("{id}: strict violation: {v}"));
+        let m = server.tenant_metrics(&id).expect("tenant exists");
+        assert_eq!(m.queries, 1);
+        assert_eq!(m.updates, 1);
+        assert_eq!(m.plan_hits, 1, "{id}: warm cache, no rebuild");
+        assert_eq!(m.plan_misses, 0);
+        assert!(m.rounds_charged > 0);
+        assert!(m.words_sent > 0);
+        assert!(m.resident_bytes > 0);
+    }
+
+    // Cache-wide view: all eight plans resident, all lookups were hits, under budget.
+    let cs = server.cache_stats();
+    assert_eq!(cs.resident_plans, TENANTS);
+    assert_eq!(cs.hits, TENANTS as u64);
+    assert_eq!(cs.misses, 0);
+    assert_eq!(cs.evictions, 0);
+    assert!((cs.hit_rate() - 1.0).abs() < 1e-12);
+    assert!(cs.resident_words <= cs.budget_words);
+    assert!(cs.build_rounds > 0, "admissions recorded their build cost");
+}
+
+/// Acceptance property (a): serving a query from a warm cache charges exactly the
+/// rounds of a bare `SolvePlan::solve` over an already-built plan — the assembly
+/// paid at admission is never re-charged on the hit path.
+#[test]
+fn warm_hit_charges_exactly_plan_eval_rounds() {
+    let tree = heavy_caterpillar(16, 8);
+    let n = tree.len();
+
+    // Bare-metal reference: fresh plan on its own strict context, one solve.
+    let mut ctx = MpcContext::new(strict_cfg(4 * n));
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        Some(4),
+    )
+    .expect("well-formed tree");
+    let plan = prepared.plan_uncached(&mut ctx);
+    let engine = MaxIs::new(MaxWeightIndependentSet);
+    let inputs = ctx.from_vec(weights_for(n, 42));
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let before = ctx.metrics().rounds;
+    let _ = plan.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
+    let bare_eval_rounds = ctx.metrics().rounds - before;
+
+    // Server path: admit (warms the cache), then flush one identical query.
+    let mut server = Server::new(ServerConfig {
+        plan_budget_words: 1 << 20,
+    });
+    let mut spec = spec_for(0);
+    spec.config = strict_cfg(4 * n);
+    spec.input = TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree));
+    spec.node_inputs = weights_for(n, 0);
+    server.admit("hot", spec).expect("admission succeeds");
+    let before = server.context("hot").expect("tenant").metrics().rounds;
+    server.submit(
+        "hot",
+        Request::Query {
+            node_inputs: weights_for(n, 42),
+            edge_inputs: Vec::new(),
+        },
+    );
+    let responses = server.flush();
+    let served_rounds = server.context("hot").expect("tenant").metrics().rounds - before;
+
+    assert_eq!(responses.len(), 1);
+    let (best, _) = expect_solution(&responses[0].1);
+    assert_eq!(best, mirror_solve(&tree, &weights_for(n, 42)).0);
+    assert_eq!(
+        served_rounds, bare_eval_rounds,
+        "a warm hit must cost exactly the bare plan-eval rounds"
+    );
+    let m = server.tenant_metrics("hot").expect("tenant");
+    assert_eq!((m.plan_hits, m.plan_misses), (1, 0));
+}
+
+/// Acceptance property (b): with a budget that holds only some of the plans, later
+/// admissions evict earlier tenants; querying an evicted tenant transparently
+/// rebuilds its plan, and the extra charge is exactly the plan-build rounds on top
+/// of the warm-hit cost (the miss-cost curve, measured not modeled).
+#[test]
+fn evicted_tenants_rebuild_transparently_with_recorded_miss_cost() {
+    const TENANTS: usize = 4;
+    // All tenants share one tree shape so their plans (and build costs) are equal.
+    let tree = heavy_caterpillar(14, 7);
+    let n = tree.len();
+    let make_spec = |seed: u64| TenantSpec {
+        config: strict_cfg(4 * n),
+        input: TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        threshold: Some(4),
+        problem: MaxIs::new(MaxWeightIndependentSet),
+        node_inputs: weights_for(n, seed),
+        aux_input: 0,
+        edge_inputs: Vec::new(),
+    };
+
+    // Size the budget off a real plan: room for two, not four.
+    let plan_words = {
+        let mut ctx = MpcContext::new(strict_cfg(4 * n));
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(4),
+        )
+        .expect("well-formed tree");
+        prepared.plan_uncached(&mut ctx).resident_words()
+    };
+    let mut server = Server::new(ServerConfig {
+        plan_budget_words: plan_words * 5 / 2,
+    });
+
+    let mut build_rounds = 0;
+    for i in 0..TENANTS {
+        let report = server
+            .admit(format!("t{i}"), make_spec(i as u64))
+            .expect("admission succeeds");
+        build_rounds = report.plan_build_rounds;
+    }
+    let cs = server.cache_stats();
+    assert_eq!(cs.resident_plans, 2, "budget holds exactly two plans");
+    assert_eq!(cs.evictions, 2, "two admissions had to evict");
+    let evicted_total: u64 = (0..TENANTS)
+        .map(|i| server.tenant_metrics(&format!("t{i}")).expect("tenant"))
+        .map(|m| m.evictions)
+        .sum();
+    assert_eq!(evicted_total, 2, "evictions are charged to tenants");
+
+    // Warm-hit baseline: the most recently admitted tenant is surely resident.
+    let warm_id = format!("t{}", TENANTS - 1);
+    let before = server.context(&warm_id).expect("tenant").metrics().rounds;
+    server.submit(
+        &warm_id,
+        Request::Query {
+            node_inputs: weights_for(n, 77),
+            edge_inputs: Vec::new(),
+        },
+    );
+    let warm_resp = server.flush();
+    let warm_rounds = server.context(&warm_id).expect("tenant").metrics().rounds - before;
+    assert_eq!(
+        server.tenant_metrics(&warm_id).expect("tenant").plan_misses,
+        0
+    );
+
+    // Miss path: tenant t0 was evicted long ago; the same query transparently
+    // rebuilds and costs exactly `plan-build + warm` rounds.
+    let before = server.context("t0").expect("tenant").metrics().rounds;
+    server.submit(
+        "t0",
+        Request::Query {
+            node_inputs: weights_for(n, 77),
+            edge_inputs: Vec::new(),
+        },
+    );
+    let miss_resp = server.flush();
+    let miss_rounds = server.context("t0").expect("tenant").metrics().rounds - before;
+    let m0 = server.tenant_metrics("t0").expect("tenant");
+    assert_eq!(m0.plan_misses, 1, "the rebuild is recorded as a miss");
+    assert_eq!(
+        miss_rounds,
+        build_rounds + warm_rounds,
+        "miss cost = plan-build + plan-eval rounds"
+    );
+
+    // Transparency: hit and miss return bit-identical answers.
+    let (warm_best, warm_labels) = expect_solution(&warm_resp[0].1);
+    let (miss_best, miss_labels) = expect_solution(&miss_resp[0].1);
+    assert_eq!(warm_best, miss_best);
+    assert_eq!(warm_labels, miss_labels);
+    assert_eq!((warm_best, &warm_labels), {
+        let (b, l) = mirror_solve(&tree, &weights_for(n, 77));
+        assert_eq!(l, warm_labels);
+        (b, &warm_labels)
+    });
+
+    for i in 0..TENANTS {
+        let id = format!("t{i}");
+        server
+            .context(&id)
+            .expect("tenant")
+            .check_compliance()
+            .unwrap_or_else(|v| panic!("{id}: strict violation: {v}"));
+    }
+    let cs = server.cache_stats();
+    assert!(cs.misses >= 1);
+    assert!(cs.resident_words <= cs.budget_words);
+    assert!(cs.hit_rate() < 1.0);
+}
+
+/// Acceptance property (c): snapshot → kill → restore → serve produces bit-identical
+/// responses to a server that never stopped, and the restored tenant's first query
+/// is an honest cache miss.
+#[test]
+fn snapshot_kill_restore_serves_bit_identically() {
+    let tree = spider(5, 9);
+    let n = tree.len();
+    let make_spec = || TenantSpec {
+        config: strict_cfg(4 * n),
+        input: TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        threshold: Some(4),
+        problem: MaxIs::new(MaxWeightIndependentSet),
+        node_inputs: weights_for(n, 3),
+        aux_input: 0,
+        edge_inputs: Vec::new(),
+    };
+    let cfg = ServerConfig {
+        plan_budget_words: 1 << 20,
+    };
+
+    // `steady` never stops; `doomed` gets snapshotted and killed mid-life.
+    let mut steady = Server::new(cfg);
+    let mut doomed = Server::new(cfg);
+    steady.admit("alpha", make_spec()).expect("admission");
+    doomed.admit("alpha", make_spec()).expect("admission");
+    for server in [&mut steady, &mut doomed] {
+        server.submit(
+            "alpha",
+            Request::Update {
+                node_updates: vec![(1, 400), (5, 0), (n as u64 - 2, 63)],
+                edge_updates: Vec::new(),
+            },
+        );
+        server.flush();
+    }
+
+    let bytes = doomed.snapshot_tenant("alpha").expect("snapshot");
+    assert_eq!(
+        doomed.snapshot_tenant("ghost").err(),
+        Some(ServerError::UnknownTenant("ghost".into()))
+    );
+    drop(doomed); // the kill
+
+    // Restore onto a brand-new server.
+    let mut revived = Server::new(cfg);
+    let id = revived
+        .restore_tenant(&bytes, MaxIs::new(MaxWeightIndependentSet))
+        .expect("restore");
+    assert_eq!(id, "alpha");
+    assert_eq!(revived.num_tenants(), 1);
+    assert_eq!(
+        revived
+            .restore_tenant(&bytes, MaxIs::new(MaxWeightIndependentSet))
+            .err(),
+        Some(ServerError::DuplicateTenant("alpha".into()))
+    );
+
+    // The restored incremental state is bit-identical to the unbroken server's.
+    assert_eq!(revived.root_summary("alpha"), steady.root_summary("alpha"));
+    assert_eq!(revived.labels("alpha"), steady.labels("alpha"));
+
+    // Identical traffic into both servers: responses must match bit for bit.
+    for server in [&mut steady, &mut revived] {
+        server.submit(
+            "alpha",
+            Request::Query {
+                node_inputs: weights_for(n, 9000),
+                edge_inputs: Vec::new(),
+            },
+        );
+        server.submit(
+            "alpha",
+            Request::Update {
+                node_updates: vec![(0, 1), (2, 999)],
+                edge_updates: Vec::new(),
+            },
+        );
+    }
+    let steady_resp = steady.flush();
+    let revived_resp = revived.flush();
+    assert_eq!(
+        expect_solution(&steady_resp[0].1),
+        expect_solution(&revived_resp[0].1)
+    );
+    let (su, ru) = (
+        expect_update(&steady_resp[1].1),
+        expect_update(&revived_resp[1].1),
+    );
+    assert_eq!(su.batch_size, ru.batch_size);
+    assert_eq!(su.resummarized, ru.resummarized);
+    assert_eq!(su.summaries_changed, ru.summaries_changed);
+    assert_eq!(su.relabeled, ru.relabeled);
+    assert_eq!(su.labels_changed, ru.labels_changed);
+    assert_eq!(su.rounds, ru.rounds);
+    assert_eq!(su.words_sent, ru.words_sent);
+    assert_eq!(steady.root_summary("alpha"), revived.root_summary("alpha"));
+    assert_eq!(steady.labels("alpha"), revived.labels("alpha"));
+
+    // The restored tenant came back with a cold cache: its first query was an
+    // honest miss, while the unbroken server kept its warm plan.
+    assert_eq!(
+        steady.tenant_metrics("alpha").expect("tenant").plan_misses,
+        0
+    );
+    assert_eq!(
+        revived.tenant_metrics("alpha").expect("tenant").plan_misses,
+        1
+    );
+    revived
+        .context("alpha")
+        .expect("tenant")
+        .check_compliance()
+        .expect("restored tenant stays strict-compliant");
+
+    // Tenant snapshots ride the same hardened codec: corruption is an error, and
+    // the payload kind is the serving layer's own.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 1;
+    assert_eq!(
+        Server::new(cfg)
+            .restore_tenant(&corrupt, MaxIs::new(MaxWeightIndependentSet))
+            .err(),
+        Some(ServerError::Snapshot(SnapshotError::ChecksumMismatch))
+    );
+    assert!(mpc_tree_dp::core::open(&bytes, KIND_TENANT).is_ok());
+}
+
+/// Request-routing edges: unknown tenants are rejected per request, and removing a
+/// tenant drops its queued traffic along with its cache entry.
+#[test]
+fn unknown_and_removed_tenants_are_rejected_cleanly() {
+    let mut server = Server::new(ServerConfig {
+        plan_budget_words: 1 << 20,
+    });
+    server.admit("real", spec_for(1)).expect("admission");
+
+    server.submit(
+        "phantom",
+        Request::Query {
+            node_inputs: Vec::new(),
+            edge_inputs: Vec::new(),
+        },
+    );
+    server.submit(
+        "real",
+        Request::Update {
+            node_updates: vec![(0, 7)],
+            edge_updates: Vec::new(),
+        },
+    );
+    let responses = server.flush();
+    assert_eq!(responses.len(), 2);
+    match &responses[0].1 {
+        Response::Rejected(ServerError::UnknownTenant(id)) => assert_eq!(id, "phantom"),
+        _ => panic!("expected an unknown-tenant rejection"),
+    }
+    let stats = expect_update(&responses[1].1);
+    assert_eq!(stats.batch_size, 1);
+
+    // Removal drops the tenant, its plan, and its queued requests.
+    server.submit(
+        "real",
+        Request::Query {
+            node_inputs: Vec::new(),
+            edge_inputs: Vec::new(),
+        },
+    );
+    assert_eq!(server.pending_requests(), 1);
+    assert!(server.remove_tenant("real"));
+    assert!(!server.remove_tenant("real"));
+    assert_eq!(server.pending_requests(), 0);
+    assert_eq!(server.num_tenants(), 0);
+    assert_eq!(server.cache_stats().resident_plans, 0);
+    assert!(server.tenant_metrics("real").is_none());
+    assert!(server.root_summary("real").is_none());
+    assert!(server.labels("real").is_none());
+    assert!(server.context("real").is_none());
+}
