@@ -334,17 +334,20 @@ impl SolvePlan {
     }
 
     /// Number of layers of the underlying clustering.
+    // mpc-cost: rounds(const)
     pub fn num_layers(&self) -> u32 {
         self.num_layers
     }
 
     /// Number of machines the plan was built for (its skeletons are placed on exactly
     /// this machine layout).
+    // mpc-cost: rounds(const)
     pub fn num_machines(&self) -> usize {
         self.num_machines
     }
 
     /// Total number of cached skeleton views across all layers.
+    // mpc-cost: rounds(const)
     pub fn num_views(&self) -> usize {
         self.layers
             .iter()
@@ -357,6 +360,7 @@ impl SolvePlan {
     /// plus the routing indexes (each slot entry counted at its encoded width). This
     /// is the charge a plan cache levies against its memory budget — an estimate of
     /// what keeping the plan warm costs, not an exact allocator measurement.
+    // mpc-cost: rounds(const)
     pub fn resident_words(&self) -> usize {
         let skeletons: usize = self
             .layers
@@ -389,6 +393,7 @@ impl SolvePlan {
     /// problem-dependent exchanges are charged — one input scatter, one
     /// summary-forwarding round per layer up, one label-forwarding round per layer
     /// down (phases `plan-inputs` / `plan-up` / `plan-down` under `plan-solve`).
+    // mpc-cost: rounds(layers)
     pub fn solve<P: ClusterDp>(
         &self,
         ctx: &mut MpcContext,
@@ -405,6 +410,7 @@ impl SolvePlan {
     /// [`IncrementalSolver`](../../tree_dp_incremental/struct.IncrementalSolver.html)
     /// needs for batched re-solves. The store contents are identical to what the
     /// fresh [`solve_dp_with_store`](crate::solve_dp_with_store) would retain.
+    // mpc-cost: rounds(layers)
     pub fn solve_with_store<P: ClusterDp>(
         &self,
         ctx: &mut MpcContext,
@@ -430,6 +436,7 @@ impl SolvePlan {
     /// per-problem evaluation passes. (Problems of *different* types are batched the
     /// same way by calling [`solve`](Self::solve) repeatedly on the shared plan.)
     #[allow(clippy::type_complexity)]
+    // mpc-cost: rounds(layers)
     pub fn solve_many<P: ClusterDp>(
         &self,
         ctx: &mut MpcContext,

@@ -196,6 +196,7 @@ impl<'a> SnapshotReader<'a> {
     }
 
     /// Bytes not yet consumed.
+    // mpc-lint: allow(dead-pub-api) — decoder-side length probe for out-of-crate Snapshot impls (the server's tenant codec); in-crate reads are same-file
     pub fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }

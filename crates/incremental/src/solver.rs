@@ -69,6 +69,7 @@ where
     /// * `aux_input` — the input of every auxiliary node introduced by degree
     ///   reduction (never touched by updates; auxiliary copies keep it).
     /// * `edge_inputs` — optional per-edge inputs keyed by the edge's child endpoint.
+    // mpc-cost: rounds(layers)
     pub fn new(
         ctx: &mut MpcContext,
         prepared: &PreparedTree,
@@ -102,6 +103,7 @@ where
     /// behaves bit-identically to the one that was snapshotted: same labels, same
     /// update deltas, same round charges. Costs zero MPC rounds — restoration is
     /// machine-local record placement, not communication.
+    // mpc-cost: rounds(const)
     pub fn restore(
         problem: P,
         store: SolverStore<P>,
@@ -122,6 +124,7 @@ where
 
     /// Apply a batch of node-input changes (keyed by *original* node id; unknown ids
     /// are ignored) and re-solve incrementally.
+    // mpc-cost: rounds(layers)
     pub fn update_node_inputs(
         &mut self,
         ctx: &mut MpcContext,
@@ -132,6 +135,7 @@ where
 
     /// Apply a batch of edge-input changes (keyed by the edge's child endpoint;
     /// unknown keys are ignored) and re-solve incrementally.
+    // mpc-cost: rounds(layers)
     pub fn update_edge_inputs(
         &mut self,
         ctx: &mut MpcContext,
@@ -149,6 +153,7 @@ where
     /// clusters' machines (1 round per layer that produced a change), and `inc-down`
     /// forwards changed boundary labels to the reading clusters' machines (1 round per
     /// layer that produced a change). Local recomputation is free in the MPC model.
+    // mpc-cost: rounds(layers)
     pub fn apply_batch(
         &mut self,
         ctx: &mut MpcContext,
@@ -353,37 +358,46 @@ where
     }
 
     /// The wrapped problem.
+    // mpc-cost: rounds(const)
     pub fn problem(&self) -> &P {
         &self.problem
     }
 
     /// The summary of the top cluster on the current inputs (e.g. the optimum value).
+    // mpc-cost: rounds(const)
     pub fn root_summary(&self) -> &P::Summary {
         self.store.root_summary()
     }
 
     /// The label of the virtual root edge on the current inputs.
+    // mpc-cost: rounds(const)
     pub fn root_label(&self) -> &P::Label {
         self.store.root_label()
     }
 
     /// The label of the edge whose child endpoint is `child`.
+    // mpc-cost: rounds(const)
+    // mpc-lint: allow(dead-pub-api) — single-edge read API paired with labels(); batch consumers use labels() but point probes are part of the solver surface
     pub fn label(&self, child: NodeId) -> Option<&P::Label> {
         self.store.label(child)
     }
 
     /// All labels on the current inputs, keyed by edge child endpoint.
+    // mpc-cost: rounds(const)
     pub fn labels(&self) -> &BTreeMap<NodeId, P::Label> {
         self.store.labels()
     }
 
     /// Materialize the current solution as a [`DpSolution`] distributed over the
     /// machines of `ctx` (host-side convenience, 0 rounds).
+    // mpc-cost: rounds(const)
+    // mpc-lint: allow(dead-pub-api) — materializes the incremental state as a DpSolution for parity checks against the batch solver; part of the solver surface
     pub fn solution(&self, ctx: &mut MpcContext) -> DpSolution<P> {
         self.store.to_solution(ctx)
     }
 
     /// The underlying per-cluster record store.
+    // mpc-cost: rounds(const)
     pub fn store(&self) -> &SolverStore<P> {
         &self.store
     }

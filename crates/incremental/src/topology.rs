@@ -53,6 +53,7 @@ pub(crate) struct Topology {
 
 impl Topology {
     /// Build the indexes from the views retained by the initial solve.
+    // mpc-cost: rounds(const)
     pub fn build<P: ClusterDp>(store: &SolverStore<P>) -> Self {
         let mut topo = Topology {
             member_site: BTreeMap::new(),

@@ -1,0 +1,239 @@
+//! Snapshot-ABI surface extraction and the `snapshot-abi.lock` format.
+//!
+//! The snapshot codec (`crates/core/src/snapshot.rs` and the server's tenant
+//! records) is an on-disk ABI: a body change in any `Snapshot` impl that is not
+//! accompanied by a `SNAPSHOT_VERSION` (or kind) bump silently breaks round-
+//! tripping of previously persisted state. This module fingerprints every
+//! `impl Snapshot for T` body, records the version and the `KIND_*` registry,
+//! and compares the result against the committed lockfile.
+//!
+//! The lock deliberately stores **no** file/line positions — moving code around
+//! must not churn it. Entries are sorted, so regeneration is deterministic.
+
+use crate::model::{FileKind, FileModel};
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit — the same hash the snapshot container uses for its payload
+/// checksum, reimplemented here because mpc-lint links against nothing.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The extracted ABI surface of the workspace.
+#[derive(Debug, Default)]
+pub struct AbiSurface {
+    /// `SNAPSHOT_VERSION` declaration: `(file index, line, value)`.
+    pub version: Option<(usize, usize, u64)>,
+    /// `KIND_*` constants: name → `(value, file index, line)`.
+    pub kinds: BTreeMap<String, (u64, usize, usize)>,
+    /// `Snapshot` impls: normalized self-type key → `(fingerprint, file index,
+    /// line of the `impl`)`.
+    pub impls: BTreeMap<String, (u64, usize, usize)>,
+}
+
+/// Extract the ABI surface from library sources.
+pub fn extract(files: &[FileModel]) -> AbiSurface {
+    let mut surface = AbiSurface::default();
+    for (fi, fm) in files.iter().enumerate() {
+        if fm.kind != FileKind::LibSrc {
+            continue;
+        }
+        for (idx, line) in fm.lines.iter().enumerate() {
+            if let Some((name, value)) = parse_const_decl(line) {
+                if name == "SNAPSHOT_VERSION" && surface.version.is_none() {
+                    surface.version = Some((fi, idx + 1, value));
+                } else if name.starts_with("KIND_") {
+                    surface.kinds.insert(name, (value, fi, idx + 1));
+                }
+            }
+        }
+        for im in &fm.impls {
+            if im.trait_name.as_deref() != Some("Snapshot") {
+                continue;
+            }
+            let fp = fingerprint(&fm.lines[im.start - 1..im.end.min(fm.lines.len())]);
+            surface
+                .impls
+                .entry(im.type_text.clone())
+                .and_modify(|(existing, _, _)| {
+                    // Two impls sharing a type key (shouldn't happen, but be
+                    // deterministic if it does): combine order-independently.
+                    *existing ^= fp;
+                })
+                .or_insert((fp, fi, im.start));
+        }
+    }
+    surface
+}
+
+/// Hash the scrubbed tokens of an impl body, whitespace-normalized so that
+/// reformatting does not drift the fingerprint but any token change does: all
+/// whitespace collapses away except a single separator between two identifier
+/// characters (so `w.byte( *self ) ;` ≡ `w.byte(*self);` but `fn encode` ≢
+/// `fnencode`).
+fn fingerprint(lines: &[String]) -> u64 {
+    let mut buf = String::new();
+    let mut sep = false;
+    for line in lines {
+        for c in line.chars() {
+            if c.is_whitespace() {
+                sep = true;
+                continue;
+            }
+            let ident = c.is_alphanumeric() || c == '_';
+            if sep
+                && ident
+                && buf
+                    .chars()
+                    .next_back()
+                    .is_some_and(|p| p.is_alphanumeric() || p == '_')
+            {
+                buf.push(' ');
+            }
+            buf.push(c);
+            sep = false;
+        }
+        sep = true;
+    }
+    fnv1a_64(buf.as_bytes())
+}
+
+/// `const NAME: u32 = 17;` (with optional `pub` prefix) → `(NAME, 17)`.
+fn parse_const_decl(line: &str) -> Option<(String, u64)> {
+    let t = line.trim_start();
+    let t = t.strip_prefix("pub ").unwrap_or(t).trim_start();
+    let t = t.strip_prefix("const ")?;
+    let name: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let rest = &t[name.len()..];
+    let eq = rest.find('=')?;
+    let value: String = rest[eq + 1..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    value.parse().ok().map(|v| (name, v))
+}
+
+/// Parsed form of a committed `snapshot-abi.lock`.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Lock {
+    pub version: Option<u64>,
+    pub kinds: BTreeMap<String, u64>,
+    pub impls: BTreeMap<String, u64>,
+}
+
+/// Render the lockfile text for an extracted surface.
+pub fn render_lock(surface: &AbiSurface) -> String {
+    let mut out = String::from(
+        "# snapshot-abi.lock — snapshot codec surface, checked by mpc-lint's\n\
+         # `snapshot-abi` rule. Regenerate with\n\
+         #     cargo run -p mpc-lint -- --write-abi-lock snapshot-abi.lock\n\
+         # after an *intentional* ABI change (bump SNAPSHOT_VERSION or the\n\
+         # affected KIND_* constant in the same commit).\n",
+    );
+    if let Some((_, _, v)) = surface.version {
+        out.push_str(&format!("version {v}\n"));
+    }
+    for (name, (value, _, _)) in &surface.kinds {
+        out.push_str(&format!("kind {name} {value}\n"));
+    }
+    for (key, (fp, _, _)) in &surface.impls {
+        out.push_str(&format!("impl {key} {fp:016x}\n"));
+    }
+    out
+}
+
+/// Parse lockfile text; unknown lines are ignored (forward compatibility).
+pub fn parse_lock(text: &str) -> Lock {
+    let mut lock = Lock::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("version") => {
+                lock.version = parts.next().and_then(|v| v.parse().ok());
+            }
+            Some("kind") => {
+                if let (Some(name), Some(v)) = (parts.next(), parts.next()) {
+                    if let Ok(v) = v.parse() {
+                        lock.kinds.insert(name.to_string(), v);
+                    }
+                }
+            }
+            Some("impl") => {
+                if let (Some(key), Some(fp)) = (parts.next(), parts.next()) {
+                    if let Ok(fp) = u64::from_str_radix(fp, 16) {
+                        lock.impls.insert(key.to_string(), fp);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    lock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn surface_of(src: &str) -> AbiSurface {
+        let fm = FileModel::build("crates/core/src/snapshot.rs", src);
+        extract(std::slice::from_ref(&fm))
+    }
+
+    const SRC: &str = "\
+pub const SNAPSHOT_VERSION: u16 = 3;
+pub const KIND_PLAN: u32 = 2;
+
+impl Snapshot for u8 {
+    fn encode(&self, w: &mut SnapshotWriter) {
+        w.byte(*self);
+    }
+}
+";
+
+    #[test]
+    fn surface_extraction() {
+        let s = surface_of(SRC);
+        assert_eq!(s.version.map(|(_, line, v)| (line, v)), Some((1, 3)));
+        assert_eq!(s.kinds.get("KIND_PLAN").map(|&(v, _, _)| v), Some(2));
+        assert_eq!(s.impls.len(), 1);
+        let (_, _, line) = s.impls["u8"];
+        assert_eq!(line, 4);
+    }
+
+    #[test]
+    fn fingerprint_ignores_formatting_not_tokens() {
+        let a = surface_of(SRC).impls["u8"].0;
+        let b = surface_of(&SRC.replace("w.byte(*self);", "w.byte( *self ) ;")).impls["u8"].0;
+        let c = surface_of(&SRC.replace("w.byte(*self);", "w.word(*self as u64);")).impls["u8"].0;
+        assert_eq!(a, b, "reformatting must not drift the fingerprint");
+        assert_ne!(a, c, "token changes must drift the fingerprint");
+    }
+
+    #[test]
+    fn lock_round_trips() {
+        let s = surface_of(SRC);
+        let text = render_lock(&s);
+        let lock = parse_lock(&text);
+        assert_eq!(lock.version, Some(3));
+        assert_eq!(lock.kinds.get("KIND_PLAN"), Some(&2));
+        assert_eq!(lock.impls.get("u8"), Some(&s.impls["u8"].0));
+    }
+}

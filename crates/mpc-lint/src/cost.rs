@@ -1,0 +1,213 @@
+//! The `mpc-cost` annotation contract: round-cost classes, note binding, and
+//! effective-cost propagation over the call graph.
+//!
+//! A function declares its round budget with a comment directly above (or on) its
+//! declaration:
+//!
+//! ```text
+//! // mpc-cost: rounds(const)
+//! pub fn num_layers(&self) -> usize { .. }
+//! ```
+//!
+//! Classes form a total order: `const` (O(1) rounds) < `log` (O(log n)) <
+//! `layers` (one pass over the clustering hierarchy) < `prepare` (full
+//! preprocessing). The `cost-annotation` rule checks that no function calls into
+//! a strictly higher class than it declares.
+
+use crate::graph::CallGraph;
+use crate::model::FileModel;
+use std::collections::BTreeMap;
+
+/// Round-cost classes, cheapest first. The derived `Ord` *is* the contract:
+/// a function may only call sites whose cost is `<=` its own class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CostClass {
+    /// O(1) rounds — machine-local or a constant number of exchanges.
+    Const,
+    /// O(log n) rounds.
+    Log,
+    /// One pass over the O(log n) layers of an existing clustering.
+    Layers,
+    /// Full preprocessing: builds the clustering from scratch.
+    Prepare,
+}
+
+impl CostClass {
+    pub fn parse(s: &str) -> Option<CostClass> {
+        match s {
+            "const" => Some(CostClass::Const),
+            "log" => Some(CostClass::Log),
+            "layers" => Some(CostClass::Layers),
+            "prepare" => Some(CostClass::Prepare),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::Const => "const",
+            CostClass::Log => "log",
+            CostClass::Layers => "layers",
+            CostClass::Prepare => "prepare",
+        }
+    }
+}
+
+/// A problem discovered while binding notes: `(file index, line, message)`.
+pub type NoteProblem = (usize, usize, String);
+
+/// Bind every `mpc-cost` note to the function it annotates: the note must sit on
+/// the declaration line or be separated from it only by blank lines and
+/// attributes. Returns the per-symbol declared class plus binding problems
+/// (unknown class, no function to bind to, duplicate notes).
+pub fn bind_notes(
+    files: &[FileModel],
+    graph: &CallGraph,
+) -> (Vec<Option<CostClass>>, Vec<NoteProblem>) {
+    let mut declared: Vec<Option<CostClass>> = vec![None; graph.symbols.len()];
+    let mut problems = Vec::new();
+    // (file, fn start line) → symbol id.
+    let mut at: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (sid, s) in graph.symbols.iter().enumerate() {
+        at.insert((s.file, s.line), sid);
+    }
+    for (fi, fm) in files.iter().enumerate() {
+        for note in &fm.costs {
+            let Some(class) = CostClass::parse(&note.class) else {
+                problems.push((
+                    fi,
+                    note.line,
+                    format!(
+                        "unknown cost class `{}` (known: const, log, layers, prepare)",
+                        note.class
+                    ),
+                ));
+                continue;
+            };
+            let target = fm
+                .fns
+                .iter()
+                .filter(|f| f.start >= note.line)
+                .min_by_key(|f| f.start)
+                .filter(|f| {
+                    // Every line strictly between note and decl must be blank
+                    // (scrubbing erases comments) or an attribute.
+                    f.start <= note.line
+                        || fm.lines[note.line..f.start - 1].iter().all(|l| {
+                            let t = l.trim();
+                            t.is_empty() || t.starts_with("#[")
+                        })
+                });
+            let Some(f) = target else {
+                problems.push((
+                    fi,
+                    note.line,
+                    "mpc-cost note does not precede a function declaration".to_string(),
+                ));
+                continue;
+            };
+            let Some(&sid) = at.get(&(fi, f.start)) else {
+                continue;
+            };
+            if let Some(prev) = declared[sid] {
+                problems.push((
+                    fi,
+                    note.line,
+                    format!(
+                        "fn `{}` already carries `rounds({})`; remove the duplicate note",
+                        f.name,
+                        prev.name()
+                    ),
+                ));
+                continue;
+            }
+            declared[sid] = Some(class);
+        }
+    }
+    (declared, problems)
+}
+
+/// Effective cost of every symbol: the declared class when annotated, otherwise
+/// the max over its call sites of `max(Const if charged, min over candidate
+/// callees' effective cost)`. The *min* over candidates keeps the resolver's
+/// method-call over-approximation from inflating costs; `None` means "no
+/// evidence of any round charge". Cycles contribute no cost (the layered solver
+/// has no recursive exchanges; anything truly cyclic is caught dynamically).
+pub fn effective(graph: &CallGraph, declared: &[Option<CostClass>]) -> Vec<Option<CostClass>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    let n = graph.symbols.len();
+    let mut state = vec![State::Unvisited; n];
+    let mut memo: Vec<Option<CostClass>> = vec![None; n];
+
+    fn visit(
+        sid: usize,
+        graph: &CallGraph,
+        declared: &[Option<CostClass>],
+        state: &mut [State],
+        memo: &mut [Option<CostClass>],
+    ) -> Option<CostClass> {
+        if let Some(d) = declared[sid] {
+            return Some(d);
+        }
+        match state[sid] {
+            State::Done => return memo[sid],
+            State::InProgress => return None, // cycle: no contribution
+            State::Unvisited => {}
+        }
+        state[sid] = State::InProgress;
+        let mut acc: Option<CostClass> = None;
+        for site in &graph.sites[sid] {
+            let charged = if site.charged {
+                Some(CostClass::Const)
+            } else {
+                None
+            };
+            let callee = site
+                .callees
+                .iter()
+                .map(|&c| visit(c, graph, declared, state, memo))
+                .min()
+                .flatten();
+            acc = acc.max(charged.max(callee));
+        }
+        state[sid] = State::Done;
+        memo[sid] = acc;
+        acc
+    }
+
+    (0..n)
+        .map(|sid| visit(sid, graph, declared, &mut state, &mut memo))
+        .collect()
+}
+
+/// Cost a single call site charges its caller, given the effective costs.
+pub fn site_cost(site: &crate::graph::Site, eff: &[Option<CostClass>]) -> Option<CostClass> {
+    let charged = if site.charged {
+        Some(CostClass::Const)
+    } else {
+        None
+    };
+    let callee = site.callees.iter().map(|&c| eff[c]).min().flatten();
+    charged.max(callee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_is_the_contract() {
+        assert!(CostClass::Const < CostClass::Log);
+        assert!(CostClass::Log < CostClass::Layers);
+        assert!(CostClass::Layers < CostClass::Prepare);
+        assert_eq!(CostClass::parse("layers"), Some(CostClass::Layers));
+        assert_eq!(CostClass::parse("linear"), None);
+        // Option ordering puts "no evidence" below every real class.
+        assert!(None < Some(CostClass::Const));
+    }
+}

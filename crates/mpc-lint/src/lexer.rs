@@ -23,6 +23,18 @@ pub struct Allow {
     pub has_reason: bool,
 }
 
+/// A round-cost contract parsed from a line comment:
+/// `// mpc-cost: rounds(layers)`. The class is kept raw here; the cost rule
+/// validates it against the known grammar (`const` | `log` | `layers` | `prepare`)
+/// and binds the note to the function it annotates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostNote {
+    /// 1-based source line the directive appears on.
+    pub line: usize,
+    /// The raw class text inside `rounds(...)`.
+    pub class: String,
+}
+
 /// The result of scrubbing one source file.
 #[derive(Debug)]
 pub struct Scrubbed {
@@ -32,6 +44,8 @@ pub struct Scrubbed {
     pub lines: Vec<String>,
     /// Every `mpc-lint: allow` directive found in a line comment.
     pub allows: Vec<Allow>,
+    /// Every `mpc-cost: rounds(...)` annotation found in a line comment.
+    pub costs: Vec<CostNote>,
 }
 
 /// Scrub `src`, blanking comments and literal contents (see module docs).
@@ -39,6 +53,7 @@ pub fn scrub(src: &str) -> Scrubbed {
     let b: Vec<char> = src.chars().collect();
     let mut out = String::with_capacity(src.len());
     let mut allows = Vec::new();
+    let mut costs = Vec::new();
     let mut line = 1usize;
     let mut i = 0usize;
     // True when the previous emitted character can end an identifier, which rules out
@@ -57,6 +72,14 @@ pub fn scrub(src: &str) -> Scrubbed {
                 let text: String = b[start..i].iter().collect();
                 if let Some(a) = parse_allow(&text, line) {
                     allows.push(a);
+                }
+                // Doc comments (`///`, `//!`) are prose *about* the contract, not
+                // the contract: only plain `//` comments carry cost notes.
+                let is_doc = matches!(b.get(start + 2), Some(&'/') | Some(&'!'));
+                if !is_doc {
+                    if let Some(c) = parse_cost(&text, line) {
+                        costs.push(c);
+                    }
                 }
                 push_blank(&mut out, i - start);
                 prev_ident = false;
@@ -168,6 +191,7 @@ pub fn scrub(src: &str) -> Scrubbed {
     Scrubbed {
         lines: out.lines().map(str::to_string).collect(),
         allows,
+        costs,
     }
 }
 
@@ -331,6 +355,24 @@ fn parse_allow(comment: &str, line: usize) -> Option<Allow> {
     })
 }
 
+/// Parse one line comment for an `mpc-cost: rounds(<class>)` annotation.
+///
+/// The class text is captured verbatim (anything up to the closing parenthesis);
+/// validating it against the known classes — and rejecting junk like
+/// `rounds(n^2)` — is the cost rule's job, so a typo surfaces as a finding
+/// instead of silently annotating nothing.
+fn parse_cost(comment: &str, line: usize) -> Option<CostNote> {
+    let idx = comment.find("mpc-cost:")?;
+    let rest = comment[idx + "mpc-cost:".len()..].trim_start();
+    let rest = rest.strip_prefix("rounds")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    Some(CostNote {
+        line,
+        class: rest[..close].trim().to_string(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +420,28 @@ mod tests {
         assert_eq!(s.allows.len(), 2);
         assert!(!s.allows[0].has_reason);
         assert!(!s.allows[1].has_reason); // a bare "x" is not a reason
+    }
+
+    #[test]
+    fn cost_notes_are_parsed() {
+        let s = scrub(
+            "// mpc-cost: rounds(layers)\nfn f() {}\n// mpc-cost: rounds( const )\n// mpc-cost: rounds\n",
+        );
+        assert_eq!(s.costs.len(), 2);
+        assert_eq!(
+            s.costs[0],
+            CostNote {
+                line: 1,
+                class: "layers".into()
+            }
+        );
+        assert_eq!(
+            s.costs[1],
+            CostNote {
+                line: 3,
+                class: "const".into()
+            }
+        );
     }
 
     #[test]

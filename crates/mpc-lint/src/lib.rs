@@ -8,22 +8,33 @@
 //! accounting, library panics, and dead public API.
 //!
 //! Pure `std`, no `syn`, offline: a scrubbing lexer ([`lexer`]) plus a line-oriented
-//! context model ([`model`]) feed a small rule engine ([`rules`]). Findings print
-//! rustc-style or as JSON ([`report`]); inline
-//! `// mpc-lint: allow(<rule>) — <reason>` comments suppress individual findings.
+//! context model ([`model`]) feed a small rule engine ([`rules`]). A resolution pass
+//! ([`graph`]) links every call site to its candidate callees across the whole
+//! workspace; the `round-blowup` and `cost-annotation` rules ([`cost`]) walk that
+//! graph, and `snapshot-abi` ([`abi`]) fingerprints the snapshot codec against the
+//! committed `snapshot-abi.lock`. Findings print rustc-style or as JSON
+//! ([`report`]); inline `// mpc-lint: allow(<rule>) — <reason>` comments suppress
+//! individual findings.
 //!
 //! Run it with `cargo run -p mpc-lint` from anywhere inside the workspace.
 
+pub mod abi;
+pub mod cost;
+pub mod graph;
 pub mod lexer;
 pub mod model;
 pub mod report;
 pub mod rules;
 
-pub use model::FileModel;
+pub use abi::{AbiSurface, Lock};
+pub use cost::{CostClass, NoteProblem};
+pub use graph::{module_path, CallGraph, GraphStats, Site, Symbol, CHARGED_PRIMITIVES};
+pub use model::{type_head, CallSite, FileModel, FnSpan, ImplSpan};
 pub use report::{render_json, render_text, Finding};
 pub use rules::{
-    lint, LintConfig, ALLOC_HYGIENE, ALLOW_DIRECTIVE, ALL_RULES, DEAD_PUB_API, DETERMINISM,
-    METERED_EXCHANGE, PANIC_POLICY, PHASE_DISCIPLINE,
+    lint, lint_with_graph, LintConfig, ALLOC_HYGIENE, ALLOW_DIRECTIVE, ALL_RULES, COST_ANNOTATION,
+    DEAD_PUB_API, DETERMINISM, METERED_EXCHANGE, PANIC_POLICY, PHASE_DISCIPLINE, ROUND_BLOWUP,
+    SNAPSHOT_ABI,
 };
 
 use std::path::{Path, PathBuf};
@@ -91,10 +102,9 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::R
     Ok(())
 }
 
-/// Lint the workspace rooted at `root`; returns findings and the number of files
-/// scanned. IO errors on individual files become findings rather than aborting the
-/// whole run.
-pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<(Vec<Finding>, usize)> {
+/// Load every workspace source into a [`FileModel`]; unreadable files become
+/// findings rather than aborting the run.
+pub fn load_workspace_models(root: &Path) -> std::io::Result<(Vec<FileModel>, Vec<Finding>)> {
     let files = collect_files(root)?;
     let mut models = Vec::with_capacity(files.len());
     let mut io_findings = Vec::new();
@@ -109,7 +119,38 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<(Vec<Fin
             }),
         }
     }
-    let mut findings = lint(&models, cfg);
+    Ok((models, io_findings))
+}
+
+/// Fill in the workspace-level inputs the rules need from disk: currently the
+/// committed `snapshot-abi.lock`, when present.
+fn load_workspace_config(root: &Path, cfg: &mut LintConfig) {
+    let lock_path = root.join("snapshot-abi.lock");
+    if let Ok(text) = std::fs::read_to_string(lock_path) {
+        cfg.abi_lock = Some(text);
+    }
+}
+
+/// Lint the workspace rooted at `root`; returns findings, the number of files
+/// scanned, and the resolved call graph. Reads `snapshot-abi.lock` from the root
+/// unless the config already carries one. IO errors on individual files become
+/// findings rather than aborting the whole run.
+pub fn lint_workspace_full(
+    root: &Path,
+    cfg: &LintConfig,
+) -> std::io::Result<(Vec<Finding>, usize, CallGraph)> {
+    let mut cfg = cfg.clone();
+    if cfg.abi_lock.is_none() {
+        load_workspace_config(root, &mut cfg);
+    }
+    let (models, io_findings) = load_workspace_models(root)?;
+    let (mut findings, graph) = lint_with_graph(&models, &cfg);
     findings.extend(io_findings);
-    Ok((findings, files.len()))
+    Ok((findings, models.len(), graph))
+}
+
+/// Lint the workspace rooted at `root`; returns findings and the number of files
+/// scanned.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<(Vec<Finding>, usize)> {
+    lint_workspace_full(root, cfg).map(|(f, n, _)| (f, n))
 }

@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! cargo run -p mpc-lint [-- --json] [--root <dir>] [--rule <id>]
+//!                       [--dump-graph] [--write-abi-lock <path>]
 //! ```
 //!
 //! Exits non-zero when any finding survives the inline allow directives, so CI can
-//! gate on it directly.
+//! gate on it directly. `--dump-graph` prints the resolved call graph instead of
+//! linting; `--write-abi-lock` regenerates the snapshot-ABI lockfile (CI writes it
+//! to a temp path and diffs against the committed one).
 
-use mpc_lint::{find_workspace_root, lint_workspace, render_json, render_text, LintConfig};
+use mpc_lint::{
+    abi, find_workspace_root, lint_workspace_full, load_workspace_models, render_json, render_text,
+    CallGraph, LintConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let dump_graph = args.iter().any(|a| a == "--dump-graph");
     let flag = |name: &str| {
         args.iter().position(|a| a == name).map(|i| {
             args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -37,18 +44,54 @@ fn main() {
         }
     };
     let rule_filter = flag("--rule");
+    let abi_lock_out = flag("--write-abi-lock");
+
+    let models_of = |root: &std::path::Path| {
+        load_workspace_models(root).unwrap_or_else(|e| {
+            eprintln!("mpc-lint: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        })
+    };
+
+    if let Some(out_path) = abi_lock_out {
+        // Regenerate the snapshot-ABI lockfile and exit: this mode never lints.
+        let (models, _) = models_of(&root);
+        let surface = abi::extract(&models);
+        let text = abi::render_lock(&surface);
+        if let Err(e) = std::fs::write(&out_path, &text) {
+            eprintln!("mpc-lint: cannot write {out_path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "mpc-lint: wrote {out_path} ({} impl(s), {} kind(s))",
+            surface.impls.len(),
+            surface.kinds.len()
+        );
+        return;
+    }
+
+    if dump_graph {
+        let (models, _) = models_of(&root);
+        let graph = CallGraph::build(&models);
+        print!("{}", graph.render());
+        return;
+    }
 
     let cfg = LintConfig::default();
-    let (mut findings, files_scanned) = lint_workspace(&root, &cfg).unwrap_or_else(|e| {
-        eprintln!("mpc-lint: cannot scan {}: {e}", root.display());
-        std::process::exit(2);
-    });
+    let (mut findings, files_scanned, graph) =
+        lint_workspace_full(&root, &cfg).unwrap_or_else(|e| {
+            eprintln!("mpc-lint: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        });
     if let Some(rule) = &rule_filter {
         findings.retain(|f| f.rule == rule.as_str());
     }
 
     if json {
-        print!("{}", render_json(&findings, files_scanned));
+        print!(
+            "{}",
+            render_json(&findings, files_scanned, Some(&graph.stats()))
+        );
     } else {
         print!("{}", render_text(&findings));
         eprintln!(

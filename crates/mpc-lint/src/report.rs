@@ -25,9 +25,27 @@ pub fn render_text(findings: &[Finding]) -> String {
 }
 
 /// Render findings as a JSON document (`--json` mode). Hand-rolled — the workspace
-/// is offline and dependency-free by policy.
-pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
-    let mut out = String::from("{\n  \"findings\": [");
+/// is offline and dependency-free by policy. The report is self-describing: it
+/// embeds every rule's identifier/scope/summary, and when `stats` is given, the
+/// resolved call graph's aggregate numbers.
+pub fn render_json(
+    findings: &[Finding],
+    files_scanned: usize,
+    stats: Option<&crate::graph::GraphStats>,
+) -> String {
+    let mut out = String::from("{\n  \"rules\": [");
+    for (i, (name, scope, summary)) in crate::rules::RULE_INFO.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"name\": \"{}\", \"scope\": \"{}\", \"summary\": \"{}\" }}",
+            escape(name),
+            escape(scope),
+            escape(summary)
+        ));
+    }
+    out.push_str("\n  ],\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -44,10 +62,18 @@ pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
         out.push_str("\n  ");
     }
     out.push_str(&format!(
-        "],\n  \"count\": {},\n  \"files_scanned\": {}\n}}\n",
+        "],\n  \"count\": {},\n  \"files_scanned\": {}",
         findings.len(),
         files_scanned
     ));
+    if let Some(st) = stats {
+        out.push_str(&format!(
+            ",\n  \"graph\": {{ \"functions\": {}, \"edges\": {}, \
+             \"charged_sites\": {}, \"exchange_fns\": {} }}",
+            st.functions, st.edges, st.charged_sites, st.exchange_fns
+        ));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -88,15 +114,30 @@ mod tests {
 
     #[test]
     fn json_escapes_quotes() {
-        let j = render_json(&sample(), 3);
+        let j = render_json(&sample(), 3, None);
         assert!(j.contains("\\\"library\\\""));
         assert!(j.contains("\"count\": 1"));
         assert!(j.contains("\"files_scanned\": 3"));
+        assert!(!j.contains("\"graph\""));
     }
 
     #[test]
     fn json_empty_findings() {
-        let j = render_json(&[], 0);
+        let j = render_json(&[], 0, None);
         assert!(j.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn json_carries_rule_metadata_and_graph_stats() {
+        let stats = crate::graph::GraphStats {
+            functions: 10,
+            edges: 7,
+            charged_sites: 2,
+            exchange_fns: 3,
+        };
+        let j = render_json(&[], 4, Some(&stats));
+        assert!(j.contains("\"rules\": ["));
+        assert!(j.contains("\"name\": \"round-blowup\""));
+        assert!(j.contains("\"graph\": { \"functions\": 10, \"edges\": 7,"));
     }
 }

@@ -19,6 +19,7 @@ pub struct Outbox<M> {
 
 impl<M> Outbox<M> {
     /// Create an empty outbox.
+    // mpc-lint: allow(dead-pub-api) — public constructor of the re-exported Outbox message buffer; embedders with custom step functions construct it directly even though in-tree code goes through Default
     pub fn new() -> Self {
         Self { msgs: Vec::new() }
     }

@@ -31,6 +31,7 @@ pub enum TreeInput {
 
 impl TreeInput {
     /// A short name for reporting (used by the benchmark harness).
+    // mpc-lint: allow(dead-pub-api) — input-shape discriminator for reporting; consumers match on the returned str so the name never appears at call sites outside this file
     pub fn kind(&self) -> &'static str {
         match self {
             TreeInput::ListOfEdges(_) => "list-of-edges",

@@ -44,6 +44,7 @@ pub struct PlanCache {
 
 impl PlanCache {
     /// An empty cache holding at most `budget_words` words of resident plans.
+    // mpc-cost: rounds(const)
     pub fn new(budget_words: usize) -> Self {
         Self {
             budget_words,
@@ -57,16 +58,21 @@ impl PlanCache {
     }
 
     /// The configured budget in words.
+    // mpc-cost: rounds(const)
+    // mpc-lint: allow(dead-pub-api) — budget accessor paired with resident_words; operators read it when tuning ServerConfig
     pub fn budget_words(&self) -> usize {
         self.budget_words
     }
 
     /// Words currently held by resident plans.
+    // mpc-cost: rounds(const)
     pub fn resident_words(&self) -> usize {
         self.entries.values().map(|e| e.words).sum()
     }
 
     /// Number of resident plans.
+    // mpc-cost: rounds(const)
+    // mpc-lint: allow(dead-pub-api) — counter accessor aggregated into CacheStats same-file; kept public for monitoring symmetry
     pub fn resident_plans(&self) -> usize {
         self.entries.len()
     }
@@ -74,6 +80,7 @@ impl PlanCache {
     /// Record one lookup for `id`: `true` (and an LRU touch + hit) when the plan is
     /// resident, `false` (and a miss) when the caller must rebuild and
     /// [`insert`](Self::insert) it.
+    // mpc-cost: rounds(const)
     pub fn lookup(&mut self, id: &str) -> bool {
         self.clock += 1;
         match self.entries.get_mut(id) {
@@ -90,6 +97,7 @@ impl PlanCache {
     }
 
     /// The resident plan of `id`, without touching LRU state or counters.
+    // mpc-cost: rounds(const)
     pub fn plan(&self, id: &str) -> Option<&SolvePlan> {
         self.entries.get(id).map(|e| &e.plan)
     }
@@ -97,6 +105,7 @@ impl PlanCache {
     /// Insert a freshly built plan that cost `build_rounds` rounds, evicting
     /// lower-value entries until the budget holds (see module docs for the policy).
     /// Returns the evicted tenant ids so the server can bump their counters.
+    // mpc-cost: rounds(const)
     pub fn insert(&mut self, id: TenantId, plan: SolvePlan, build_rounds: u64) -> Vec<TenantId> {
         self.clock += 1;
         self.build_rounds += build_rounds;
@@ -123,6 +132,7 @@ impl PlanCache {
     }
 
     /// Drop the resident plan of `id`, if any (tenant removal).
+    // mpc-cost: rounds(const)
     pub fn remove(&mut self, id: &str) {
         self.entries.remove(id);
     }
@@ -152,6 +162,7 @@ impl PlanCache {
     }
 
     /// A point-in-time snapshot of the cache counters.
+    // mpc-cost: rounds(const)
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,

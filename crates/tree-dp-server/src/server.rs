@@ -200,6 +200,7 @@ where
     P::Label: PartialEq,
 {
     /// An empty server with the given plan-cache budget.
+    // mpc-cost: rounds(const)
     pub fn new(config: ServerConfig) -> Self {
         Self {
             cache: PlanCache::new(config.plan_budget_words),
@@ -210,6 +211,7 @@ where
 
     /// Admit a new tenant: prepare its tree, build and cache its plan, run the
     /// initial solve, and stand up its incremental solver (see module docs).
+    // mpc-cost: rounds(prepare)
     pub fn admit(
         &mut self,
         id: impl Into<TenantId>,
@@ -276,11 +278,13 @@ where
     }
 
     /// Queue one request against `id`; it runs at the next [`flush`](Self::flush).
+    // mpc-cost: rounds(const)
     pub fn submit(&mut self, id: impl Into<TenantId>, request: Request<P>) {
         self.queue.push((id.into(), request));
     }
 
     /// Number of requests waiting for the next flush.
+    // mpc-cost: rounds(const)
     pub fn pending_requests(&self) -> usize {
         self.queue.len()
     }
@@ -288,6 +292,7 @@ where
     /// Serve every queued request and return the responses in submission order
     /// (admission batching: per tenant, one folded update batch then one
     /// `solve_many` over all queries — see module docs).
+    // mpc-cost: rounds(layers)
     pub fn flush(&mut self) -> Vec<(TenantId, Response<P>)> {
         let queue = std::mem::take(&mut self.queue);
         let cache = &mut self.cache;
@@ -437,17 +442,20 @@ where
     }
 
     /// Number of admitted tenants.
+    // mpc-cost: rounds(const)
     pub fn num_tenants(&self) -> usize {
         self.tenants.len()
     }
 
     /// The ids of all admitted tenants, in order.
+    // mpc-cost: rounds(const)
     pub fn tenant_ids(&self) -> Vec<TenantId> {
         self.tenants.keys().cloned().collect()
     }
 
     /// This tenant's serving counters, with `resident_bytes` computed now (prepared
     /// tree + solver store + cached plan when resident, at 8 bytes per word).
+    // mpc-cost: rounds(const)
     pub fn tenant_metrics(&self, id: &str) -> Option<TenantMetrics> {
         let tenant = self.tenants.get(id)?;
         let plan_words = self
@@ -462,27 +470,32 @@ where
     }
 
     /// A point-in-time snapshot of the shared plan cache's counters.
+    // mpc-cost: rounds(const)
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
     /// The tenant's MPC context (e.g. to assert strict-mode compliance in tests).
+    // mpc-cost: rounds(const)
     pub fn context(&self, id: &str) -> Option<&MpcContext> {
         self.tenants.get(id).map(|t| &t.ctx)
     }
 
     /// The tenant's current root summary (of the incremental state).
+    // mpc-cost: rounds(const)
     pub fn root_summary(&self, id: &str) -> Option<&P::Summary> {
         self.tenants.get(id).map(|t| t.solver.root_summary())
     }
 
     /// The tenant's current incremental labels, keyed by edge child endpoint.
+    // mpc-cost: rounds(const)
     pub fn labels(&self, id: &str) -> Option<&BTreeMap<NodeId, P::Label>> {
         self.tenants.get(id).map(|t| t.solver.labels())
     }
 
     /// Drop a tenant, its cached plan, and any of its queued requests. Returns
     /// `true` when the tenant existed.
+    // mpc-cost: rounds(const)
     pub fn remove_tenant(&mut self, id: &str) -> bool {
         self.cache.remove(id);
         self.queue.retain(|(qid, _)| qid != id);
@@ -504,6 +517,7 @@ where
     /// deliberately does *not* travel — a restored tenant's first query is an
     /// honest cache miss that rebuilds it (bit-identical, since plans are a pure
     /// function of the clustering).
+    // mpc-cost: rounds(const)
     pub fn snapshot_tenant(&self, id: &str) -> Result<Vec<u8>, ServerError> {
         let tenant = self
             .tenants
@@ -523,6 +537,7 @@ where
     /// this server (typically a freshly started one), re-creating its context from
     /// the persisted config and its incremental solver from the persisted store.
     /// Returns the restored tenant's id.
+    // mpc-cost: rounds(const)
     pub fn restore_tenant(&mut self, bytes: &[u8], problem: P) -> Result<TenantId, ServerError> {
         let mut r = open(bytes, KIND_TENANT)?;
         let id = TenantId::decode(&mut r)?;
