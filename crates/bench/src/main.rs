@@ -746,22 +746,28 @@ fn bench_server(n: usize, seed: u64, parallel: bool) -> String {
 
 /// The per-tree round counts the regression guard tracks: prepare, the two fresh
 /// solves, the plan engine's assembly/evaluation charges of the `multi` section,
-/// and the plan *rebuild* charge — what the serving layer re-pays on a cache miss
+/// the plan *rebuild* charge — what the serving layer re-pays on a cache miss
 /// (the `server` section's miss-cost row; asserted equal to the serving path in
-/// `integration_server.rs`).
-const GUARDED_ROUNDS: [&str; 6] = [
+/// `integration_server.rs`) — and the prepare sub-phases the fused clustering
+/// subroutines re-priced (clustering overall plus its cluster-sizes and
+/// cluster-paths components), so a regression inside prepare is attributed to
+/// the phase that caused it rather than reported as one opaque total.
+const GUARDED_ROUNDS: [&str; 9] = [
     "prepare",
     "max_is",
     "min_vc",
     "plan_build",
     "plan_eval",
     "plan_rebuild",
+    "clustering",
+    "cluster-sizes",
+    "cluster-paths",
 ];
 
 /// The committed per-tree rounds baseline (`rounds-baseline-n<k>.txt`): one line per
-/// suite entry, `tree prepare max_is min_vc plan_build plan_eval plan_rebuild`,
-/// `#` comments.
-fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 6])> {
+/// suite entry, `tree prepare max_is min_vc plan_build plan_eval plan_rebuild
+/// clustering cluster-sizes cluster-paths`, `#` comments.
+fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 9])> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read rounds baseline {path}: {e}"));
     text.lines()
@@ -771,9 +777,9 @@ fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 6])> {
             let mut it = l.split_whitespace();
             let tree = it.next().expect("tree name").to_string();
             let nums: Vec<u64> = it.map(|x| x.parse().expect("round count")).collect();
-            let nums: [u64; 6] = nums
+            let nums: [u64; 9] = nums
                 .try_into()
-                .unwrap_or_else(|_| panic!("baseline line needs 6 round counts: {l}"));
+                .unwrap_or_else(|_| panic!("baseline line needs 9 round counts: {l}"));
             (tree, nums)
         })
         .collect()
@@ -785,7 +791,7 @@ fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 6])> {
 /// a measured tree absent from the baseline, or a baseline tree no longer measured
 /// (suite entry dropped or renamed) — also fails, so coverage cannot silently
 /// shrink. Returns the number of regressions.
-fn check_rounds_against_baseline(path: &str, measured: &[(String, [u64; 6])]) -> usize {
+fn check_rounds_against_baseline(path: &str, measured: &[(String, [u64; 9])]) -> usize {
     let baseline = parse_rounds_baseline(path);
     let mut regressions = 0;
     for (tree, _) in &baseline {
@@ -827,7 +833,7 @@ fn check_rounds_against_baseline(path: &str, measured: &[(String, [u64; 6])]) ->
 /// `cargo run --release -p mpc-tree-dp-bench -- bench-json [--seed <u64>]
 /// [--n <usize>] [--no-parallel] [--strict] [--check-rounds <baseline file>]`
 /// prints the JSON to stdout (redirect it to `BENCH_seed.json` or its
-/// successors to anchor perf trajectories across PRs; `BENCH_pr4.json` is the
+/// successors to anchor perf trajectories across PRs; `BENCH_pr9.json` is the
 /// `--n 65536` tier). `--no-parallel` forces the suite/incremental
 /// measurements onto the sequential path (the comparison section always
 /// measures both modes). `--strict` runs the suite entries with hard
@@ -835,10 +841,17 @@ fn check_rounds_against_baseline(path: &str, measured: &[(String, [u64; 6])]) ->
 /// the top-level `violations.total` zero by construction. `--check-rounds` exits
 /// non-zero if any suite entry's charged rounds exceed the committed baseline
 /// — the CI rounds-regression guard, covering prepare, both fresh solves, the
-/// plan build/eval charges, and the serving layer's plan-rebuild (cache-miss)
-/// charge. The `server` section sweeps a multi-tenant `TreeDpServer` across
-/// plan-cache budgets and records hit rate, evictions, the per-miss rebuild
-/// rounds, and p50/p99 wall time per request.
+/// plan build/eval charges, the serving layer's plan-rebuild (cache-miss)
+/// charge, and the clustering sub-phases (clustering / cluster-sizes /
+/// cluster-paths) the fused subroutines re-priced. Schema v8 additions: the
+/// `cluster-sizes`/`cluster-paths` phase entries carry `active_machines`
+/// trajectories (one array per fused-subroutine invocation: machines still
+/// active at each charged exchange), and every suite entry carries
+/// `prepare_vs_eval_ratio` — prepare cost over the batched four-problem
+/// evaluation cost, rounds and wall, making the ROADMAP's ≤2× bar
+/// machine-checkable. The `server` section sweeps a multi-tenant `TreeDpServer`
+/// across plan-cache budgets and records hit rate, evictions, the per-miss
+/// rebuild rounds, and p50/p99 wall time per request.
 fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_rounds: Option<&str>) {
     const PREPARE_PHASES: [&str; 5] = [
         "normalize",
@@ -849,7 +862,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
     ];
     let mut entries = Vec::new();
     let mut multi_entries = Vec::new();
-    let mut measured_rounds: Vec<(String, [u64; 6])> = Vec::new();
+    let mut measured_rounds: Vec<(String, [u64; 9])> = Vec::new();
     let mut total_violations = 0usize;
     for entry in standard_suite(n, seed) {
         let tree = &entry.tree;
@@ -879,15 +892,45 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
         .expect("prepare");
         let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
         let prepare_rounds = ctx.metrics().rounds;
+        // The two fused clustering subroutines record one active-machine trajectory
+        // per `converge` invocation (one per δ-level that runs them): how many
+        // machines still held unconverged states at each charged exchange. The
+        // trajectories make the convergence-skipping payoff visible in the JSON —
+        // participation collapses well before the last element converges.
         let phase_lines: Vec<String> = PREPARE_PHASES
             .iter()
             .map(|name| {
-                format!(
-                    "        \"{}\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }}",
+                let subroutine = match *name {
+                    "cluster-sizes" => Some("count_subtree_sizes"),
+                    "cluster-paths" => Some("path_distances"),
+                    _ => None,
+                };
+                let base = format!(
+                    "        \"{}\": {{ \"rounds\": {}, \"wall_ms\": {:.3}",
                     name,
                     ctx.metrics().phase_rounds(name),
                     ctx.metrics().phase_wall_ms(name)
-                )
+                );
+                match subroutine {
+                    Some(trace_name) => {
+                        let trajectories: Vec<String> = ctx
+                            .metrics()
+                            .convergence
+                            .iter()
+                            .filter(|t| t.name == trace_name)
+                            .map(|t| {
+                                let steps: Vec<String> =
+                                    t.active_machines.iter().map(|m| m.to_string()).collect();
+                                format!("[{}]", steps.join(", "))
+                            })
+                            .collect();
+                        format!(
+                            "{base}, \"active_machines\": [{}] }}",
+                            trajectories.join(", ")
+                        )
+                    }
+                    None => format!("{base} }}"),
+                }
             })
             .collect();
 
@@ -997,6 +1040,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
             entry.name
         );
         let batched_rounds = plan_rounds + p_is_rounds + p_vc_rounds + p_ds_rounds + p_mm_rounds;
+        let batched_ms = plan_ms + p_is_ms + p_vc_ms + p_ds_ms + p_mm_ms;
         measured_rounds.push((
             entry.name.clone(),
             [
@@ -1006,6 +1050,9 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
                 plan_rounds,
                 p_is_rounds,
                 rebuild_rounds,
+                ctx.metrics().phase_rounds("clustering"),
+                ctx.metrics().phase_rounds("cluster-sizes"),
+                ctx.metrics().phase_rounds("cluster-paths"),
             ],
         ));
         multi_entries.push(format!(
@@ -1045,6 +1092,9 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
             batched_rounds as f64 / independent_rounds.max(1) as f64,
         ));
 
+        // The ROADMAP acceptance bar, machine-checkable per tree: prepare must cost
+        // no more than 2× the batched four-problem evaluation (plan build + four
+        // planned evaluation passes), on rounds and on wall clock.
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -1053,6 +1103,8 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
                 "      \"diameter\": {},\n",
                 "      \"prepare\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
                 "      \"prepare_phases\": {{\n{}\n      }},\n",
+                "      \"prepare_vs_eval_ratio\": {{ \"rounds\": {:.3}, \"wall\": {:.3}, ",
+                "\"eval_rounds\": {}, \"eval_wall_ms\": {:.3} }},\n",
                 "      \"max_is\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
                 "      \"min_vc\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
                 "      \"violations\": {},\n",
@@ -1066,6 +1118,10 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
             prepare_rounds,
             prepare_ms,
             phase_lines.join(",\n"),
+            prepare_rounds as f64 / batched_rounds.max(1) as f64,
+            prepare_ms / batched_ms.max(1e-9),
+            batched_rounds,
+            batched_ms,
             is_value,
             is_rounds,
             is_ms,
@@ -1167,7 +1223,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
     println!(
         concat!(
             "{{\n",
-            "  \"schema\": \"mpc-tree-dp-bench/v7\",\n",
+            "  \"schema\": \"mpc-tree-dp-bench/v8\",\n",
             "  \"suite\": \"standard\",\n",
             "  \"n\": {},\n",
             "  \"delta\": 0.5,\n",

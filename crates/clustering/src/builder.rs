@@ -19,11 +19,28 @@
 //! the single top cluster. Lemma 4 of the paper bounds the number of iterations by a
 //! constant (≈ `2/δ`); the builder enforces a generous safety cap and reports an error
 //! if it is ever exceeded.
+//!
+//! ## Batched per-level passes
+//!
+//! Each contraction level used to spend a long tail of separate primitives on probing
+//! and bookkeeping around the two subroutine calls. Those are now absorbed into a
+//! constant number of fused passes per level:
+//!
+//! * both size probes (own size, parent's size) and both path-flag probes (parent's
+//!   flag, child's flag) are single [`MpcContext::join_lookup2`] calls instead of a
+//!   `sort_table` plus two probe rounds each;
+//! * the indegree-1 adjacency carries each node's parent, outgoing edge, and per-child
+//!   attachment edge, so degree-2 flags and fragment assembly need no further joins —
+//!   the path payload rides through [`path_distances`] and the incoming edge of every
+//!   fragment cluster is read off the bottom member's `child_edge` locally;
+//! * absorption, colored-children follow-up, and parent re-targeting collapse into one
+//!   two-column probe of the assignment table per level ([`absorb_and_retarget`]),
+//!   replacing the former three-join sequence.
 
 use crate::clustering::Clustering;
 use crate::element::{make_cluster_id, Element, ElementId, ElementKind, VIRTUAL_NODE};
 use crate::subroutines::{count_subtree_sizes, path_distances, PathNode, PathPosition};
-use mpc_engine::{DistVec, MpcContext, SortedTable, Words};
+use mpc_engine::{DistVec, MpcContext, Words};
 use std::fmt;
 use tree_repr::{DirectedEdge, NodeId};
 
@@ -52,13 +69,49 @@ struct Active {
 }
 
 /// Per-fragment product of the indegree-1 contraction pass: the membership
-/// assignments, the new cluster's active element, and the lookup request for the
-/// cluster's incoming edge.
-type FragProduct = (Vec<(ElementId, ElementId)>, Active, (ElementId, ElementId));
+/// assignments and the new cluster's active element (complete with its incoming edge,
+/// resolved locally from the bottom member's child edge).
+type FragProduct = (Vec<(ElementId, ElementId)>, Active);
 
 impl Words for Active {
     fn words(&self) -> usize {
         12
+    }
+}
+
+/// Enriched uncolored-subgraph adjacency record for the indegree-one step: the node's
+/// parent and outgoing edge plus its uncolored children, each tagged with the
+/// original-tree edge through which it attaches.
+#[derive(Debug, Clone)]
+struct AdjRec {
+    id: ElementId,
+    parent: ElementId,
+    out_edge: DirectedEdge,
+    children: Vec<(ElementId, DirectedEdge)>,
+}
+
+impl Words for AdjRec {
+    fn words(&self) -> usize {
+        4 + 3 * self.children.len()
+    }
+}
+
+/// Degree-2 path flag for one uncolored element, carrying everything the path
+/// subroutine's payload needs: the unique child and its attachment edge, the parent,
+/// and the element's own outgoing edge.
+#[derive(Debug, Clone, Copy)]
+struct FlagRec {
+    id: ElementId,
+    is_path: bool,
+    child: ElementId,
+    child_edge: DirectedEdge,
+    parent: ElementId,
+    out_edge: DirectedEdge,
+}
+
+impl Words for FlagRec {
+    fn words(&self) -> usize {
+        8
     }
 }
 
@@ -186,13 +239,11 @@ pub fn build_clustering(
             let adjacency = uncolored_children(ctx, &actives);
             count_subtree_sizes(ctx, adjacency, threshold)
         });
-        // The size table is probed twice (own size, parent's size): sort it once.
-        let sizes_sorted = ctx.sort_table(&sizes, |s| s.id);
+        // One fused two-column probe answers both size questions (own size, parent's
+        // size) in a single join round.
         let uncolored = actives.clone().filter_local(|a| !a.colored);
-        let with_self = ctx.join_lookup_sorted(uncolored, |a| a.id, &sizes, &sizes_sorted);
-        let with_parent =
-            ctx.join_lookup_sorted(with_self, |(a, _)| a.parent, &sizes, &sizes_sorted);
-        let selected = with_parent.filter_local(|((a, own), parent)| {
+        let probed = ctx.join_lookup2(uncolored, |a| a.id, |a| a.parent, &sizes, |s| s.id);
+        let selected = probed.filter_local(|(a, own, parent)| {
             let light = own.as_ref().map(|o| !o.heavy).unwrap_or(false);
             let parent_heavy = parent.as_ref().map(|p| p.heavy).unwrap_or(false);
             light && parent_heavy && a.parent != VIRTUAL_NODE
@@ -200,13 +251,12 @@ pub fn build_clustering(
         // Membership assignments (member element → absorbing cluster) and the new
         // colored cluster elements, one per selected subtree root.
         let assignments: DistVec<(ElementId, ElementId)> =
-            selected.clone().flat_map_local(|((a, own), _)| {
+            selected.clone().flat_map_local(|(a, own, _)| {
                 let cid = make_cluster_id(indeg0_layer, a.id);
-                own.as_ref()
-                    .map(|o| o.descendants.iter().map(|&d| (d, cid)).collect::<Vec<_>>())
+                own.map(|o| o.descendants.iter().map(|&d| (d, cid)).collect::<Vec<_>>())
                     .unwrap_or_default()
             });
-        let new_clusters: DistVec<Active> = selected.map_local(|((a, _), _)| Active {
+        let new_clusters: DistVec<Active> = selected.map_local(|(a, _, _)| Active {
             id: make_cluster_id(indeg0_layer, a.id),
             kind: ElementKind::ClusterIndeg0,
             colored: true,
@@ -215,12 +265,13 @@ pub fn build_clustering(
             in_edge: None,
             formed_at: indeg0_layer,
         });
-        let assignments = absorb_colored_children(ctx, &actives, assignments);
-        actives = apply_absorption(
+        // No re-targeting in this step: absorbed subtrees consist of light elements
+        // only, so no surviving element's parent pointer dangles.
+        actives = absorb_and_retarget(
             ctx,
             actives,
             &assignments,
-            None,
+            false,
             indeg0_layer,
             &mut finished,
         )
@@ -230,112 +281,76 @@ pub fn build_clustering(
         // ----- indegree-one step ------------------------------------------------------
         layer += 1;
         let indeg1_layer = layer;
-        let adjacency = uncolored_children(ctx, &actives);
+        let adjacency = uncolored_adjacency(ctx, &actives);
         // Degree-2 flags: exactly one uncolored child and a real (non-virtual) parent.
-        let uncolored = actives.clone().filter_local(|a| !a.colored);
-        let with_children = ctx.join_lookup(uncolored, |a| a.id, &adjacency, |x| x.0);
-        let flags: DistVec<(ElementId, bool, ElementId, ElementId)> =
-            with_children.map_local(|(a, ch)| {
-                let children = ch.as_ref().map(|c| c.1.clone()).unwrap_or_default();
-                let is_path = children.len() == 1 && a.parent != VIRTUAL_NODE;
-                (
-                    a.id,
-                    is_path,
-                    children.first().copied().unwrap_or(VIRTUAL_NODE),
-                    a.parent,
-                )
-            });
-        // The flag table is probed twice (parent's and child's path flag): sort once.
-        let flags_sorted = ctx.sort_table(&flags, |x| x.0);
-        let path_candidates = flags.clone().filter_local(|f| f.1);
-        let with_up = ctx.join_lookup_sorted(path_candidates, |f| f.3, &flags, &flags_sorted);
-        let with_down = ctx.join_lookup_sorted(with_up, |(f, _)| f.2, &flags, &flags_sorted);
-        let path_nodes: DistVec<PathNode> = with_down.map_local(|((f, up), down)| PathNode {
-            id: f.0,
-            up: f.3,
-            up_is_path: up.as_ref().map(|u| u.1).unwrap_or(false),
-            down: f.2,
-            down_is_path: down.as_ref().map(|d| d.1).unwrap_or(false),
+        // The enriched adjacency already carries parent and edges, so this is local.
+        let flags: DistVec<FlagRec> = adjacency.map_local(|r| FlagRec {
+            id: r.id,
+            is_path: r.children.len() == 1 && r.parent != VIRTUAL_NODE,
+            child: r.children.first().map(|c| c.0).unwrap_or(VIRTUAL_NODE),
+            child_edge: r
+                .children
+                .first()
+                .map(|c| c.1)
+                .unwrap_or(DirectedEdge::new(r.id, VIRTUAL_NODE)),
+            parent: r.parent,
+            out_edge: r.out_edge,
+        });
+        // Both neighbor flags (parent's, child's) in one fused two-column probe.
+        let path_candidates = flags.clone().filter_local(|f| f.is_path);
+        let probed = ctx.join_lookup2(path_candidates, |f| f.parent, |f| f.child, &flags, |x| x.id);
+        let path_nodes: DistVec<PathNode> = probed.map_local(|(f, up, down)| PathNode {
+            id: f.id,
+            up: f.parent,
+            up_is_path: up.as_ref().map(|u| u.is_path).unwrap_or(false),
+            down: f.child,
+            down_is_path: down.as_ref().map(|d| d.is_path).unwrap_or(false),
+            out_edge: f.out_edge,
+            child_edge: f.child_edge,
         });
         let positions = ctx.phase("cluster-paths", |ctx| path_distances(ctx, path_nodes));
 
         // Fragments of at most `threshold` consecutive path nodes; the bottom anchor of
         // the path uniquely identifies the path, the quotient of the downward distance
-        // identifies the fragment.
-        let pos_with_active = ctx.join_lookup(positions, |p| p.id, &actives, |a| a.id);
+        // identifies the fragment. The payload carried through `path_distances` makes
+        // the whole assembly — assignments, cluster element, incoming edge — local to
+        // the fragment's machine.
         let frag_key =
             move |p: &PathPosition| (p.bottom_anchor, (p.dist_down - 1) / threshold as u64);
-        let groups = ctx.gather_groups(pos_with_active, move |(p, _)| frag_key(p));
-        // For every fragment: membership assignments, the new (uncolored, indegree-1)
-        // cluster element, and a lookup request for its incoming edge.
+        let groups = ctx.gather_groups(positions, move |p| frag_key(p));
         let frag_products: DistVec<FragProduct> = groups.flat_map_local(|(_, members)| {
-            let mut members: Vec<(PathPosition, Active)> = members
-                .into_iter()
-                .filter_map(|(p, a)| a.map(|a| (p, a)))
-                .collect();
+            let mut members = members;
             if members.is_empty() {
                 return Vec::new();
             }
-            members.sort_by_key(|(p, _)| p.dist_down);
-            let (_, bottom_active) = members[0];
-            let (_, top_active) = *members.last().expect("non-empty fragment");
-            let cid = make_cluster_id(indeg1_layer, top_active.id);
+            members.sort_by_key(|p| p.dist_down);
+            let bottom = members[0];
+            let top = *members.last().expect("non-empty fragment");
+            let cid = make_cluster_id(indeg1_layer, top.id);
             let assignments: Vec<(ElementId, ElementId)> =
-                members.iter().map(|(_, a)| (a.id, cid)).collect();
+                members.iter().map(|p| (p.id, cid)).collect();
+            // The unique uncolored child of the fragment's bottom member contributes
+            // its outgoing edge as the fragment's incoming edge.
             let cluster = Active {
                 id: cid,
                 kind: ElementKind::ClusterIndeg1,
                 colored: false,
-                parent: top_active.parent,
-                out_edge: top_active.out_edge,
-                in_edge: None,
+                parent: top.up,
+                out_edge: top.out_edge,
+                in_edge: Some(bottom.child_edge),
                 formed_at: indeg1_layer,
             };
-            vec![(assignments, cluster, (cid, bottom_active.id))]
+            vec![(assignments, cluster)]
         });
-        let assignments: DistVec<(ElementId, ElementId)> = frag_products
-            .clone()
-            .flat_map_local(|(assign, _, _)| assign);
-        let new_clusters_raw: DistVec<Active> =
-            frag_products.clone().map_local(|(_, cluster, _)| *cluster);
-        let in_edge_requests: DistVec<(ElementId, ElementId)> =
-            frag_products.map_local(|(_, _, req)| *req);
+        let assignments: DistVec<(ElementId, ElementId)> =
+            frag_products.clone().flat_map_local(|(assign, _)| assign);
+        let new_clusters: DistVec<Active> = frag_products.map_local(|(_, cluster)| *cluster);
 
-        // Resolve incoming edges: the unique uncolored child of the fragment's bottom
-        // member contributes its outgoing edge as the fragment's incoming edge.
-        let child_table: DistVec<(ElementId, DirectedEdge)> = actives
-            .clone()
-            .filter_local(|a| !a.colored)
-            .map_local(|a| (a.parent, a.out_edge));
-        let resolved = ctx.join_lookup(in_edge_requests, |r| r.1, &child_table, |t| t.0);
-        let in_edges: DistVec<(ElementId, Option<DirectedEdge>)> =
-            resolved.map_local(|((cid, _), found)| (*cid, found.as_ref().map(|f| f.1)));
-        let clusters_with_in = ctx.join_lookup(new_clusters_raw, |c| c.id, &in_edges, |x| x.0);
-        let new_clusters: DistVec<Active> = clusters_with_in.map_local(|(c, found)| Active {
-            in_edge: found.as_ref().and_then(|f| f.1),
-            ..*c
-        });
-
-        let assignments = absorb_colored_children(ctx, &actives, assignments);
-        // The final assignment table is probed twice (absorption + parent re-target):
-        // sort it once and reuse the handle.
-        let assignments_sorted = ctx.sort_table(&assignments, |x| x.0);
-        let remaining = apply_absorption(
-            ctx,
-            actives,
-            &assignments,
-            Some(&assignments_sorted),
-            indeg1_layer,
-            &mut finished,
-        );
-        let merged = remaining.concat_local(new_clusters);
-        // Re-target parent pointers of everything whose parent was just absorbed.
-        let retargeted =
-            ctx.join_lookup_sorted(merged, |a| a.parent, &assignments, &assignments_sorted);
-        actives = retargeted.map_local(|(a, found)| match found {
-            Some((_, cid)) => Active { parent: *cid, ..*a },
-            None => *a,
-        });
+        // Absorption and parent re-targeting over old and new elements in one pass
+        // (the new clusters are never absorbed — their ids are fresh — but their
+        // parents may point into an absorbed fragment and need re-targeting).
+        let merged = actives.concat_local(new_clusters);
+        actives = absorb_and_retarget(ctx, merged, &assignments, true, indeg1_layer, &mut finished);
         ctx.check_memory(&actives, "clustering/after-indeg1");
     }
 
@@ -383,46 +398,77 @@ fn uncolored_children(
     })
 }
 
-/// Extend membership assignments with the colored children of already-assigned members
-/// (colored elements always follow their parent into its cluster). One join.
-fn absorb_colored_children(
-    ctx: &mut MpcContext,
-    actives: &DistVec<Active>,
-    assignments: DistVec<(ElementId, ElementId)>,
-) -> DistVec<(ElementId, ElementId)> {
-    let colored = actives.clone().filter_local(|a| a.colored);
-    let joined = ctx.join_lookup(colored, |a| a.parent, &assignments, |x| x.0);
-    let colored_assignments: DistVec<(ElementId, ElementId)> =
-        joined.flat_map_local(|(a, found)| match found {
-            Some((_, cid)) => vec![(a.id, cid)],
-            None => Vec::new(),
-        });
-    assignments.concat_local(colored_assignments)
+/// Enriched adjacency for the indegree-one step: one `gather_groups` (`O(1)` rounds)
+/// over child and self announcement pairs. Child pairs ship `(child id, child's
+/// outgoing edge)` to the parent; the self pair carries the node's own parent pointer
+/// and outgoing edge, so every downstream consumer works without further joins.
+fn uncolored_adjacency(ctx: &mut MpcContext, actives: &DistVec<Active>) -> DistVec<AdjRec> {
+    type Pair = (ElementId, ElementId, ElementId, DirectedEdge);
+    let child_pairs: DistVec<Pair> = actives.clone().flat_map_local(|a| {
+        if !a.colored && a.parent != VIRTUAL_NODE {
+            vec![(a.parent, a.id, VIRTUAL_NODE, a.out_edge)]
+        } else {
+            Vec::new()
+        }
+    });
+    let self_pairs: DistVec<Pair> = actives.clone().flat_map_local(|a| {
+        if !a.colored {
+            vec![(a.id, VIRTUAL_NODE, a.parent, a.out_edge)]
+        } else {
+            Vec::new()
+        }
+    });
+    let grouped = ctx.gather_groups(child_pairs.concat_local(self_pairs), |p| p.0);
+    grouped.map_local(|(id, pairs)| {
+        // Every uncolored element emits a self pair, so the parent and out-edge
+        // fields are always overwritten below (colored elements are leaves, hence
+        // child pairs never target a colored parent).
+        let mut rec = AdjRec {
+            id: *id,
+            parent: VIRTUAL_NODE,
+            out_edge: DirectedEdge::new(*id, VIRTUAL_NODE),
+            children: Vec::new(),
+        };
+        for (_, child, parent, edge) in pairs {
+            if *child == VIRTUAL_NODE {
+                rec.parent = *parent;
+                rec.out_edge = *edge;
+            } else {
+                rec.children.push((*child, *edge));
+            }
+        }
+        rec
+    })
 }
 
-/// Remove absorbed elements from the active set, recording them in `finished`.
-/// One join (a probe when the caller already sorted the assignment table); the
-/// iteration over absorbed records models the machine-local write-out of finalized
-/// elements.
-fn apply_absorption(
+/// Remove absorbed elements from the active set in one fused two-column probe of the
+/// assignment table: the first column resolves each element's own absorption, the
+/// second its parent's. A colored element whose parent was absorbed follows it into
+/// the same cluster (colored elements always ride along); when `retarget` is set, a
+/// surviving element whose parent was absorbed re-points at the absorbing cluster.
+/// Absorbed elements are recorded in `finished`; the iteration over the probe results
+/// models the machine-local write-out of finalized elements.
+fn absorb_and_retarget(
     ctx: &mut MpcContext,
     actives: DistVec<Active>,
     assignments: &DistVec<(ElementId, ElementId)>,
-    assignments_sorted: Option<&SortedTable<ElementId>>,
+    retarget: bool,
     layer: u32,
     finished: &mut Vec<Element>,
 ) -> DistVec<Active> {
-    let tagged = match assignments_sorted {
-        Some(sorted) => ctx.join_lookup_sorted(actives, |a| a.id, assignments, sorted),
-        None => ctx.join_lookup(actives, |a| a.id, assignments, |x| x.0),
-    };
-    for (a, assigned) in tagged.iter() {
-        if let Some((_, cid)) = assigned {
+    let tagged = ctx.join_lookup2(actives, |a| a.id, |a| a.parent, assignments, |x| x.0);
+    for (a, own, parent_hit) in tagged.iter() {
+        let absorbed_into = match (own, parent_hit) {
+            (Some((_, cid)), _) => Some(*cid),
+            (None, Some((_, cid))) if a.colored => Some(*cid),
+            _ => None,
+        };
+        if let Some(cid) = absorbed_into {
             finished.push(Element {
                 id: a.id,
                 kind: a.kind,
                 formed_at: a.formed_at,
-                absorbed_into: *cid,
+                absorbed_into: cid,
                 absorbed_at: layer,
                 out_edge: a.out_edge,
                 in_edge: a.in_edge,
@@ -430,8 +476,11 @@ fn apply_absorption(
         }
     }
     tagged
-        .filter_local(|(_, assigned)| assigned.is_none())
-        .map_local(|(a, _)| *a)
+        .filter_local(|(a, own, parent_hit)| own.is_none() && !(a.colored && parent_hit.is_some()))
+        .map_local(|(a, _, parent_hit)| match parent_hit {
+            Some((_, cid)) if retarget => Active { parent: *cid, ..*a },
+            _ => *a,
+        })
 }
 
 #[cfg(test)]
@@ -552,5 +601,57 @@ mod tests {
             rounds_shallow < rounds_deep,
             "shallow {rounds_shallow} vs deep {rounds_deep}"
         );
+    }
+
+    #[test]
+    fn fused_and_legacy_subroutines_build_identical_clusterings() {
+        // The convergence-skip flag changes only the metrics, never the clustering.
+        for (tree, threshold) in [
+            (shapes::path(300), Some(6)),
+            (shapes::balanced_kary(255, 2), None),
+            (shapes::caterpillar(70, 3), Some(5)),
+            (shapes::spider(4, 60), Some(8)),
+            (shapes::random_recursive(250, 7), Some(9)),
+        ] {
+            let n = tree.len().max(16);
+            let mut fused_ctx = MpcContext::new(MpcConfig::new(n, 0.5));
+            let edges = fused_ctx.from_vec(tree.edges());
+            let fused = build_clustering(
+                &mut fused_ctx,
+                &edges,
+                tree.root() as u64,
+                tree.len(),
+                threshold,
+            )
+            .expect("fused clustering succeeds");
+
+            let mut legacy_ctx =
+                MpcContext::new(MpcConfig::new(n, 0.5).with_convergence_skip(false));
+            let edges = legacy_ctx.from_vec(tree.edges());
+            let legacy = build_clustering(
+                &mut legacy_ctx,
+                &edges,
+                tree.root() as u64,
+                tree.len(),
+                threshold,
+            )
+            .expect("legacy clustering succeeds");
+
+            assert_eq!(
+                fused.elements.clone().into_vec(),
+                legacy.elements.clone().into_vec(),
+                "{}-node tree",
+                tree.len()
+            );
+            assert_eq!(fused.num_layers, legacy.num_layers);
+            assert_eq!(fused.top_cluster, legacy.top_cluster);
+            assert!(
+                fused_ctx.metrics().rounds <= legacy_ctx.metrics().rounds,
+                "fused {} vs legacy {} rounds on a {}-node tree",
+                fused_ctx.metrics().rounds,
+                legacy_ctx.metrics().rounds,
+                tree.len()
+            );
+        }
     }
 }

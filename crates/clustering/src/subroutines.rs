@@ -16,9 +16,22 @@
 //!
 //! `GatherSubtrees` (Lemma 6.14) needs no separate routine here: once a light node knows
 //! its exact descendant set, membership assignments are distributed with one join.
+//!
+//! ## Fused convergence-aware execution
+//!
+//! Both subroutines run on [`MpcContext::converge`] by default: the state table is
+//! indexed once, each doubling step is one fused emit/probe/update exchange (priced as
+//! a join on the first step and a lookup afterwards), converged elements stop emitting
+//! requests — so machines whose records have all settled drop out of later exchanges —
+//! and the final "nothing left to ask" step costs no rounds at all. Both directions of
+//! the path pointer-doubling advance in the *same* exchange instead of two sequential
+//! jump loops. [`MpcConfig::convergence_skip`](mpc_engine::MpcConfig::convergence_skip)
+//! `= false` selects the legacy step-by-step loops (kept for equivalence testing); the
+//! two paths produce bit-identical outputs and the fused path never uses more rounds.
 
 use crate::element::ElementId;
 use mpc_engine::{DistVec, MpcContext, Words};
+use tree_repr::DirectedEdge;
 
 /// Result of [`count_subtree_sizes`] for one node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +58,13 @@ struct SizeState {
     set: Vec<ElementId>,
     /// `true` once the set can no longer grow (either heavy or a fixpoint was reached).
     stable: bool,
+    /// Descendants discovered in the *previous* step — the only ones whose sets the
+    /// next step has to fetch (every element of the next ball has an ancestor in the
+    /// frontier band). Simulator bookkeeping derived from two consecutive sets, kept
+    /// beside the state so the fused loop can emit from it; it never travels as state
+    /// payload, hence excluded from `words()` (matching the legacy loop's convention
+    /// of external frontier storage).
+    frontier: Vec<ElementId>,
 }
 
 impl Words for SizeState {
@@ -53,24 +73,28 @@ impl Words for SizeState {
     }
 }
 
-/// For every node of a rooted forest (given as `(node, children)` adjacency), determine
-/// whether its subtree holds more than `cap` nodes, and if not, its exact descendant set.
-///
-/// `children` must list, for every participating node, its children *within the
-/// participating node set* (nodes absent from the map are treated as leaves).
-/// Runs `O(log h)` doubling iterations where `h` is the forest height, each iteration a
-/// constant number of MPC primitives.
-pub fn count_subtree_sizes(
-    ctx: &mut MpcContext,
+/// What one doubling step ships back per fetched descendant: its heaviness and its
+/// current ball. Slimmer than the full state (no id, no flags, no frontier).
+struct SizeAnswer {
+    heavy: bool,
+    set: Vec<ElementId>,
+}
+
+impl Words for SizeAnswer {
+    fn words(&self) -> usize {
+        2 + self.set.len()
+    }
+}
+
+/// Seed: every node knows itself and its children (distance ≤ 1), as a sorted set. A
+/// heavy node's descendant set is dead weight — nothing ever reads it (the final
+/// output drops it, and any node that unions a heavy descendant becomes heavy itself)
+/// — so heavy states carry an empty set instead of shipping useless ids around.
+fn seed_size_states(
     adjacency: DistVec<(ElementId, Vec<ElementId>)>,
     cap: usize,
-) -> DistVec<SubtreeInfo> {
-    // Seed: every node knows itself and its children (distance ≤ 1), as a sorted
-    // set. A heavy node's descendant set is dead weight — nothing ever reads it (the
-    // final output drops it, and any node that unions a heavy descendant becomes
-    // heavy itself) — so heavy states carry an empty set instead of shipping useless
-    // ids around.
-    let mut states: DistVec<SizeState> = adjacency.map_local(|(id, children)| {
+) -> DistVec<SizeState> {
+    adjacency.map_local(|(id, children)| {
         let mut set = Vec::with_capacity(children.len() + 1);
         set.push(*id);
         set.extend(children.iter().copied());
@@ -80,38 +104,206 @@ pub fn count_subtree_sizes(
         if heavy {
             set = Vec::new();
         }
+        let frontier: Vec<ElementId> = if heavy {
+            Vec::new()
+        } else {
+            set.iter().copied().filter(|&d| d != *id).collect()
+        };
         SizeState {
             id: *id,
             heavy,
             stable: heavy,
             set,
+            frontier,
         }
-    });
-    ctx.check_memory(&states, "count_subtree_sizes/seed");
+    })
+}
 
-    // The frontier of a node: the descendants discovered in the *previous* step. One
-    // doubling step only needs the sets of the frontier — every element of the next
-    // ball has an ancestor in the frontier band (interior members' balls are already
-    // contained in the union of frontier balls) — which shrinks request and answer
-    // volume by the interior/frontier ratio. The frontier is simulator bookkeeping
-    // derived from two consecutive sets, so it lives beside the states (aligned with
-    // the chunk layout, which in-place merging preserves) and never travels.
-    let mut frontiers: Vec<Vec<Vec<ElementId>>> = states
-        .chunks()
-        .iter()
-        .map(|chunk| {
-            chunk
-                .iter()
-                .map(|s| {
-                    if s.stable {
-                        Vec::new()
-                    } else {
-                        s.set.iter().copied().filter(|&d| d != s.id).collect()
-                    }
-                })
-                .collect()
-        })
-        .collect();
+/// One node's share of a doubling step: union the fetched balls (as `(heavy, set)`
+/// views) into its own, re-check the cap, and derive the next frontier
+/// (`union \ old set`, both sorted). Shared verbatim by the fused and the legacy loop
+/// so the two stay bit-identical.
+///
+/// This is the dominant machine-local work of `cluster-sizes`, so it exploits the
+/// sortedness invariants instead of re-sorting: a heavy answer decides the state
+/// without touching the sets at all; the one-answer case (every element of a path,
+/// the shape that maximizes doubling work) is a linear two-way merge that bails as
+/// soon as `cap` is exceeded; only the multi-answer case (whose balls may overlap)
+/// pays the general sort + dedup.
+fn union_step<'a>(
+    state: &mut SizeState,
+    found: impl Iterator<Item = Option<(bool, &'a [ElementId])>>,
+    cap: usize,
+) {
+    let mut heavy = false;
+    let mut first: Option<&[ElementId]> = None;
+    let mut rest: Vec<ElementId> = Vec::new();
+    for (child_heavy, child_set) in found.flatten() {
+        if child_heavy {
+            heavy = true;
+        }
+        match first {
+            None => first = Some(child_set),
+            Some(f) => {
+                if rest.is_empty() {
+                    rest.reserve(f.len() + child_set.len());
+                    rest.extend_from_slice(f);
+                }
+                rest.extend_from_slice(child_set);
+            }
+        }
+    }
+    state.frontier.clear();
+    // A heavy ball anywhere below makes this subtree heavy — no union needed.
+    if heavy {
+        state.heavy = true;
+        state.stable = true;
+        state.set.clear();
+        return;
+    }
+    let Some(first) = first else {
+        // Nothing came back (an empty frontier's no-op step): the set is final.
+        state.stable = true;
+        return;
+    };
+    if rest.is_empty() {
+        // One ball: both sides are sorted and duplicate-free, so merge linearly,
+        // recording the genuinely new elements as the next frontier and bailing
+        // the moment the union exceeds the cap.
+        let old_len = state.set.len();
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut merged: Vec<ElementId> = Vec::with_capacity((old_len + first.len()).min(cap + 1));
+        while merged.len() <= cap {
+            match (state.set.get(i), first.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    merged.push(a);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    merged.push(a);
+                    i += 1;
+                }
+                (_, Some(&b)) => {
+                    merged.push(b);
+                    state.frontier.push(b);
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    merged.push(a);
+                    i += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        if merged.len() > cap {
+            state.heavy = true;
+            state.stable = true;
+            state.frontier.clear();
+            state.set.clear();
+        } else {
+            state.set = merged;
+            state.stable = state.frontier.is_empty();
+        }
+        return;
+    }
+    // Several balls: they may overlap each other (a frontier element can be an
+    // ancestor of another), so fall back to sort + dedup over the concatenation.
+    let mut union = rest;
+    union.extend_from_slice(&state.set);
+    union.sort_unstable();
+    union.dedup();
+    if union.len() > cap {
+        state.heavy = true;
+        state.stable = true;
+        state.set.clear();
+        return;
+    }
+    // New frontier: union \ old set (both sorted ascending).
+    let mut old = state.set.iter().copied().peekable();
+    for &u in &union {
+        match old.peek() {
+            Some(&o) if o == u => {
+                old.next();
+            }
+            _ => state.frontier.push(u),
+        }
+    }
+    state.set = union;
+    state.stable = state.frontier.is_empty();
+}
+
+/// For every node of a rooted forest (given as `(node, children)` adjacency), determine
+/// whether its subtree holds more than `cap` nodes, and if not, its exact descendant set.
+///
+/// `children` must list, for every participating node, its children *within the
+/// participating node set* (nodes absent from the map are treated as leaves).
+/// Runs `O(log h)` doubling iterations where `h` is the forest height; on the default
+/// fused path the whole loop costs `join + (steps − 1) · lookup` rounds, with machines
+/// whose nodes have all stabilized dropping out of the exchanges.
+// mpc-cost: rounds(log)
+pub fn count_subtree_sizes(
+    ctx: &mut MpcContext,
+    adjacency: DistVec<(ElementId, Vec<ElementId>)>,
+    cap: usize,
+) -> DistVec<SubtreeInfo> {
+    let states = if ctx.config().convergence_skip {
+        count_subtree_sizes_fused(ctx, adjacency, cap)
+    } else {
+        count_subtree_sizes_legacy(ctx, adjacency, cap)
+    };
+    states.map_local(|s| SubtreeInfo {
+        id: s.id,
+        heavy: s.heavy,
+        descendants: if s.heavy { Vec::new() } else { s.set.clone() },
+    })
+}
+
+/// Fused path: the whole doubling loop is one [`MpcContext::converge`] call. Each step
+/// fetches the balls of the frontier band and unions them in place; stable nodes emit
+/// nothing, so fully-stable machines leave the exchange entirely.
+fn count_subtree_sizes_fused(
+    ctx: &mut MpcContext,
+    adjacency: DistVec<(ElementId, Vec<ElementId>)>,
+    cap: usize,
+) -> DistVec<SizeState> {
+    let mut states = seed_size_states(adjacency, cap);
+    ctx.check_memory(&states, "count_subtree_sizes/seed");
+    ctx.converge(
+        &mut states,
+        |s| s.id,
+        |s, out| out.extend(s.frontier.iter().copied()),
+        |s| SizeAnswer {
+            heavy: s.heavy,
+            set: s.set.clone(),
+        },
+        |s, answers| {
+            if s.stable {
+                debug_assert!(answers.is_empty(), "stable nodes emit no requests");
+                return;
+            }
+            union_step(
+                s,
+                answers
+                    .iter()
+                    .map(|(_, a)| a.as_ref().map(|a| (a.heavy, a.set.as_slice()))),
+                cap,
+            );
+        },
+        "count_subtree_sizes",
+    );
+    states
+}
+
+/// Legacy loop (selected by `convergence_skip = false`): one full `join_lookup` plus a
+/// termination broadcast per doubling step, frontiers stored beside the states.
+fn count_subtree_sizes_legacy(
+    ctx: &mut MpcContext,
+    adjacency: DistVec<(ElementId, Vec<ElementId>)>,
+    cap: usize,
+) -> DistVec<SizeState> {
+    let mut states = seed_size_states(adjacency, cap);
+    ctx.check_memory(&states, "count_subtree_sizes/seed");
 
     loop {
         // One doubling step: fetch the set of every frontier descendant and union it
@@ -125,13 +317,11 @@ pub fn count_subtree_sizes(
             states
                 .chunks()
                 .iter()
-                .zip(frontiers.iter())
-                .map(|(chunk, chunk_frontiers)| {
+                .map(|chunk| {
                     chunk
                         .iter()
-                        .zip(chunk_frontiers.iter())
-                        .filter(|(s, _)| !s.stable)
-                        .flat_map(|(s, frontier)| frontier.iter().map(|&d| (s.id, d)))
+                        .filter(|s| !s.stable)
+                        .flat_map(|s| s.frontier.iter().map(|&d| (s.id, d)))
                         .collect()
                 })
                 .collect(),
@@ -143,61 +333,35 @@ pub fn count_subtree_sizes(
         // Walk states and answers chunk by chunk in lockstep: the answers of one
         // non-stable state are exactly the next `frontier.len()` records of its chunk.
         let mut changed = 0u64;
-        let mut union: Vec<ElementId> = Vec::new();
-        for ((state_chunk, chunk_frontiers), answer_chunk) in states
+        for (state_chunk, answer_chunk) in states
             // mpc-lint: allow(metered-exchange) — in-place union over each machine's own records
             .chunks_mut()
             .iter_mut()
-            .zip(frontiers.iter_mut())
             // mpc-lint: allow(metered-exchange) — join answers are consumed on the machine that issued the requests
             .zip(answered.into_chunks())
         {
             let mut answers = answer_chunk.into_iter();
-            for (state, frontier) in state_chunk.iter_mut().zip(chunk_frontiers.iter_mut()) {
+            for state in state_chunk.iter_mut() {
                 if state.stable {
                     continue;
                 }
-                union.clear();
-                union.extend_from_slice(&state.set);
-                let mut heavy = false;
-                for _ in 0..frontier.len() {
-                    let ((owner, _), found) = answers.next().expect("answer per request");
-                    debug_assert_eq!(owner, state.id, "answers aligned with requests");
-                    if let Some(child_state) = found {
-                        if child_state.heavy {
-                            heavy = true;
-                        }
-                        union.extend(child_state.set.iter().copied());
-                    }
-                }
-                union.sort_unstable();
-                union.dedup();
-                if union.len() > cap {
-                    heavy = true;
-                }
-                let grew = union.len() > state.set.len() || (heavy && !state.heavy);
-                if grew {
+                let fetched: Vec<Option<SizeState>> = (0..state.frontier.len())
+                    .map(|_| {
+                        let ((owner, _), found) = answers.next().expect("answer per request");
+                        debug_assert_eq!(owner, state.id, "answers aligned with requests");
+                        found
+                    })
+                    .collect();
+                let before = (state.set.len(), state.heavy);
+                union_step(
+                    state,
+                    fetched
+                        .iter()
+                        .map(|o| o.as_ref().map(|c| (c.heavy, c.set.as_slice()))),
+                    cap,
+                );
+                if (state.set.len(), state.heavy) != before {
                     changed += 1;
-                }
-                state.heavy |= heavy;
-                frontier.clear();
-                if heavy {
-                    state.set.clear();
-                    state.stable = true;
-                } else {
-                    // New frontier: union \ old set (both sorted ascending).
-                    let mut old = state.set.iter().copied().peekable();
-                    for &u in &union {
-                        match old.peek() {
-                            Some(&o) if o == u => {
-                                old.next();
-                            }
-                            _ => frontier.push(u),
-                        }
-                    }
-                    state.set.clear();
-                    state.set.extend_from_slice(&union);
-                    state.stable = frontier.is_empty();
                 }
             }
             debug_assert!(answers.next().is_none(), "all answers consumed");
@@ -208,16 +372,13 @@ pub fn count_subtree_sizes(
             break;
         }
     }
-
-    states.map_local(|s| SubtreeInfo {
-        id: s.id,
-        heavy: s.heavy,
-        descendants: if s.heavy { Vec::new() } else { s.set.clone() },
-    })
+    states
 }
 
 /// Input record for [`path_distances`]: one node of a degree-2 path, with its neighbor
-/// above and below, each tagged with whether that neighbor is itself a path node.
+/// above and below, each tagged with whether that neighbor is itself a path node, plus
+/// the two original-tree edges the node attaches through (carried as inert payload so
+/// the caller can assemble path fragments join-free from the output).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PathNode {
     /// The path node.
@@ -230,11 +391,15 @@ pub struct PathNode {
     pub down: ElementId,
     /// Whether that child is also a degree-2 path node.
     pub down_is_path: bool,
+    /// The original-tree edge from this element towards its parent.
+    pub out_edge: DirectedEdge,
+    /// The original-tree edge from the unique uncolored child towards this element.
+    pub child_edge: DirectedEdge,
 }
 
 impl Words for PathNode {
     fn words(&self) -> usize {
-        5
+        9
     }
 }
 
@@ -251,11 +416,17 @@ pub struct PathPosition {
     pub bottom_anchor: ElementId,
     /// Distance (in edges) to `bottom_anchor` — the paper's "downwards position".
     pub dist_down: u64,
+    /// The node's immediate parent element (input [`PathNode::up`], passed through).
+    pub up: ElementId,
+    /// The node's outgoing original-tree edge (input payload, passed through).
+    pub out_edge: DirectedEdge,
+    /// The unique uncolored child's outgoing edge (input payload, passed through).
+    pub child_edge: DirectedEdge,
 }
 
 impl Words for PathPosition {
     fn words(&self) -> usize {
-        5
+        10
     }
 }
 
@@ -270,6 +441,72 @@ struct JumpState {
 impl Words for JumpState {
     fn words(&self) -> usize {
         5
+    }
+}
+
+/// Fused per-node state: both pointer-doubling directions advance in the same
+/// exchange. A direction is done when its pointer is `None`; a node with both
+/// directions done emits nothing, and a machine whose nodes are all done drops out.
+#[derive(Debug, Clone, Copy)]
+struct PathState {
+    node: PathNode,
+    up_ptr: Option<ElementId>,
+    dist_up: u64,
+    top_anchor: ElementId,
+    down_ptr: Option<ElementId>,
+    dist_down: u64,
+    bottom_anchor: ElementId,
+}
+
+impl Words for PathState {
+    fn words(&self) -> usize {
+        self.node.words() + self.up_ptr.words() + self.down_ptr.words() + 4
+    }
+}
+
+/// One jump answer: the probed node's pre-step pointers, distances and anchors for
+/// both directions (the prober consumes the half matching the direction it asked for).
+#[derive(Debug, Clone, Copy)]
+struct JumpAnswer {
+    up_ptr: Option<ElementId>,
+    dist_up: u64,
+    top_anchor: ElementId,
+    down_ptr: Option<ElementId>,
+    dist_down: u64,
+    bottom_anchor: ElementId,
+}
+
+impl Words for JumpAnswer {
+    fn words(&self) -> usize {
+        self.up_ptr.words() + self.down_ptr.words() + 4
+    }
+}
+
+fn seed_path_state(n: &PathNode) -> PathState {
+    PathState {
+        node: *n,
+        up_ptr: if n.up_is_path { Some(n.up) } else { None },
+        dist_up: 1,
+        top_anchor: n.up,
+        down_ptr: if n.down_is_path { Some(n.down) } else { None },
+        dist_down: 1,
+        bottom_anchor: n.down,
+    }
+}
+
+/// Merge one probed answer into one direction of a state: follow the target's pointer,
+/// accumulate its distance, adopt its anchor. A miss leaves the direction untouched
+/// (mirroring the legacy jump loop; by the path invariant every live pointer resolves).
+fn merge_jump(
+    ptr: &mut Option<ElementId>,
+    dist: &mut u64,
+    anchor: &mut ElementId,
+    next: Option<(Option<ElementId>, u64, ElementId)>,
+) {
+    if let Some((t_ptr, t_dist, t_anchor)) = next {
+        *ptr = t_ptr;
+        *dist += t_dist;
+        *anchor = t_anchor;
     }
 }
 
@@ -304,12 +541,89 @@ fn jump(ctx: &mut MpcContext, init: Vec<JumpState>) -> Vec<(ElementId, ElementId
 }
 
 /// Compute, for every degree-2 path node, its distance to both endpoints of its maximal
-/// path (the paper's `CountDistances`). `O(log D)` rounds.
+/// path (the paper's `CountDistances`). `O(log D)` rounds; on the default fused path
+/// both directions double in the same exchange, so the loop costs
+/// `join + (steps − 1) · lookup` rounds instead of two sequential jump loops.
+// mpc-cost: rounds(log)
 pub fn path_distances(ctx: &mut MpcContext, nodes: DistVec<PathNode>) -> DistVec<PathPosition> {
     if nodes.is_empty() {
         return ctx.empty();
     }
-    let up_init: Vec<JumpState> = nodes
+    if ctx.config().convergence_skip {
+        path_distances_fused(ctx, nodes)
+    } else {
+        path_distances_legacy(ctx, nodes)
+    }
+}
+
+/// Fused path: one [`MpcContext::converge`] call doubling both directions at once.
+/// Probes observe pre-step states (the exchange probes before any update), which is
+/// exactly the snapshot semantics of the legacy jump loop.
+fn path_distances_fused(ctx: &mut MpcContext, nodes: DistVec<PathNode>) -> DistVec<PathPosition> {
+    let mut states: DistVec<PathState> = nodes.map_local(seed_path_state);
+    ctx.converge(
+        &mut states,
+        |s| s.node.id,
+        |s, out| {
+            // Up before down: the update pass consumes answers positionally.
+            if let Some(p) = s.up_ptr {
+                out.push(p);
+            }
+            if let Some(p) = s.down_ptr {
+                out.push(p);
+            }
+        },
+        |s| JumpAnswer {
+            up_ptr: s.up_ptr,
+            dist_up: s.dist_up,
+            top_anchor: s.top_anchor,
+            down_ptr: s.down_ptr,
+            dist_down: s.dist_down,
+            bottom_anchor: s.bottom_anchor,
+        },
+        |s, answers| {
+            let mut next = answers.iter();
+            if s.up_ptr.is_some() {
+                let (_, found) = next.next().expect("answer per live direction");
+                merge_jump(
+                    &mut s.up_ptr,
+                    &mut s.dist_up,
+                    &mut s.top_anchor,
+                    found.as_ref().map(|t| (t.up_ptr, t.dist_up, t.top_anchor)),
+                );
+            }
+            if s.down_ptr.is_some() {
+                let (_, found) = next.next().expect("answer per live direction");
+                merge_jump(
+                    &mut s.down_ptr,
+                    &mut s.dist_down,
+                    &mut s.bottom_anchor,
+                    found
+                        .as_ref()
+                        .map(|t| (t.down_ptr, t.dist_down, t.bottom_anchor)),
+                );
+            }
+            debug_assert!(next.next().is_none(), "all answers consumed");
+        },
+        "path_distances",
+    );
+    states.map_local(|s| PathPosition {
+        id: s.node.id,
+        top_anchor: s.top_anchor,
+        dist_up: s.dist_up,
+        bottom_anchor: s.bottom_anchor,
+        dist_down: s.dist_down,
+        up: s.node.up,
+        out_edge: s.node.out_edge,
+        child_edge: s.node.child_edge,
+    })
+}
+
+/// Legacy path (selected by `convergence_skip = false`): two sequential jump loops,
+/// one per direction, each a full `all_reduce` + `join_lookup` per doubling step.
+fn path_distances_legacy(ctx: &mut MpcContext, nodes: DistVec<PathNode>) -> DistVec<PathPosition> {
+    let payload: Vec<PathNode> = nodes.iter().copied().collect();
+    let up_init: Vec<JumpState> = payload
         .iter()
         .map(|n| JumpState {
             id: n.id,
@@ -318,7 +632,7 @@ pub fn path_distances(ctx: &mut MpcContext, nodes: DistVec<PathNode>) -> DistVec
             anchor: n.up,
         })
         .collect();
-    let down_init: Vec<JumpState> = nodes
+    let down_init: Vec<JumpState> = payload
         .iter()
         .map(|n| JumpState {
             id: n.id,
@@ -330,19 +644,24 @@ pub fn path_distances(ctx: &mut MpcContext, nodes: DistVec<PathNode>) -> DistVec
     let ups = jump(ctx, up_init);
     let downs = jump(ctx, down_init);
     // Both jump passes preserve the input record order (their states only ever act
-    // as join *requests*), so the two result lists are aligned: combining them is a
-    // machine-local zip, not another join.
+    // as join *requests*), so the two result lists are aligned with the input: the
+    // combination is a machine-local zip, not another join.
     let positions: Vec<PathPosition> = ups
         .into_iter()
         .zip(downs)
-        .map(|(up, down)| {
+        .zip(payload)
+        .map(|((up, down), node)| {
             debug_assert_eq!(up.0, down.0, "jump passes stay aligned");
+            debug_assert_eq!(up.0, node.id, "jump passes stay aligned with the input");
             PathPosition {
                 id: up.0,
                 top_anchor: up.1,
                 dist_up: up.2,
                 bottom_anchor: down.1,
                 dist_down: down.2,
+                up: node.up,
+                out_edge: node.out_edge,
+                child_edge: node.child_edge,
             }
         })
         .collect();
@@ -360,6 +679,10 @@ mod tests {
         MpcContext::new(MpcConfig::new(n.max(16), 0.5))
     }
 
+    fn ctx_legacy(n: usize) -> MpcContext {
+        MpcContext::new(MpcConfig::new(n.max(16), 0.5).with_convergence_skip(false))
+    }
+
     fn adjacency_of(tree: &Tree) -> Vec<(ElementId, Vec<ElementId>)> {
         (0..tree.len())
             .map(|v| {
@@ -369,6 +692,28 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    fn path_nodes_of(tree: &Tree) -> Vec<PathNode> {
+        let mut path_nodes = Vec::new();
+        for v in 0..tree.len() {
+            let is_path = tree.children(v).len() == 1 && tree.parent(v).is_some();
+            if !is_path {
+                continue;
+            }
+            let up = tree.parent(v).unwrap();
+            let down = tree.children(v)[0];
+            path_nodes.push(PathNode {
+                id: v as u64,
+                up: up as u64,
+                up_is_path: tree.children(up).len() == 1 && tree.parent(up).is_some(),
+                down: down as u64,
+                down_is_path: tree.children(down).len() == 1,
+                out_edge: DirectedEdge::new(v as u64, up as u64),
+                child_edge: DirectedEdge::new(down as u64, v as u64),
+            });
+        }
+        path_nodes
     }
 
     #[test]
@@ -428,6 +773,61 @@ mod tests {
     }
 
     #[test]
+    fn subtree_sizes_fused_matches_legacy() {
+        // Identical outputs under both execution strategies, and the fused loop never
+        // pays more rounds than the legacy per-step join + broadcast.
+        for (tree, cap) in [
+            (shapes::path(100), 7),
+            (shapes::balanced_kary(63, 2), 5),
+            (shapes::caterpillar(40, 2), 6),
+            (shapes::spider(4, 20), 9),
+            (shapes::random_recursive(150, 3), 8),
+        ] {
+            let mut fused_ctx = ctx(256);
+            let adj = fused_ctx.from_vec(adjacency_of(&tree));
+            let fused = count_subtree_sizes(&mut fused_ctx, adj, cap).into_vec();
+
+            let mut legacy_ctx = ctx_legacy(256);
+            let adj = legacy_ctx.from_vec(adjacency_of(&tree));
+            let legacy = count_subtree_sizes(&mut legacy_ctx, adj, cap).into_vec();
+
+            assert_eq!(fused, legacy, "{}-node tree, cap {cap}", tree.len());
+            assert!(
+                fused_ctx.metrics().rounds <= legacy_ctx.metrics().rounds,
+                "fused {} vs legacy {} rounds",
+                fused_ctx.metrics().rounds,
+                legacy_ctx.metrics().rounds
+            );
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_machines_retire_as_they_stabilize() {
+        // On a broom (star glued onto a path end) the star side stabilizes in one
+        // step while the path keeps doubling: the active-machine trajectory must
+        // strictly drop below its starting level before the loop ends.
+        let tree = shapes::path(200);
+        let mut c = ctx(200);
+        let adj = c.from_vec(adjacency_of(&tree));
+        let _ = count_subtree_sizes(&mut c, adj, 4);
+        let trace = c
+            .metrics()
+            .convergence
+            .iter()
+            .find(|t| t.name == "count_subtree_sizes")
+            .expect("fused run records a trace")
+            .clone();
+        assert!(!trace.active_machines.is_empty());
+        // Heavy nodes stabilize immediately (cap 4 on a 200-path), so participation
+        // falls off after the first steps.
+        assert!(
+            trace.active_machines.last().unwrap() <= trace.active_machines.first().unwrap(),
+            "trajectory {:?}",
+            trace.active_machines
+        );
+    }
+
+    #[test]
     fn path_distances_on_pure_path() {
         // Path 0→1→…→9 rooted at 0; nodes 1..=8 are degree-2 (node 9 is a leaf, node 0
         // is the root). Path nodes: 1..=8, top anchor 0, bottom anchor 9.
@@ -439,6 +839,8 @@ mod tests {
                 up_is_path: v > 1,
                 down: v + 1,
                 down_is_path: v < 8,
+                out_edge: DirectedEdge::new(v, v - 1),
+                child_edge: DirectedEdge::new(v + 1, v),
             })
             .collect();
         let dv = c.from_vec(nodes);
@@ -448,6 +850,10 @@ mod tests {
             assert_eq!(p.bottom_anchor, 9, "node {}", p.id);
             assert_eq!(p.dist_up, p.id, "node {}", p.id);
             assert_eq!(p.dist_down, 9 - p.id, "node {}", p.id);
+            // Payload fields ride through untouched.
+            assert_eq!(p.up, p.id - 1, "node {}", p.id);
+            assert_eq!(p.out_edge, DirectedEdge::new(p.id, p.id - 1));
+            assert_eq!(p.child_edge, DirectedEdge::new(p.id + 1, p.id));
         }
     }
 
@@ -458,22 +864,7 @@ mod tests {
         let tree = shapes::spider(3, 6);
         let mut c = ctx(64);
         let depths = tree.depths();
-        let mut path_nodes = Vec::new();
-        for v in 0..tree.len() {
-            let is_path = tree.children(v).len() == 1 && tree.parent(v).is_some();
-            if !is_path {
-                continue;
-            }
-            let up = tree.parent(v).unwrap();
-            let down = tree.children(v)[0];
-            path_nodes.push(PathNode {
-                id: v as u64,
-                up: up as u64,
-                up_is_path: tree.children(up).len() == 1 && tree.parent(up).is_some(),
-                down: down as u64,
-                down_is_path: tree.children(down).len() == 1,
-            });
-        }
+        let path_nodes = path_nodes_of(&tree);
         let dv = c.from_vec(path_nodes.clone());
         let out = path_distances(&mut c, dv).into_vec();
         assert_eq!(out.len(), path_nodes.len());
@@ -489,6 +880,33 @@ mod tests {
         anchors.sort();
         anchors.dedup();
         assert_eq!(anchors.len(), 3);
+    }
+
+    #[test]
+    fn path_distances_fused_matches_legacy() {
+        for tree in [
+            shapes::path(120),
+            shapes::spider(5, 17),
+            shapes::caterpillar(60, 1),
+            shapes::random_recursive(200, 11),
+        ] {
+            let path_nodes = path_nodes_of(&tree);
+            let mut fused_ctx = ctx(256);
+            let dv = fused_ctx.from_vec(path_nodes.clone());
+            let fused = path_distances(&mut fused_ctx, dv).into_vec();
+
+            let mut legacy_ctx = ctx_legacy(256);
+            let dv = legacy_ctx.from_vec(path_nodes);
+            let legacy = path_distances(&mut legacy_ctx, dv).into_vec();
+
+            assert_eq!(fused, legacy, "{}-node tree", tree.len());
+            assert!(
+                fused_ctx.metrics().rounds <= legacy_ctx.metrics().rounds,
+                "fused {} vs legacy {} rounds",
+                fused_ctx.metrics().rounds,
+                legacy_ctx.metrics().rounds
+            );
+        }
     }
 
     #[test]

@@ -4,9 +4,11 @@
 use crate::config::MpcConfig;
 use crate::distvec::DistVec;
 use crate::error::{MpcError, MpcResult, Violation, ViolationKind};
-use crate::metrics::{Metrics, PhaseMetrics, PhaseTimer};
-use crate::par::{par_map_mut, par_map_reduce, par_scatter, worth_parallelizing};
+use crate::metrics::{ConvergenceTrace, Metrics, PhaseMetrics, PhaseTimer};
+use crate::par::{par_for_each_mut, par_map_mut, par_map_reduce, par_scatter, worth_parallelizing};
+use crate::primitives::index_get;
 use crate::scratch::Scratch;
+use crate::sortkey::SortKey;
 use crate::words::{slice_words, Words};
 use crate::MachineId;
 
@@ -43,6 +45,37 @@ impl<M> Outbox<M> {
 impl<M> Default for Outbox<M> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Per-machine transient buffers of one [`MpcContext::converge`] step. They persist
+/// across steps (cleared, capacity kept), so the convergence loop performs no net
+/// heap growth once warm — the same discipline as the scratch arena.
+#[derive(Debug)]
+struct ConvergeBuf<K, A> {
+    /// Keys this machine's states emitted in the current step, per state contiguous
+    /// (a machine whose states all converged emits nothing and drops out of the
+    /// exchange).
+    emitted: Vec<K>,
+    /// Number of keys emitted per state, aligned with the chunk's state order.
+    counts: Vec<u32>,
+    /// `(key, answer)` per emitted key, in emission order.
+    answers: Vec<(K, Option<A>)>,
+    /// Words of emitted request keys (this machine's send share).
+    req_words: usize,
+    /// Words of hit answers (this machine's receive share).
+    hit_words: usize,
+}
+
+impl<K, A> Default for ConvergeBuf<K, A> {
+    fn default() -> Self {
+        Self {
+            emitted: Vec::new(),
+            counts: Vec::new(),
+            answers: Vec::new(),
+            req_words: 0,
+            hit_words: 0,
+        }
     }
 }
 
@@ -553,6 +586,156 @@ impl MpcContext {
         self.record_comm(&sends, &recvs, "communicate");
         inboxes
     }
+
+    /// Run an iterative fixpoint over `states` as a sequence of **fused jump-join
+    /// exchanges with convergence skipping** — the shared engine of the clustering
+    /// subroutines (pointer doubling per Lemma 6.17, capped descendant-set doubling
+    /// per Lemma 6.13 of the paper).
+    ///
+    /// Each step: every state emits the keys it still needs through `requests`
+    /// (a converged state emits nothing); each requested key is answered with
+    /// `answer(target_state)` for the first state whose `state_key` matches (or
+    /// `None`); then `update(state, answers)` folds the answers back in, where
+    /// `answers` lists this state's emitted keys in emission order. All answers are
+    /// extracted **before** any state mutates, so a step observes the previous
+    /// step's snapshot — exactly the semantics of a jump exchange followed by a
+    /// consuming join, fused. The loop ends at the first step in which no machine
+    /// emits a request; that step charges nothing (the one-bit "any machine still
+    /// active?" flag rides the preceding exchange's aggregation tree, like the
+    /// plan engine's fused termination checks).
+    ///
+    /// **Pricing** (the `join_lookup` fused re-pricing applied to a loop): the
+    /// first charged step is a fused sort-merge equi-join —
+    /// [`join_rounds`](Self::join_rounds) rounds, `(state + request words) /
+    /// machines` per side — whose sort leaves every machine holding its range
+    /// share of the state index. Subsequent steps reuse that range partition and
+    /// are priced as probes: [`lookup_rounds`](Self::lookup_rounds) rounds,
+    /// `(2 · request + hit words) / machines` per side — and only *live* requests
+    /// are charged, so volume collapses as elements converge. Per-machine
+    /// participation is recorded in [`Metrics::convergence`] as one
+    /// [`ConvergenceTrace`] per call.
+    ///
+    /// **Contract**: `state_key` must stay stable across `update` calls (the
+    /// retained index addresses states positionally by key; debug builds assert
+    /// this) and requested keys should resolve to states whose answers make
+    /// progress, otherwise the loop never drains. Transient request/answer buffers
+    /// are exchange traffic, not state residency: memory is checked against
+    /// `states` after every step, matching the legacy loops' convention of keeping
+    /// frontiers outside the accounted state words.
+    ///
+    /// Returns the number of charged exchanges.
+    // mpc-cost: rounds(log)
+    pub fn converge<T, K, A, FK, FQ, FA, FU>(
+        &mut self,
+        states: &mut DistVec<T>,
+        state_key: FK,
+        requests: FQ,
+        answer: FA,
+        update: FU,
+        what: &'static str,
+    ) -> u64
+    where
+        T: Words + Send + Sync + 'static,
+        K: SortKey + Words + Clone + Send + Sync + 'static,
+        A: Words + Send + Sync,
+        FK: Fn(&T) -> K + Sync,
+        FQ: Fn(&T, &mut Vec<K>) + Sync,
+        FA: Fn(&T) -> A + Sync,
+        FU: Fn(&mut T, &[(K, Option<A>)]) + Sync,
+    {
+        let machines = self.cfg.num_machines();
+        let use_par = worth_parallelizing(self.cfg.parallel, states.len());
+        // The state index is built once: updates mutate states in place and never
+        // move or re-key them, so `(key, chunk, position)` stays valid for every
+        // step. Its build is the machine-local share of the first step's fused
+        // sort; the first charge below prices it.
+        let index = self.build_sorted_index(&*states, &|t: &T| state_key(t));
+        let state_words = states.total_words();
+        let mut bufs: Vec<ConvergeBuf<K, A>> = (0..states.num_chunks())
+            .map(|_| ConvergeBuf::default())
+            .collect();
+        let mut active_machines: Vec<usize> = Vec::new();
+        let mut steps = 0u64;
+        loop {
+            // Emit + probe: read-only over the previous step's states, machine-
+            // concurrent. Probing happens before any mutation, so every answer is
+            // a snapshot of the pre-step states.
+            par_for_each_mut(use_par, &mut bufs, |m, buf| {
+                buf.emitted.clear();
+                buf.counts.clear();
+                buf.answers.clear();
+                buf.req_words = 0;
+                buf.hit_words = 0;
+                for s in states.chunks()[m].iter() {
+                    let start = buf.emitted.len();
+                    requests(s, &mut buf.emitted);
+                    buf.counts.push((buf.emitted.len() - start) as u32);
+                    for j in start..buf.emitted.len() {
+                        let k = buf.emitted[j].clone();
+                        buf.req_words += k.words();
+                        let hit = index_get(&index, &k)
+                            .map(|e| answer(&states.chunks()[e.1 as usize][e.2 as usize]));
+                        if let Some(a) = &hit {
+                            buf.hit_words += a.words();
+                        }
+                        buf.answers.push((k, hit));
+                    }
+                }
+            });
+            let total_requests: usize = bufs.iter().map(|b| b.emitted.len()).sum();
+            if total_requests == 0 {
+                break;
+            }
+            active_machines.push(bufs.iter().filter(|b| !b.emitted.is_empty()).count());
+            let req_words: usize = bufs.iter().map(|b| b.req_words).sum();
+            let hit_words: usize = bufs.iter().map(|b| b.hit_words).sum();
+            let (rounds, per_machine_moved) = if steps == 0 {
+                (
+                    self.join_rounds(),
+                    (state_words + req_words).div_ceil(machines.max(1)),
+                )
+            } else {
+                (
+                    self.lookup_rounds(),
+                    (2 * req_words + hit_words).div_ceil(machines.max(1)),
+                )
+            };
+            let mut comm = std::mem::take(&mut self.scratch.sends);
+            comm.clear();
+            comm.resize(machines, per_machine_moved);
+            self.charge_rounds(rounds);
+            self.record_comm(&comm, &comm, what);
+            self.scratch.sends = comm;
+            // Fold the answers back in, machine-concurrent. Keys must survive the
+            // update untouched — the retained index addresses states by them.
+            par_for_each_mut(use_par, states.chunks_mut(), |m, chunk| {
+                let buf = &bufs[m];
+                let mut cursor = 0usize;
+                for (s, &count) in chunk.iter_mut().zip(buf.counts.iter()) {
+                    let slice = &buf.answers[cursor..cursor + count as usize];
+                    cursor += count as usize;
+                    if cfg!(debug_assertions) {
+                        let key_before = state_key(s);
+                        update(s, slice);
+                        assert!(
+                            state_key(s) == key_before,
+                            "converge states must keep their key stable across updates"
+                        );
+                    } else {
+                        update(s, slice);
+                    }
+                }
+            });
+            self.check_memory(states, what);
+            steps += 1;
+        }
+        self.scratch.pool.recycle_buf(index);
+        self.metrics.convergence.push(ConvergenceTrace {
+            name: what.to_string(),
+            active_machines,
+        });
+        steps
+    }
 }
 
 #[cfg(test)]
@@ -769,6 +952,129 @@ mod tests {
             par_m.max_words_sent_per_round
         );
         assert_eq!(seq_m.peak_local_memory, par_m.peak_local_memory);
+    }
+
+    /// Toy pointer-doubling states for the converge tests: `(id, ptr, dist)` on a
+    /// path — each state chases `ptr` and accumulates `dist` until it reaches the
+    /// end, exactly the Lemma 6.17 access pattern.
+    type Hop = (u64, Option<u64>, u64);
+    /// One answered request of the hop loop: the key plus the target's `(ptr, dist)`.
+    type HopAnswer = (u64, Option<(Option<u64>, u64)>);
+
+    fn hop_path(len: u64) -> Vec<Hop> {
+        (0..len)
+            .map(|i| {
+                if i + 1 < len {
+                    (i, Some(i + 1), 1)
+                } else {
+                    (i, None, 0)
+                }
+            })
+            .collect()
+    }
+
+    fn run_hops(mut c: MpcContext, len: u64) -> (Vec<Hop>, u64, MpcContext) {
+        let mut states = c.from_vec(hop_path(len));
+        let steps = c.converge(
+            &mut states,
+            |s: &Hop| s.0,
+            |s, out| {
+                if let Some(p) = s.1 {
+                    out.push(p);
+                }
+            },
+            |s| (s.1, s.2),
+            |s, answers: &[HopAnswer]| {
+                if let Some((_, Some((ptr, dist)))) = answers.first() {
+                    s.1 = *ptr;
+                    s.2 += *dist;
+                }
+            },
+            "hops",
+        );
+        (states.into_vec(), steps, c)
+    }
+
+    #[test]
+    fn converge_doubles_to_fixpoint_with_fused_pricing() {
+        let (hops, steps, c) = run_hops(ctx(1024), 200);
+        for (i, (id, ptr, dist)) in hops.iter().enumerate() {
+            assert_eq!(*id, i as u64);
+            assert_eq!(*ptr, None, "state {i} did not converge");
+            assert_eq!(*dist, 199 - i as u64);
+        }
+        // First exchange is a fused join, every later one a probe of the retained
+        // range partition; the empty final step charges nothing.
+        assert!(steps > 1);
+        assert_eq!(
+            c.metrics().rounds,
+            c.join_rounds() + (steps - 1) * c.lookup_rounds()
+        );
+        let trace = &c.metrics().convergence;
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].name, "hops");
+        assert_eq!(trace[0].active_machines.len(), steps as usize);
+        // Doubling halves the live set: machines drain monotonically here.
+        for w in trace[0].active_machines.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(*trace[0].active_machines.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn converge_on_converged_input_charges_nothing() {
+        let mut c = ctx(256);
+        let mut states = c.from_vec((0u64..50).map(|i| (i, None, 0u64)).collect::<Vec<Hop>>());
+        let steps = c.converge(
+            &mut states,
+            |s: &Hop| s.0,
+            |_s, _out| {},
+            |s| s.2,
+            |_s, _answers: &[(u64, Option<u64>)]| {},
+            "noop",
+        );
+        assert_eq!(steps, 0);
+        assert_eq!(c.metrics().rounds, 0);
+        assert_eq!(c.metrics().total_words_sent, 0);
+        assert_eq!(c.metrics().convergence.len(), 1);
+        assert!(c.metrics().convergence[0].active_machines.is_empty());
+    }
+
+    #[test]
+    fn converge_parallel_toggle_is_bit_identical() {
+        let run = |parallel: bool| {
+            let c = MpcContext::new(MpcConfig::new(1024, 0.5).with_parallel(parallel));
+            let (hops, steps, c) = run_hops(c, 300);
+            (hops, steps, c.metrics().clone())
+        };
+        let (seq, seq_steps, seq_m) = run(false);
+        let (par, par_steps, par_m) = run(true);
+        assert_eq!(seq, par);
+        assert_eq!(seq_steps, par_steps);
+        assert_eq!(seq_m.rounds, par_m.rounds);
+        assert_eq!(seq_m.total_words_sent, par_m.total_words_sent);
+        assert_eq!(seq_m.convergence, par_m.convergence);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep their key stable")]
+    fn converge_rejects_key_mutation() {
+        let mut c = ctx(256);
+        let mut states = c.from_vec(hop_path(10));
+        let _ = c.converge(
+            &mut states,
+            |s: &Hop| s.0,
+            |s, out| {
+                if let Some(p) = s.1 {
+                    out.push(p);
+                }
+            },
+            |s| s.2,
+            |s, _answers: &[(u64, Option<u64>)]| {
+                s.0 += 1; // re-keying invalidates the retained index
+            },
+            "bad",
+        );
     }
 
     #[test]

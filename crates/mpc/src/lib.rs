@@ -50,8 +50,14 @@
 //!   [`MpcContext::broadcast`], [`MpcContext::join_lookup`],
 //!   [`MpcContext::route`], [`MpcContext::gather_groups`] — plus the fused
 //!   variants [`MpcContext::sort_with_index`], [`MpcContext::route_sorted`],
-//!   and [`MpcContext::sort_table`] / [`MpcContext::join_lookup_sorted`]
-//!   ([`SortedTable`]) for repeated lookups against one table.
+//!   [`MpcContext::sort_table`] / [`MpcContext::join_lookup_sorted`]
+//!   ([`SortedTable`]) for repeated lookups against one table,
+//!   [`MpcContext::join_lookup2`] for probing two key columns in one fused join,
+//!   and [`MpcContext::converge`] — the fused jump-join loop with convergence
+//!   skipping behind the clustering subroutines, whose per-machine participation
+//!   lands in [`Metrics::convergence`] as [`ConvergenceTrace`]s
+//!   ([`MpcConfig::convergence_skip`] selects the legacy step-by-step loops for
+//!   equivalence testing).
 //!
 //! ## Sorting fast path and scratch reuse
 //!
@@ -96,7 +102,7 @@ pub use config::MpcConfig;
 pub use context::{MpcContext, Outbox};
 pub use distvec::DistVec;
 pub use error::{MpcError, MpcResult, Violation, ViolationKind};
-pub use metrics::{Metrics, PhaseMetrics};
+pub use metrics::{ConvergenceTrace, Metrics, PhaseMetrics};
 pub use primitives::SortedTable;
 pub use sortkey::SortKey;
 pub use words::Words;

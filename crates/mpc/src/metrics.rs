@@ -23,6 +23,23 @@ pub struct Metrics {
     pub violations: Vec<Violation>,
     /// Per-phase breakdown, in the order phases were started.
     pub phases: Vec<PhaseMetrics>,
+    /// One trace per [`converge`](crate::MpcContext::converge) invocation, in
+    /// execution order: how many machines still held active (unconverged) work at
+    /// each charged step. The bench harness turns these into the per-subroutine
+    /// `active_machines` trajectories of the report.
+    pub convergence: Vec<ConvergenceTrace>,
+}
+
+/// Active-machine trajectory of one fused convergence loop
+/// (see [`MpcContext::converge`](crate::MpcContext::converge)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceTrace {
+    /// The `what` label the caller passed to `converge`.
+    pub name: String,
+    /// `active_machines[s]` = number of machines that emitted at least one
+    /// request in charged step `s`. The length is the number of charged
+    /// exchanges (a loop that converges immediately has an empty trajectory).
+    pub active_machines: Vec<usize>,
 }
 
 /// Metrics attributed to one named phase of an algorithm

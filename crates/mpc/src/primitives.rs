@@ -174,8 +174,13 @@ impl<K> SortedTable<K> {
 }
 
 /// Look up `k` in a sorted index, returning the first matching table reference.
+/// Shared with the fused convergence loop in `context.rs`
+/// ([`MpcContext::converge`]).
 #[inline]
-fn index_get<'a, K: Ord>(index: &'a [(K, u32, u32)], k: &K) -> Option<&'a (K, u32, u32)> {
+pub(crate) fn index_get<'a, K: Ord>(
+    index: &'a [(K, u32, u32)],
+    k: &K,
+) -> Option<&'a (K, u32, u32)> {
     let first = index.partition_point(|e| e.0 < *k);
     index.get(first).filter(|e| e.0 == *k)
 }
@@ -436,7 +441,13 @@ impl MpcContext {
 
     /// Build the sorted `(key, chunk, position)` index of a table — the machine-local
     /// share of a table sort; charges nothing (callers account for the rounds).
-    fn build_sorted_index<V, K, FV>(&mut self, table: &DistVec<V>, key: &FV) -> Vec<(K, u32, u32)>
+    /// `pub(crate)` so the fused convergence loop ([`Self::converge`], `context.rs`)
+    /// can build its state index with the same machinery.
+    pub(crate) fn build_sorted_index<V, K, FV>(
+        &mut self,
+        table: &DistVec<V>,
+        key: &FV,
+    ) -> Vec<(K, u32, u32)>
     where
         V: Sync,
         K: SortKey + 'static,
@@ -590,6 +601,75 @@ impl MpcContext {
         self.record_comm(&comm, &comm, "join_lookup_sorted");
         let result = DistVec::from_chunks(chunks);
         self.check_memory(&result, "join_lookup_sorted");
+        result
+    }
+
+    /// Look up, for every request record, the (unique) table records matching **two**
+    /// key columns of the request — a fused two-column sort-merge equi-join.
+    ///
+    /// Returns `(request, hit1, hit2)` triples where `hit1` / `hit2` answer
+    /// `req_key1` / `req_key2` with the same semantics as
+    /// [`join_lookup`](Self::join_lookup) (first record in table order wins on
+    /// duplicate keys, `None` on a miss). Charged as **one** fused join
+    /// ([`join_rounds`](Self::join_rounds)): the table and both request key columns
+    /// ride the same deterministic sort — each request record is placed twice, once
+    /// per probed key — the merge is machine-local, and both answers route back to
+    /// the request in the single return round. Volume per side is
+    /// `(table words + 2 · request words) / machines`: the table's sorted share plus
+    /// one moved copy of the requests per probed column. Replaces the
+    /// `sort_table` + two `join_lookup_sorted` sequence (`sort_rounds + agg_rounds +
+    /// 4` rounds) with `sort_rounds + 1` whenever the table is probed exactly twice.
+    // mpc-cost: rounds(const)
+    #[allow(clippy::type_complexity)]
+    pub fn join_lookup2<T, V, K, F1, F2, FV>(
+        &mut self,
+        requests: DistVec<T>,
+        req_key1: F1,
+        req_key2: F2,
+        table: &DistVec<V>,
+        table_key: FV,
+    ) -> DistVec<(T, Option<V>, Option<V>)>
+    where
+        T: Words + Send + 'static,
+        V: Words + Clone + Send + Sync + 'static,
+        K: SortKey + Sync + 'static,
+        F1: Fn(&T) -> K + Sync,
+        F2: Fn(&T) -> K + Sync,
+        FV: Fn(&V) -> K + Sync,
+    {
+        let parallel = self.config().parallel;
+        let index = self.build_sorted_index(table, &table_key);
+        let table_words = table.total_words();
+        let req_words = requests.total_words();
+        let machines = self.config().num_machines();
+        let per_machine_moved = (table_words + 2 * req_words).div_ceil(machines.max(1));
+
+        let req_parallel = worth_parallelizing(parallel, requests.len());
+        let mut req_chunks = requests.into_chunks();
+        let outs: Vec<Vec<(T, Option<V>, Option<V>)>> =
+            self.scratch.pool.take_bufs(req_chunks.len());
+        let mut work: Vec<(&mut Vec<T>, Vec<(T, Option<V>, Option<V>)>)> =
+            req_chunks.iter_mut().zip(outs).collect();
+        par_for_each_mut(req_parallel, &mut work, |_, slot| {
+            slot.1.reserve(slot.0.len());
+            for req in slot.0.drain(..) {
+                let first = index_get(&index, &req_key1(&req))
+                    .map(|e| table.chunks()[e.1 as usize][e.2 as usize].clone());
+                let second = index_get(&index, &req_key2(&req))
+                    .map(|e| table.chunks()[e.1 as usize][e.2 as usize].clone());
+                slot.1.push((req, first, second));
+            }
+        });
+        let chunks: Vec<Vec<(T, Option<V>, Option<V>)>> =
+            work.into_iter().map(|(_, out)| out).collect();
+        self.scratch.pool.recycle_bufs(req_chunks);
+        self.scratch.pool.recycle_buf(index);
+
+        self.charge_rounds(self.join_rounds());
+        let comm = vec![per_machine_moved; machines];
+        self.record_comm(&comm, &comm, "join_lookup2");
+        let result = DistVec::from_chunks(chunks);
+        self.check_memory(&result, "join_lookup2");
         result
     }
 
@@ -917,6 +997,59 @@ mod tests {
         let sorted = c.sort_table(&table, |t| *t);
         let one = c.from_vec(vec![1u64]);
         let _ = c.join_lookup_sorted(one, |r| *r, &other, &sorted);
+    }
+
+    #[test]
+    fn join_lookup2_matches_two_separate_joins() {
+        let mut c = ctx(1024);
+        let table = c.from_vec((0u64..120).map(|i| (i, i * 10)).collect::<Vec<_>>());
+        let reqs: Vec<(u64, u64)> = vec![(3, 7), (0, 119), (5, 500), (400, 401)];
+        let req_dv = c.from_vec(reqs.clone());
+        let fused = c
+            .join_lookup2(req_dv, |r| r.0, |r| r.1, &table, |t| t.0)
+            .into_vec();
+        // Reference: the same two lookups, one key at a time.
+        let req_dv = c.from_vec(reqs.clone());
+        let first = c.join_lookup(req_dv, |r| r.0, &table, |t| t.0).into_vec();
+        let req_dv = c.from_vec(reqs);
+        let second = c.join_lookup(req_dv, |r| r.1, &table, |t| t.0).into_vec();
+        for ((f, a), b) in fused.iter().zip(first).zip(second) {
+            assert_eq!((f.0, f.1), (a.0, a.1));
+            assert_eq!((f.0, f.2), (b.0, b.1));
+        }
+        assert_eq!(fused[2].1, Some((5, 50)));
+        assert_eq!(fused[2].2, None);
+        assert_eq!(fused[3].1, None);
+        assert_eq!(fused[3].2, None);
+    }
+
+    #[test]
+    fn join_lookup2_charges_one_fused_join() {
+        let mut c = ctx(1024);
+        let table = c.from_vec((0u64..50).map(|i| (i, i)).collect::<Vec<_>>());
+        let requests = c.from_vec(vec![(1u64, 2u64), (3, 4)]);
+        let table_words = table.total_words();
+        let req_words = requests.total_words();
+        let machines = c.config().num_machines();
+        let _ = c.join_lookup2(requests, |r| r.0, |r| r.1, &table, |t| t.0);
+        assert_eq!(c.metrics().rounds, c.join_rounds());
+        // Strictly fewer rounds than the sort_table + two probes it replaces.
+        assert!(c.join_rounds() < c.sort_rounds() + c.agg_rounds() + 2 * c.lookup_rounds());
+        // Volume: the table's sorted share plus one request copy per probed column.
+        let expected = (table_words + 2 * req_words).div_ceil(machines) * machines;
+        assert_eq!(c.metrics().total_words_sent, expected as u64);
+    }
+
+    #[test]
+    fn join_lookup2_duplicate_keys_take_first() {
+        let mut c = ctx(256);
+        let table = c.from_vec(vec![(5u64, 1u64), (5, 2), (6, 3)]);
+        let requests = c.from_vec(vec![(5u64, 6u64)]);
+        let joined = c
+            .join_lookup2(requests, |r| r.0, |r| r.1, &table, |t| t.0)
+            .into_vec();
+        assert_eq!(joined[0].1, Some((5, 1)));
+        assert_eq!(joined[0].2, Some((6, 3)));
     }
 
     #[test]

@@ -55,11 +55,27 @@ impl SortBufs {
     }
 }
 
-/// Below this run length the LSD passes (each touching a 256-entry histogram) cost
-/// more than a comparison sort of the `(word, index)` pairs; both produce the exact
-/// same order (the index makes every pair distinct, so an unstable lexicographic
-/// sort equals the stable by-word sort), so small runs take the comparison branch.
+/// Below this run length the comparison sort always wins (the LSD histograms alone
+/// cost more than sorting the `(word, index)` pairs outright); both branches produce
+/// the exact same order (the index makes every pair distinct, so an unstable
+/// lexicographic sort equals the stable by-word sort), so small runs take the
+/// comparison branch without even building histograms. At or above the floor the
+/// choice is adaptive: [`radix_beats_comparison`] weighs the *active* digit passes
+/// (uniform digits are skipped) against `n log n`.
 const RADIX_MIN_LEN: usize = 1024;
+
+/// Adaptive cutoff between the LSD radix path and the comparison sort, decided
+/// after the digit histograms are known. Cost model: a comparison sort is
+/// `≈ n·log2 n` pair moves with cache-friendly access; radix is one histogram read
+/// pass plus `active_passes` cache-hostile scatter passes, each worth roughly
+/// 1.25 comparison passes. Radix wins when
+/// `1.25 · (active_passes + 1) ≤ log2 n`, kept in integer arithmetic below. With
+/// all 8 passes active the crossover sits at 4096 pairs; keys whose entropy is
+/// concentrated in few bytes keep the radix path right down to the
+/// [`RADIX_MIN_LEN`] floor. The choice never affects the output order.
+pub(crate) fn radix_beats_comparison(n: usize, active_passes: usize) -> bool {
+    4 * (n.max(2).ilog2() as usize) >= 5 * (active_passes + 1)
+}
 
 /// Stable sort of `(word, index)` pairs by the word, ascending; ties keep their
 /// current order (equivalently: lexicographic in `(word, index)` — indices are
@@ -81,6 +97,14 @@ pub(crate) fn radix_sort_pairs(pairs: &mut Vec<(u64, u32)>, tmp: &mut Vec<(u64, 
         for (d, h) in hist.iter_mut().enumerate() {
             h[((w >> (8 * d)) & 0xff) as usize] += 1;
         }
+    }
+    // A digit on which every key agrees permutes nothing, so only the remaining
+    // digits cost a scatter pass; with few enough of them radix wins, otherwise
+    // fall back to the comparison sort (identical order either way).
+    let active_passes = hist.iter().filter(|h| !h.contains(&n)).count();
+    if !radix_beats_comparison(n, active_passes) {
+        pairs.sort_unstable();
+        return;
     }
     tmp.clear();
     tmp.resize(n, (0, 0));
@@ -263,10 +287,19 @@ mod tests {
 
     #[test]
     fn cutoff_boundary_is_invisible() {
-        // Straddle RADIX_MIN_LEN: len-1 takes the comparison branch, len and len+1
-        // the radix branch. All three must equal the stable by-word reference on
-        // duplicate-heavy, sorted, reversed, and high-entropy keys.
-        for len in [RADIX_MIN_LEN - 1, RADIX_MIN_LEN, RADIX_MIN_LEN + 1] {
+        // Straddle both cutoffs: RADIX_MIN_LEN (below it the comparison branch runs
+        // without histograms) and the adaptive full-entropy crossover at 4096
+        // (below it 8 active passes lose to the comparison sort, at it they win).
+        // Every length must equal the stable by-word reference on duplicate-heavy,
+        // sorted, reversed, and high-entropy keys.
+        for len in [
+            RADIX_MIN_LEN - 1,
+            RADIX_MIN_LEN,
+            RADIX_MIN_LEN + 1,
+            4095,
+            4096,
+            4097,
+        ] {
             let keysets: [Vec<u64>; 4] = [
                 (0..len as u64).map(|i| i % 13).collect(),
                 (0..len as u64).collect(),
@@ -286,6 +319,48 @@ mod tests {
                 radix_sort_pairs(&mut pairs, &mut tmp);
                 assert_eq!(pairs, expected, "len {len} diverged across the cutoff");
             }
+        }
+    }
+
+    #[test]
+    fn adaptive_cutoff_weighs_active_passes() {
+        // Full-entropy keys (all 8 digit passes active): comparison wins until the
+        // 4096 crossover. Low-entropy keys (entropy in one byte): radix wins right
+        // from the RADIX_MIN_LEN floor.
+        assert!(!radix_beats_comparison(1024, 8));
+        assert!(!radix_beats_comparison(2048, 8));
+        assert!(!radix_beats_comparison(4095, 8));
+        assert!(radix_beats_comparison(4096, 8));
+        assert!(radix_beats_comparison(1024, 1));
+        assert!(radix_beats_comparison(1024, 3));
+        assert!(radix_beats_comparison(1024, 7));
+        assert!(!radix_beats_comparison(1024, 8));
+        // Degenerate inputs (never reached: the floor is RADIX_MIN_LEN) must not
+        // panic on the log2 of 0 or 1.
+        assert!(!radix_beats_comparison(0, 0));
+        assert!(!radix_beats_comparison(1, 0));
+    }
+
+    #[test]
+    fn adaptive_branches_agree_with_reference() {
+        // 1500 pairs sits above the floor but below the full-entropy crossover:
+        // high-entropy keys take the comparison fallback, low-entropy keys the
+        // radix passes. Both must equal the stable reference.
+        let len = 1500u64;
+        let high_entropy: Vec<u64> = (0..len)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 40))
+            .collect();
+        let low_entropy: Vec<u64> = (0..len).map(|i| i % 13).collect();
+        for keys in [high_entropy, low_entropy] {
+            let mut pairs: Vec<(u64, u32)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (w, i as u32))
+                .collect();
+            let expected = reference_sort(pairs.clone());
+            let mut tmp = Vec::new();
+            radix_sort_pairs(&mut pairs, &mut tmp);
+            assert_eq!(pairs, expected);
         }
     }
 

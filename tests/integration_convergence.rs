@@ -1,0 +1,121 @@
+//! Cross-crate integration test: convergence skipping is a pure metrics optimization.
+//!
+//! The fused clustering subroutines (`MpcConfig::convergence_skip = true`, the
+//! default) must produce bit-identical prepared trees, optima, and labelings to the
+//! legacy step-by-step loops, across tree shapes, seeds, and both execution modes —
+//! while never spending more prepare rounds.
+
+use mpc_tree_dp::problems::MaxWeightIndependentSet;
+use mpc_tree_dp::{prepare, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput};
+use tree_gen::{labels, shapes};
+use tree_repr::Tree;
+
+/// Run prepare + one solve under the given flags; return
+/// (prepare rounds, optimum, sorted labels, clustering elements as debug text).
+fn run(
+    tree: &Tree,
+    weights: &[i64],
+    convergence_skip: bool,
+    parallel: bool,
+) -> (u64, i64, Vec<(u64, usize)>, String) {
+    let cfg = MpcConfig::new(2 * tree.len(), 0.5)
+        .with_convergence_skip(convergence_skip)
+        .with_parallel(parallel);
+    let mut ctx = MpcContext::new(cfg);
+    let prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
+        None,
+    )
+    .expect("prepare");
+    let prepare_rounds = ctx.metrics().rounds;
+    if convergence_skip {
+        assert!(
+            ctx.metrics()
+                .convergence
+                .iter()
+                .any(|t| t.name == "count_subtree_sizes" || t.name == "path_distances"),
+            "fused prepare records convergence traces"
+        );
+    } else {
+        assert!(
+            ctx.metrics().convergence.is_empty(),
+            "legacy prepare never calls the fused primitive"
+        );
+    }
+    let engine = StateEngine::new(MaxWeightIndependentSet);
+    let inputs = ctx.from_vec(
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let sol = prepared.solve(&mut ctx, &engine, &inputs, 0, &no_edges);
+    let optimum = sol.root_summary.best(engine.problem()).unwrap();
+    let mut node_labels = sol.labels.into_vec();
+    node_labels.sort_unstable();
+    let elements = format!("{:?}", prepared.clustering.elements.clone().into_vec());
+    (prepare_rounds, optimum, node_labels, elements)
+}
+
+#[test]
+fn convergence_skip_changes_metrics_never_results() {
+    for (i, tree) in [
+        shapes::path(1500),
+        shapes::balanced_kary(1023, 2),
+        shapes::caterpillar(400, 2),
+        shapes::spider(6, 150),
+        shapes::random_recursive(1200, 2),
+        shapes::random_recursive(1200, 9),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let weights: Vec<i64> = labels::uniform_weights(tree.len(), 1, 100, i as u64)
+            .into_iter()
+            .map(|w| w as i64)
+            .collect();
+        let fused = run(&tree, &weights, true, true);
+        let legacy = run(&tree, &weights, false, true);
+        assert_eq!(fused.1, legacy.1, "optimum, tree {i}");
+        assert_eq!(fused.2, legacy.2, "labels, tree {i}");
+        assert_eq!(fused.3, legacy.3, "clustering elements, tree {i}");
+        assert!(
+            fused.0 <= legacy.0,
+            "tree {i}: fused prepare used {} rounds, legacy {}",
+            fused.0,
+            legacy.0
+        );
+    }
+}
+
+#[test]
+fn convergence_paths_are_execution_mode_invariant() {
+    // Sequential and thread-parallel machine-local execution must agree bit-for-bit
+    // under both subroutine strategies (4-way cross-check on one tree per shape).
+    for (i, tree) in [shapes::path(800), shapes::random_recursive(900, 4)]
+        .into_iter()
+        .enumerate()
+    {
+        let weights: Vec<i64> = labels::uniform_weights(tree.len(), 1, 50, 7 + i as u64)
+            .into_iter()
+            .map(|w| w as i64)
+            .collect();
+        let runs = [
+            run(&tree, &weights, true, true),
+            run(&tree, &weights, true, false),
+            run(&tree, &weights, false, true),
+            run(&tree, &weights, false, false),
+        ];
+        // Same strategy, different execution mode: identical metrics too.
+        assert_eq!(runs[0].0, runs[1].0, "fused rounds, tree {i}");
+        assert_eq!(runs[2].0, runs[3].0, "legacy rounds, tree {i}");
+        for r in &runs[1..] {
+            assert_eq!(runs[0].1, r.1, "optimum, tree {i}");
+            assert_eq!(runs[0].2, r.2, "labels, tree {i}");
+            assert_eq!(runs[0].3, r.3, "clustering elements, tree {i}");
+        }
+    }
+}

@@ -381,8 +381,9 @@ fn multi_bench_rounds_are_assembly_plus_two_evaluations() {
         .collect();
     assert_eq!(
         nums.len(),
-        6,
-        "baseline line must carry prepare/max_is/min_vc/plan_build/plan_eval/plan_rebuild"
+        9,
+        "baseline line must carry prepare/max_is/min_vc/plan_build/plan_eval/plan_rebuild/\
+         clustering/cluster-sizes/cluster-paths"
     );
     assert!(
         assembly <= nums[3],
