@@ -8,7 +8,8 @@ use mpc_tree_dp::gen::{labels, shapes, suite::standard_suite};
 use mpc_tree_dp::problems::*;
 use mpc_tree_dp::repr::Tree;
 use mpc_tree_dp::{
-    prepare, IncrementalSolver, ListOfEdges, MpcConfig, MpcContext, StateEngine, TreeInput,
+    prepare, IncrementalSolver, ListOfEdges, MpcConfig, MpcContext, StateEngine, StructuralBatch,
+    TreeInput,
 };
 
 fn solve_is(tree: &Tree, delta: f64) -> (i64, u64, u64, u32) {
@@ -744,6 +745,152 @@ fn bench_server(n: usize, seed: u64, parallel: bool) -> String {
     )
 }
 
+/// The `structural` section: batched link/cut repair vs. a full re-prepare on the
+/// deepest suite shape (`path-n`). One [`IncrementalSolver`] absorbs a single-op
+/// batch and then a 16-op batch (8 cuts peeling the deep end of the spine, 8 links
+/// grafting fresh leaves high up), splicing the already-built `SolvePlan` in place;
+/// a fresh context then pays the full `prepare` on the mutated tree — the cost the
+/// repair path avoids. The acceptance bar this section records: the 16-op batch
+/// must charge at most 10% of the full re-prepare's rounds (`meets_bar`). A fresh
+/// solve on the mutated tree is the correctness backstop — the spliced solver and
+/// the fresh path must agree on the optimum, or the benchmark itself panics.
+fn bench_structural(n: usize, seed: u64, parallel: bool) -> String {
+    use mpc_tree_dp::repr::DirectedEdge;
+    type MaxIs = StateEngine<MaxWeightIndependentSet>;
+    let tree = shapes::path(n);
+    let nn = n as u64;
+    let mut ctx = MpcContext::new(MpcConfig::new(2 * n, 0.5).with_parallel(parallel));
+    let mut prepared = prepare(
+        &mut ctx,
+        TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+        None,
+    )
+    .expect("prepare");
+    let weights: Vec<i64> = labels::uniform_weights(n, 1, 30, seed)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let inputs = ctx.from_vec(
+        weights
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| (v as u64, w))
+            .collect::<Vec<_>>(),
+    );
+    let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+    let _ = prepared.plan(&mut ctx);
+    let mut solver = IncrementalSolver::new(
+        &mut ctx,
+        &prepared,
+        MaxIs::new(MaxWeightIndependentSet),
+        &inputs,
+        0,
+        &no_edges,
+    );
+
+    let single: StructuralBatch<MaxIs> = StructuralBatch::new().link(nn / 2, nn, 1, ());
+    let t_single = std::time::Instant::now();
+    let single_stats = solver
+        .apply_structural(&mut ctx, &mut prepared, &single)
+        .expect("single-op structural batch");
+    let single_ms = t_single.elapsed().as_secs_f64() * 1e3;
+
+    // On a path, cut(v) severs the whole suffix v..: the first cut peels 100
+    // nodes, each later cut peels the next 10 above it. The links graft fresh
+    // leaves onto the surviving top of the spine.
+    let mut batch: StructuralBatch<MaxIs> = StructuralBatch::new();
+    for i in 0..8u64 {
+        batch = batch.cut(nn - 100 - 10 * i);
+    }
+    for i in 0..8u64 {
+        batch = batch.link(50 + 100 * i, nn + 1 + i, 1, ());
+    }
+    let t_batch = std::time::Instant::now();
+    let batch_stats = solver
+        .apply_structural(&mut ctx, &mut prepared, &batch)
+        .expect("16-op structural batch");
+    let batch_ms = t_batch.elapsed().as_secs_f64() * 1e3;
+
+    // The avoided cost: a full prepare of the mutated tree in a fresh context,
+    // plus the fresh solve that doubles as the correctness backstop.
+    let mut live_edges: Vec<DirectedEdge> = (1..=(nn - 171))
+        .map(|v| DirectedEdge::new(v, v - 1))
+        .collect();
+    live_edges.push(DirectedEdge::new(nn, nn / 2));
+    for i in 0..8u64 {
+        live_edges.push(DirectedEdge::new(nn + 1 + i, 50 + 100 * i));
+    }
+    let mut ctx2 = MpcContext::new(MpcConfig::new(2 * n, 0.5).with_parallel(parallel));
+    let t_full = std::time::Instant::now();
+    let fresh = prepare(
+        &mut ctx2,
+        TreeInput::ListOfEdges(ListOfEdges(live_edges)),
+        None,
+    )
+    .expect("mutated path stays well-formed");
+    let full_ms = t_full.elapsed().as_secs_f64() * 1e3;
+    let full_rounds = ctx2.metrics().rounds;
+    let mut fresh_inputs: Vec<(u64, i64)> =
+        (0..=(nn - 171)).map(|v| (v, weights[v as usize])).collect();
+    fresh_inputs.push((nn, 1));
+    fresh_inputs.extend((0..8u64).map(|i| (nn + 1 + i, 1)));
+    let fresh_inputs = ctx2.from_vec(fresh_inputs);
+    let fresh_no_edges = ctx2.from_vec(Vec::<(u64, ())>::new());
+    let sol = fresh.solve(
+        &mut ctx2,
+        &MaxIs::new(MaxWeightIndependentSet),
+        &fresh_inputs,
+        0,
+        &fresh_no_edges,
+    );
+    let p = MaxWeightIndependentSet;
+    assert_eq!(
+        solver.root_summary().best(&p),
+        sol.root_summary.best(&p),
+        "structural repair and fresh prepare disagree on path-{n}"
+    );
+
+    let bar_rounds = full_rounds / 10;
+    format!(
+        concat!(
+            "  \"structural\": {{\n",
+            "    \"tree\": \"path-{}\",\n",
+            "    \"problem\": \"max_is\",\n",
+            "    \"single\": {{ \"ops\": 1, \"rounds\": {}, \"wall_ms\": {:.3}, ",
+            "\"patched_clusters\": {}, \"degraded\": {} }},\n",
+            "    \"batch\": {{ \"ops\": {}, \"cuts\": 8, \"links\": 8, \"rounds\": {}, ",
+            "\"wall_ms\": {:.3}, \"removed_nodes\": {}, \"added_leaves\": {}, ",
+            "\"patched_clusters\": {}, \"resummarized\": {}, \"relabeled\": {}, ",
+            "\"degraded\": {} }},\n",
+            "    \"full_prepare\": {{ \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+            "    \"batch_vs_prepare_ratio\": {:.4},\n",
+            "    \"bar_rounds\": {},\n",
+            "    \"meets_bar\": {},\n",
+            "    \"optimum_identical\": true\n",
+            "  }}"
+        ),
+        n,
+        single_stats.rounds,
+        single_ms,
+        single_stats.patched_clusters,
+        single_stats.degraded,
+        batch_stats.batch_size,
+        batch_stats.rounds,
+        batch_ms,
+        batch_stats.removed_nodes,
+        batch_stats.added_leaves,
+        batch_stats.patched_clusters,
+        batch_stats.resummarized,
+        batch_stats.relabeled,
+        batch_stats.degraded,
+        full_rounds,
+        full_ms,
+        batch_stats.rounds as f64 / full_rounds.max(1) as f64,
+        bar_rounds,
+        batch_stats.rounds <= bar_rounds,
+    )
+}
+
 /// The per-tree round counts the regression guard tracks: prepare, the two fresh
 /// solves, the plan engine's assembly/evaluation charges of the `multi` section,
 /// the plan *rebuild* charge — what the serving layer re-pays on a cache miss
@@ -751,8 +898,11 @@ fn bench_server(n: usize, seed: u64, parallel: bool) -> String {
 /// `integration_server.rs`) — and the prepare sub-phases the fused clustering
 /// subroutines re-priced (clustering overall plus its cluster-sizes and
 /// cluster-paths components), so a regression inside prepare is attributed to
-/// the phase that caused it rather than reported as one opaque total.
-const GUARDED_ROUNDS: [&str; 9] = [
+/// the phase that caused it rather than reported as one opaque total. The two
+/// structural columns charge the batched link/cut repair path on the live plan:
+/// a single grafted leaf and a 16-leaf batch, so the local-repair cost cannot
+/// silently drift toward the full re-prepare it exists to avoid.
+const GUARDED_ROUNDS: [&str; 11] = [
     "prepare",
     "max_is",
     "min_vc",
@@ -762,12 +912,14 @@ const GUARDED_ROUNDS: [&str; 9] = [
     "clustering",
     "cluster-sizes",
     "cluster-paths",
+    "struct_single",
+    "struct_batch",
 ];
 
 /// The committed per-tree rounds baseline (`rounds-baseline-n<k>.txt`): one line per
 /// suite entry, `tree prepare max_is min_vc plan_build plan_eval plan_rebuild
-/// clustering cluster-sizes cluster-paths`, `#` comments.
-fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 9])> {
+/// clustering cluster-sizes cluster-paths struct_single struct_batch`, `#` comments.
+fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 11])> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read rounds baseline {path}: {e}"));
     text.lines()
@@ -777,9 +929,9 @@ fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 9])> {
             let mut it = l.split_whitespace();
             let tree = it.next().expect("tree name").to_string();
             let nums: Vec<u64> = it.map(|x| x.parse().expect("round count")).collect();
-            let nums: [u64; 9] = nums
+            let nums: [u64; 11] = nums
                 .try_into()
-                .unwrap_or_else(|_| panic!("baseline line needs 9 round counts: {l}"));
+                .unwrap_or_else(|_| panic!("baseline line needs 11 round counts: {l}"));
             (tree, nums)
         })
         .collect()
@@ -791,7 +943,7 @@ fn parse_rounds_baseline(path: &str) -> Vec<(String, [u64; 9])> {
 /// a measured tree absent from the baseline, or a baseline tree no longer measured
 /// (suite entry dropped or renamed) — also fails, so coverage cannot silently
 /// shrink. Returns the number of regressions.
-fn check_rounds_against_baseline(path: &str, measured: &[(String, [u64; 9])]) -> usize {
+fn check_rounds_against_baseline(path: &str, measured: &[(String, [u64; 11])]) -> usize {
     let baseline = parse_rounds_baseline(path);
     let mut regressions = 0;
     for (tree, _) in &baseline {
@@ -842,14 +994,19 @@ fn check_rounds_against_baseline(path: &str, measured: &[(String, [u64; 9])]) ->
 /// non-zero if any suite entry's charged rounds exceed the committed baseline
 /// — the CI rounds-regression guard, covering prepare, both fresh solves, the
 /// plan build/eval charges, the serving layer's plan-rebuild (cache-miss)
-/// charge, and the clustering sub-phases (clustering / cluster-sizes /
-/// cluster-paths) the fused subroutines re-priced. Schema v8 additions: the
+/// charge, the clustering sub-phases (clustering / cluster-sizes /
+/// cluster-paths) the fused subroutines re-priced, and the two structural
+/// columns (`struct_single` / `struct_batch`: a one-leaf and a 16-leaf
+/// link/cut repair on the live plan). Schema v8 additions: the
 /// `cluster-sizes`/`cluster-paths` phase entries carry `active_machines`
 /// trajectories (one array per fused-subroutine invocation: machines still
 /// active at each charged exchange), and every suite entry carries
 /// `prepare_vs_eval_ratio` — prepare cost over the batched four-problem
 /// evaluation cost, rounds and wall, making the ROADMAP's ≤2× bar
-/// machine-checkable. The `server` section sweeps a multi-tenant `TreeDpServer`
+/// machine-checkable. Schema v9 adds the top-level `structural` section
+/// (batched link/cut repair vs. full re-prepare on `path-n`, with the ≤10%
+/// acceptance bar recorded as `meets_bar`) and the two structural guard
+/// columns above. The `server` section sweeps a multi-tenant `TreeDpServer`
 /// across plan-cache budgets and records hit rate, evictions, the per-miss
 /// rebuild rounds, and p50/p99 wall time per request.
 fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_rounds: Option<&str>) {
@@ -862,7 +1019,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
     ];
     let mut entries = Vec::new();
     let mut multi_entries = Vec::new();
-    let mut measured_rounds: Vec<(String, [u64; 9])> = Vec::new();
+    let mut measured_rounds: Vec<(String, [u64; 11])> = Vec::new();
     let mut total_violations = 0usize;
     for entry in standard_suite(n, seed) {
         let tree = &entry.tree;
@@ -884,7 +1041,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
         let mut ctx = MpcContext::new(base_cfg.with_parallel(parallel));
 
         let t0 = std::time::Instant::now();
-        let prepared = prepare(
+        let mut prepared = prepare(
             &mut ctx,
             TreeInput::ListOfEdges(ListOfEdges::from_tree(tree)),
             None,
@@ -1041,6 +1198,45 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
         );
         let batched_rounds = plan_rounds + p_is_rounds + p_vc_rounds + p_ds_rounds + p_mm_rounds;
         let batched_ms = plan_ms + p_is_ms + p_vc_ms + p_ds_ms + p_mm_ms;
+
+        // ---- the two structural guard columns: link/cut repair on the live plan ----
+        // An incremental solver seeded from the current weights absorbs a single
+        // grafted leaf and then a 16-leaf batch, splicing the `SolvePlan` built
+        // above in place — the serving layer's structural path in miniature. The
+        // guard pins both charges so local repair cannot drift toward the full
+        // re-prepare it exists to avoid.
+        let (struct_single_rounds, struct_batch_rounds) = {
+            let inputs = ctx.from_vec(
+                w.iter()
+                    .enumerate()
+                    .map(|(v, &x)| (v as u64, x))
+                    .collect::<Vec<_>>(),
+            );
+            let mut solver = IncrementalSolver::new(
+                &mut ctx,
+                &prepared,
+                StateEngine::new(MaxWeightIndependentSet),
+                &inputs,
+                0,
+                &no_edges,
+            );
+            let nn = tree.len() as u64;
+            let single: StructuralBatch<StateEngine<MaxWeightIndependentSet>> =
+                StructuralBatch::new().link(nn / 2, nn, 1, ());
+            let s1 = solver
+                .apply_structural(&mut ctx, &mut prepared, &single)
+                .expect("single-op structural batch");
+            let mut batch: StructuralBatch<StateEngine<MaxWeightIndependentSet>> =
+                StructuralBatch::new();
+            for i in 0..16u64 {
+                batch = batch.link((i * nn) / 17, nn + 1 + i, 1, ());
+            }
+            let s16 = solver
+                .apply_structural(&mut ctx, &mut prepared, &batch)
+                .expect("16-op structural batch");
+            (s1.rounds, s16.rounds)
+        };
+
         measured_rounds.push((
             entry.name.clone(),
             [
@@ -1053,6 +1249,8 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
                 ctx.metrics().phase_rounds("clustering"),
                 ctx.metrics().phase_rounds("cluster-sizes"),
                 ctx.metrics().phase_rounds("cluster-paths"),
+                struct_single_rounds,
+                struct_batch_rounds,
             ],
         ));
         multi_entries.push(format!(
@@ -1107,6 +1305,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
                 "\"eval_rounds\": {}, \"eval_wall_ms\": {:.3} }},\n",
                 "      \"max_is\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
                 "      \"min_vc\": {{ \"value\": {}, \"rounds\": {}, \"wall_ms\": {:.3} }},\n",
+                "      \"structural\": {{ \"single_rounds\": {}, \"batch_rounds\": {} }},\n",
                 "      \"violations\": {},\n",
                 "      \"memory_headroom\": {{ \"peak_local_memory\": {}, ",
                 "\"local_capacity\": {}, \"ratio\": {:.4} }}\n",
@@ -1128,6 +1327,8 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
             vc_value,
             vc_rounds,
             vc_ms,
+            struct_single_rounds,
+            struct_batch_rounds,
             ctx.metrics().violations.len(),
             ctx.metrics().peak_local_memory,
             ctx.config().local_capacity(),
@@ -1184,6 +1385,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
 
     let parallel_section = bench_parallel_modes(n, seed);
     let server_section = bench_server(n, seed, parallel);
+    let structural_section = bench_structural(n, seed, parallel);
 
     // Top-level violation accounting with its semantics spelled out: a `violation`
     // is a recorded (not fatal) breach of the Θ(n^δ)-word memory or bandwidth bound
@@ -1223,7 +1425,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
     println!(
         concat!(
             "{{\n",
-            "  \"schema\": \"mpc-tree-dp-bench/v8\",\n",
+            "  \"schema\": \"mpc-tree-dp-bench/v9\",\n",
             "  \"suite\": \"standard\",\n",
             "  \"n\": {},\n",
             "  \"delta\": 0.5,\n",
@@ -1232,6 +1434,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
             "  \"suite_strict\": {},\n",
             "{},\n",
             "  \"entries\": [\n{}\n  ],\n",
+            "{},\n",
             "{},\n",
             "{},\n",
             "{},\n",
@@ -1248,6 +1451,7 @@ fn exp_bench_json(seed: u64, n: usize, parallel: bool, strict: bool, check_round
         incremental_section,
         parallel_section,
         server_section,
+        structural_section,
     );
 
     if let Some(path) = check_rounds {

@@ -38,7 +38,7 @@
 //!   replacing the former three-join sequence.
 
 use crate::clustering::Clustering;
-use crate::element::{make_cluster_id, Element, ElementId, ElementKind, VIRTUAL_NODE};
+use crate::element::{make_cluster_id, Element, ElementId, ElementKind, UNABSORBED, VIRTUAL_NODE};
 use crate::subroutines::{count_subtree_sizes, path_distances, PathNode, PathPosition};
 use mpc_engine::{DistVec, MpcContext, Words};
 use std::fmt;
@@ -225,7 +225,7 @@ pub fn build_clustering(
                 kind: ElementKind::TopCluster,
                 formed_at: layer,
                 absorbed_into: VIRTUAL_NODE,
-                absorbed_at: u32::MAX,
+                absorbed_at: UNABSORBED,
                 out_edge: DirectedEdge::new(root, VIRTUAL_NODE),
                 in_edge: None,
             });

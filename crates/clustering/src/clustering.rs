@@ -1,6 +1,6 @@
 //! The hierarchical clustering output type and its (test-oriented) validator.
 
-use crate::element::{Element, ElementId, ElementKind, VIRTUAL_NODE};
+use crate::element::{Element, ElementId, ElementKind, UNABSORBED, VIRTUAL_NODE};
 use mpc_engine::DistVec;
 use std::collections::{BTreeMap, BTreeSet};
 use tree_repr::{DirectedEdge, NodeId};
@@ -67,6 +67,9 @@ impl Clustering {
             if top.absorbed_into != VIRTUAL_NODE {
                 err("top cluster must not be absorbed".to_string());
             }
+            if top.absorbed_at != UNABSORBED {
+                err("top cluster must carry the UNABSORBED absorbed_at sentinel".to_string());
+            }
             if top.out_edge.parent != VIRTUAL_NODE {
                 err("top cluster's outgoing edge must be the virtual root edge".to_string());
             }
@@ -91,8 +94,17 @@ impl Clustering {
                 } else if !by_id[&e.absorbed_into].kind.is_cluster() {
                     err(format!("element {} absorbed into a non-cluster", e.id));
                 }
-                if e.absorbed_at == 0 || e.absorbed_at == u32::MAX {
-                    err(format!("element {} has an invalid absorption layer", e.id));
+                if e.absorbed_at == 0 {
+                    err(format!(
+                        "element {} absorbed at layer 0 (layers are numbered from 1)",
+                        e.id
+                    ));
+                }
+                if e.absorbed_at == UNABSORBED {
+                    err(format!(
+                        "element {} carries the UNABSORBED sentinel but is not the top cluster",
+                        e.id
+                    ));
                 }
                 if e.absorbed_at > self.num_layers {
                     err(format!("element {} absorbed above the top layer", e.id));

@@ -16,8 +16,15 @@ use mpc_engine::{DistVec, MpcContext};
 use tree_repr::{DirectedEdge, NodeId};
 
 /// Base for auxiliary node ids (far above any original node id used in this workspace,
-/// but below the 2^48 limit required by cluster-id packing).
-pub(crate) const AUX_BASE: NodeId = 1 << 44;
+/// but below the 2^48 limit required by cluster-id packing). Public so that structural
+/// repair and the serving layer can distinguish original from auxiliary nodes and reject
+/// user-supplied ids that would collide with the auxiliary range.
+pub const AUX_BASE: NodeId = 1 << 44;
+
+/// `true` if `id` denotes an auxiliary node introduced by [`reduce_degrees`].
+pub fn is_aux_node(id: NodeId) -> bool {
+    id >= AUX_BASE && id != tree_repr::NodeId::MAX
+}
 
 /// Result of [`reduce_degrees`].
 #[derive(Debug, Clone)]

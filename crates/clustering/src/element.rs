@@ -22,6 +22,17 @@ pub fn is_cluster_id(id: ElementId) -> bool {
     id != VIRTUAL_NODE && (id & CLUSTER_FLAG) != 0
 }
 
+/// Sentinel value of [`Element::absorbed_at`] for the one element that is never
+/// absorbed: the top cluster.
+///
+/// Invariant (asserted by [`Element::is_absorbed`] and checked by
+/// [`crate::clustering::Clustering::validate`]): `absorbed_at == UNABSORBED` if and only
+/// if `kind == ElementKind::TopCluster`. In particular `0` is **not** a valid absorption
+/// layer (layers are numbered from 1) and is **not** interchangeable with the sentinel;
+/// structural repair relies on this to distinguish "absorbed at the first layer" from
+/// "the unabsorbed top" without consulting the kind.
+pub const UNABSORBED: u32 = u32::MAX;
+
 /// Build a cluster id from the layer it is formed at and its defining element
 /// (the subtree root for indegree-0 clusters, the topmost path node for indegree-1
 /// clusters). Only the low 48 bits of the defining id are used; this is unambiguous
@@ -75,6 +86,25 @@ pub struct Element {
     pub in_edge: Option<DirectedEdge>,
 }
 
+impl Element {
+    /// `true` for every element except the top cluster.
+    ///
+    /// Debug builds assert the [`UNABSORBED`] sentinel invariant: the `u32::MAX`
+    /// sentinel appears exactly on the [`ElementKind::TopCluster`] element, so an
+    /// `absorbed_at` of `0` (never produced — layers start at 1) can never be confused
+    /// with "unabsorbed".
+    // mpc-lint: allow(dead-pub-api) — canonical reader of the absorbed_at sentinel; kept public so downstream consumers never compare against UNABSORBED by hand
+    pub fn is_absorbed(&self) -> bool {
+        debug_assert_eq!(
+            self.absorbed_at == UNABSORBED,
+            self.kind == ElementKind::TopCluster,
+            "absorbed_at sentinel out of sync with kind for element {}",
+            self.id
+        );
+        self.absorbed_at != UNABSORBED
+    }
+}
+
 impl Words for Element {
     fn words(&self) -> usize {
         10
@@ -121,6 +151,46 @@ mod tests {
         assert!(ElementKind::ClusterIndeg0.is_cluster());
         assert!(ElementKind::ClusterIndeg1.is_cluster());
         assert!(ElementKind::TopCluster.is_cluster());
+    }
+
+    #[test]
+    fn absorbed_at_sentinel_is_unambiguous() {
+        let absorbed_at_layer_1 = Element {
+            id: 1,
+            kind: ElementKind::Node,
+            formed_at: 0,
+            absorbed_into: make_cluster_id(1, 0),
+            absorbed_at: 1,
+            out_edge: DirectedEdge::new(1, 2),
+            in_edge: None,
+        };
+        assert!(absorbed_at_layer_1.is_absorbed());
+        let top = Element {
+            id: make_cluster_id(3, 0),
+            kind: ElementKind::TopCluster,
+            formed_at: 3,
+            absorbed_into: VIRTUAL_NODE,
+            absorbed_at: UNABSORBED,
+            out_edge: DirectedEdge::new(0, VIRTUAL_NODE),
+            in_edge: None,
+        };
+        assert!(!top.is_absorbed());
+    }
+
+    #[test]
+    #[should_panic(expected = "absorbed_at sentinel out of sync")]
+    #[cfg(debug_assertions)]
+    fn absorbed_at_sentinel_on_non_top_is_caught() {
+        let bogus = Element {
+            id: 7,
+            kind: ElementKind::Node,
+            formed_at: 0,
+            absorbed_into: make_cluster_id(1, 0),
+            absorbed_at: UNABSORBED,
+            out_edge: DirectedEdge::new(7, 2),
+            in_edge: None,
+        };
+        let _ = bogus.is_absorbed();
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   primitives the paper cites from Balliu et al. (SODA 2023).
 //! * [`reduce_degrees`] — the high-degree-node transformation of Section 4.4.
 //! * [`Clustering`] — the output, with a structural validator used by the test suite.
+//! * [`repair`] — host-side local repair of an existing clustering under batched
+//!   link/cut structural updates (degrading to a full rebuild only when a clustering
+//!   bound would be violated).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,12 +26,17 @@ mod builder;
 pub mod clustering;
 pub mod degree;
 pub mod element;
+pub mod repair;
 pub mod subroutines;
 
 pub use builder::{build_clustering, ClusterError};
 pub use clustering::{Clustering, ClusteringViolation};
-pub use degree::{reduce_degrees, DegreeReduced};
+pub use degree::{is_aux_node, reduce_degrees, DegreeReduced, AUX_BASE};
 pub use element::{
     is_cluster_id, make_cluster_id, EdgeKind, Element, ElementId, ElementKind, CLUSTER_FLAG,
-    VIRTUAL_NODE,
+    UNABSORBED, VIRTUAL_NODE,
+};
+pub use repair::{
+    plan_repair, ClusterPatch, ClusteringRepair, DegradeReason, RepairError, RepairOutcome,
+    TopologyOp,
 };

@@ -221,6 +221,101 @@ impl PreparedTree {
             .solve(ctx, problem, node_inputs, aux_input, edge_inputs)
     }
 
+    /// Splice a planned structural repair (see [`tree_clustering::plan_repair`]) into
+    /// every cached representation of this tree: the clustering's element list, the
+    /// degree-reduced edge list, the aux-node map, the node counts, and — when one is
+    /// cached — the [`SolvePlan`] skeletons and routing indexes.
+    ///
+    /// Host-side surgery, zero rounds (the incremental solver's `inc-struct` phase
+    /// meters the moved words). The repair must have been planned against this tree's
+    /// current clustering; applying a stale repair corrupts the state.
+    // mpc-cost: rounds(const)
+    pub fn apply_structural_repair(
+        &mut self,
+        ctx: &mut MpcContext,
+        repair: &tree_clustering::ClusteringRepair,
+    ) {
+        // Edge list: drop every edge out of the removed set (all such edges have their
+        // child endpoint in it), append the new leaf edges (always Original: links
+        // attach original-id leaves below original nodes).
+        let kept = self
+            .edges
+            .clone()
+            .filter_local(|(e, _)| !repair.removed_nodes.contains(&e.child));
+        let added: DistVec<(DirectedEdge, EdgeKind)> = ctx.from_vec(
+            repair
+                .added_leaves
+                .iter()
+                .map(|l| (l.out_edge, EdgeKind::Original))
+                .collect(),
+        );
+        self.edges = kept.concat_local(added);
+
+        // Clustering elements: drop, demote, append.
+        let mut elements = self.clustering.elements.to_vec();
+        repair.patch_elements(&mut elements);
+        self.clustering.elements = ctx.from_vec(elements);
+        self.clustering.num_nodes = repair.new_num_nodes;
+
+        // Aux map and node counts.
+        self.aux_to_original = self
+            .aux_to_original
+            .clone()
+            .filter_local(|(aux, _)| !repair.removed_aux.contains(aux));
+        let removed_originals = repair.removed_nodes.len() - repair.removed_aux.len();
+        self.original_nodes = self.original_nodes - removed_originals + repair.added_leaves.len();
+        self.num_nodes = repair.new_num_nodes;
+
+        // Cached plan: splice the skeletons and re-derive the routing indexes against
+        // the post-repair edge set.
+        if self.plan.get().is_some() {
+            let edge_children: std::collections::BTreeSet<NodeId> =
+                self.edges.iter().map(|(e, _)| e.child).collect();
+            if let Some(plan) = self.plan.get_mut() {
+                plan.apply_repair(repair, &edge_children);
+            }
+        }
+    }
+
+    /// Install an externally held [`SolvePlan`] as this tree's cached plan (replacing
+    /// any cached one). The serving layer uses this handshake to let a structural
+    /// repair splice the plan it keeps in its memory-budgeted cache: take the plan out
+    /// of the cache, install it here, run the repair, then [`take_plan`](Self::take_plan)
+    /// it back.
+    // mpc-cost: rounds(const)
+    pub fn install_plan(&mut self, plan: SolvePlan) {
+        self.plan.take();
+        let _ = self.plan.set(plan);
+    }
+
+    /// Remove and return the cached [`SolvePlan`], leaving the tree plan-less (the
+    /// next [`plan`](Self::plan) call re-charges a full `plan-build`). This is also
+    /// the plan-invalidation primitive: a caller that mutated the tree in a way the
+    /// splice cannot follow (e.g. a degraded re-prepare) drops the stale plan here.
+    // mpc-cost: rounds(const)
+    pub fn take_plan(&mut self) -> Option<SolvePlan> {
+        self.plan.take()
+    }
+
+    /// Reconstruct the *original* (pre-degree-reduction) child→parent edge list,
+    /// host-side: auxiliary fan-out edges vanish and edges re-targeted at an auxiliary
+    /// parent are mapped back to the original node it stands in for. The degraded
+    /// structural path re-prepares from this list after applying a batch that local
+    /// repair cannot absorb.
+    // mpc-cost: rounds(const)
+    pub fn original_edge_list(&self) -> Vec<DirectedEdge> {
+        let aux_map: std::collections::BTreeMap<NodeId, NodeId> =
+            self.aux_to_original.iter().copied().collect();
+        self.edges
+            .iter()
+            .filter(|(_, kind)| *kind == EdgeKind::Original)
+            .map(|(e, _)| {
+                let parent = aux_map.get(&e.parent).copied().unwrap_or(e.parent);
+                DirectedEdge::new(e.child, parent)
+            })
+            .collect()
+    }
+
     /// The per-edge data table the solver consumes: kinds from the degree-reduced
     /// edge list, inputs from the caller (edges without a caller record default to
     /// `E::default()`).

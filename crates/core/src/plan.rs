@@ -333,6 +333,142 @@ impl SolvePlan {
         }
     }
 
+    /// Register the routing-index entries of one cached skeleton view (the
+    /// [`register`](Self::register) logic, re-run over a [`PlanView`] during
+    /// [`reindex`](Self::reindex)).
+    fn register_skeleton(
+        &mut self,
+        layer: u32,
+        machine: usize,
+        view_idx: usize,
+        view: &PlanView,
+        edge_children: &BTreeSet<NodeId>,
+    ) {
+        let vslot = ViewSlot {
+            layer,
+            machine: machine as u32,
+            view: view_idx as u32,
+        };
+        if view.cluster == self.top_cluster {
+            self.top_machine = machine;
+        }
+        self.out_label_readers
+            .entry(view.out_edge.child)
+            .or_default()
+            .push(vslot);
+        if let Some(in_edge) = view.in_edge {
+            self.in_label_readers
+                .entry(in_edge.child)
+                .or_default()
+                .push(vslot);
+            if edge_children.contains(&in_edge.child) {
+                self.in_edge_slots
+                    .entry(in_edge.child)
+                    .or_default()
+                    .push(vslot);
+            }
+        }
+        for (member_idx, member) in view.members.iter().enumerate() {
+            let slot = MemberSlot {
+                layer,
+                machine: machine as u32,
+                view: view_idx as u32,
+                member: member_idx as u32,
+            };
+            self.payload_slot.insert(member.element.id, slot);
+            if edge_children.contains(&member.element.out_edge.child) {
+                self.out_edge_slots
+                    .entry(member.element.out_edge.child)
+                    .or_default()
+                    .push(slot);
+            }
+        }
+    }
+
+    /// Rebuild every routing index (payload slots, edge-input slots, label readers,
+    /// top machine) from the current skeleton views. Host-side, zero rounds: the
+    /// indexes are derived data, so after a structural splice it is both simpler and
+    /// safer to re-derive them than to patch five maps surgically. Iteration order
+    /// (layers → machines → views → members) matches [`build_plan`], so a repaired
+    /// plan routes records exactly like a freshly built one.
+    fn reindex(&mut self, edge_children: &BTreeSet<NodeId>) {
+        self.payload_slot.clear();
+        self.out_edge_slots.clear();
+        self.in_edge_slots.clear();
+        self.out_label_readers.clear();
+        self.in_label_readers.clear();
+        let layers = std::mem::take(&mut self.layers);
+        for (li, layer) in layers.iter().enumerate() {
+            for (machine, views) in layer.iter().enumerate() {
+                for (view_idx, view) in views.iter().enumerate() {
+                    self.register_skeleton(li as u32 + 1, machine, view_idx, view, edge_children);
+                }
+            }
+        }
+        self.layers = layers;
+    }
+
+    /// Splice a structural repair into the cached skeletons: drop the views of removed
+    /// clusters, drop removed members (remapping parent/child/top/attach indexes),
+    /// demote clusters whose incoming edge was cut, append the new leaf members, and
+    /// rebuild the routing indexes against the post-repair edge set.
+    ///
+    /// Host-side surgery on cached state — zero rounds; the caller (the incremental
+    /// solver's `inc-struct` phase) meters the moved words. Panics if the repair does
+    /// not match this plan's clustering (same-generation repair objects only).
+    // mpc-cost: rounds(const)
+    pub fn apply_repair(
+        &mut self,
+        repair: &tree_clustering::ClusteringRepair,
+        edge_children: &BTreeSet<NodeId>,
+    ) {
+        for layer in &mut self.layers {
+            for views in layer.iter_mut() {
+                views.retain(|v| !repair.removed_elements.contains(&v.cluster));
+                for view in views.iter_mut() {
+                    if let Some(patch) = repair.patches.get(&view.cluster) {
+                        if patch.clear_in_edge {
+                            view.kind = ElementKind::ClusterIndeg0;
+                            view.in_edge = None;
+                            view.attach = None;
+                            view.in_kind = EdgeKind::Original;
+                            view.has_in_data = false;
+                        }
+                        if !patch.removed_members.is_empty() {
+                            splice_member_removals(view, &patch.removed_members);
+                        }
+                        for leaf in &patch.added {
+                            let parent_idx = view
+                                .members
+                                .iter()
+                                .position(|m| m.element.id == leaf.out_edge.parent)
+                                .expect("link parent is a member of the absorbing cluster");
+                            let idx = view.members.len();
+                            view.members.push(PlanMember {
+                                element: *leaf,
+                                out_kind: EdgeKind::Original,
+                                parent: Some(parent_idx),
+                                // mpc-lint: allow(alloc-hygiene) — the empty child list is owned by the new member record; ownership leaves the loop with the push
+                                children: Vec::new(),
+                            });
+                            view.members[parent_idx].children.push(idx);
+                        }
+                    }
+                    if !repair.demoted.is_empty() {
+                        // Member copies of demoted clusters live in their parent's
+                        // view; rewrite them so member-tree acceptance stays sound.
+                        for m in &mut view.members {
+                            repair.patch_member_record(&mut m.element);
+                        }
+                    }
+                }
+            }
+        }
+        self.aux_nodes
+            .retain(|(aux, _)| !repair.removed_aux.contains(aux));
+        self.reindex(edge_children);
+    }
+
     /// Number of layers of the underlying clustering.
     // mpc-cost: rounds(const)
     pub fn num_layers(&self) -> u32 {
@@ -920,6 +1056,39 @@ impl SolvePlan {
         }
         delivered
     }
+}
+
+/// Drop a downward-closed set of members from a skeleton view, remapping the
+/// parent/children/top/attach indexes onto the compacted member list. The removed set
+/// is downward-closed in the member tree (a removed member's descendants are removed
+/// too), so every survivor's parent survives and the top member always survives.
+fn splice_member_removals(view: &mut PlanView, removed: &BTreeSet<ElementId>) {
+    let mut remap: Vec<Option<usize>> = Vec::with_capacity(view.members.len());
+    let mut kept = 0usize;
+    for m in &view.members {
+        if removed.contains(&m.element.id) {
+            remap.push(None);
+        } else {
+            remap.push(Some(kept));
+            kept += 1;
+        }
+    }
+    let old = std::mem::take(&mut view.members);
+    view.members = old
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, mut m)| {
+            remap[i]?;
+            m.parent = m.parent.map(|p| {
+                remap[p]
+                    .expect("parent of a surviving member survives (removal is downward-closed)")
+            });
+            m.children = m.children.iter().filter_map(|&c| remap[c]).collect();
+            Some(m)
+        })
+        .collect();
+    view.top = remap[view.top].expect("the top member never lies in the removed span");
+    view.attach = view.attach.and_then(|a| remap[a]);
 }
 
 /// The per-view working state of one evaluation pass: payload and edge-input slots to

@@ -256,6 +256,22 @@ impl<'a> SnapshotReader<'a> {
         Ok(f64::from_bits(self.take_u64()?))
     }
 
+    /// Take a collection length prefix, validating it against the remaining buffer
+    /// BEFORE any allocation happens. Every element of a snapshotted collection
+    /// occupies at least one byte (the zero-width `()` impl exists for trait
+    /// completeness and never appears inside a snapshotted collection), so a recorded
+    /// length exceeding the remaining byte count can never decode successfully — it is
+    /// rejected up front as [`SnapshotError::Malformed`] instead of driving a giant
+    /// `Vec::with_capacity` or an element-by-element walk to the end of the buffer.
+    // mpc-lint: allow(dead-pub-api) — decode helper of the public SnapshotReader API; every in-tree collection impl lives in this file, but downstream Snapshot impls need the same pre-allocation length validation
+    pub fn take_len(&mut self) -> Result<usize, SnapshotError> {
+        let len = self.take_usize()?;
+        if len > self.remaining() {
+            return Err(SnapshotError::Malformed("length prefix exceeds buffer"));
+        }
+        Ok(len)
+    }
+
     /// Assert the payload is fully consumed.
     pub fn finish(&self) -> Result<(), SnapshotError> {
         if self.remaining() == 0 {
@@ -417,7 +433,7 @@ impl Snapshot for String {
         w.put_bytes(self.as_bytes());
     }
     fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
-        let len = r.take_usize()?;
+        let len = r.take_len()?;
         let bytes = r.take_bytes(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Malformed("non-UTF-8 string"))
     }
@@ -460,10 +476,11 @@ impl<T: Snapshot> Snapshot for Vec<T> {
         }
     }
     fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
-        let len = r.take_usize()?;
-        // Cap the pre-allocation: a corrupt length must surface as `Truncated` when
-        // the elements run out, not as an attempted giant allocation.
-        let mut out = Vec::with_capacity(len.min(r.remaining().max(16)));
+        // `take_len` bounds the length by the remaining bytes, so this capacity is
+        // already no larger than the buffer itself — a corrupt length surfaces as
+        // `Malformed` before any allocation.
+        let len = r.take_len()?;
+        let mut out = Vec::with_capacity(len);
         for _ in 0..len {
             out.push(T::decode(r)?);
         }
@@ -480,7 +497,7 @@ impl<K: Snapshot + Ord, V: Snapshot> Snapshot for BTreeMap<K, V> {
         }
     }
     fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
-        let len = r.take_usize()?;
+        let len = r.take_len()?;
         let mut out = BTreeMap::new();
         for _ in 0..len {
             let k = K::decode(r)?;
@@ -502,11 +519,11 @@ impl<T: Snapshot> Snapshot for DistVec<T> {
         }
     }
     fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
-        let num_chunks = r.take_usize()?;
-        let mut chunks = Vec::with_capacity(num_chunks.min(r.remaining().max(16)));
+        let num_chunks = r.take_len()?;
+        let mut chunks = Vec::with_capacity(num_chunks);
         for _ in 0..num_chunks {
-            let len = r.take_usize()?;
-            let mut chunk = Vec::with_capacity(len.min(r.remaining().max(16)));
+            let len = r.take_len()?;
+            let mut chunk = Vec::with_capacity(len);
             for _ in 0..len {
                 chunk.push(T::decode(r)?);
             }
@@ -1078,6 +1095,41 @@ mod tests {
             Vec::<u64>::decode(&mut r),
             Err(SnapshotError::Truncated) | Err(SnapshotError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_malformed_before_allocating() {
+        // A Vec length claiming more elements than bytes remain is rejected up front
+        // with the dedicated Malformed message, before any allocation or element walk.
+        let mut w = SnapshotWriter::new();
+        w.put_u64(1_000);
+        w.put_u64(42); // only 8 bytes of element data follow
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(
+            Vec::<u64>::decode(&mut r).unwrap_err(),
+            SnapshotError::Malformed("length prefix exceeds buffer")
+        );
+
+        // Same guard on String byte lengths, map entry counts, and DistVec chunks.
+        let mut w = SnapshotWriter::new();
+        w.put_u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(
+            String::decode(&mut r).unwrap_err(),
+            SnapshotError::Malformed("length prefix exceeds buffer")
+        );
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(
+            BTreeMap::<u64, u64>::decode(&mut r).unwrap_err(),
+            SnapshotError::Malformed("length prefix exceeds buffer")
+        );
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(
+            DistVec::<u64>::decode(&mut r).unwrap_err(),
+            SnapshotError::Malformed("length prefix exceeds buffer")
+        );
     }
 
     #[test]

@@ -148,6 +148,23 @@ impl<P: ClusterDp> SolverStore<P> {
         self.root_summary = Some(summary);
     }
 
+    // ----- structural splicing (used by batched link/cut repair) --------------------
+
+    /// Remove the payload of `element` (e.g. when a structural cut deletes it).
+    pub fn remove_payload(&mut self, element: ElementId) {
+        self.payloads.remove(&element);
+    }
+
+    /// Remove the label of the edge whose child endpoint is `child`.
+    pub fn remove_label(&mut self, child: NodeId) {
+        self.labels.remove(&child);
+    }
+
+    /// Remove the cached view of `cluster` at `layer` (1-based), returning it.
+    pub fn remove_view(&mut self, layer: u32, cluster: ElementId) -> Option<ClusterView<P>> {
+        self.views.get_mut((layer - 1) as usize)?.remove(&cluster)
+    }
+
     /// Approximate resident size of the store in machine words: payloads, cached
     /// views, and labels, each counted at its [`Words`](mpc_engine::Words) width plus
     /// one key word. Used by the serving layer's per-tenant accounting.

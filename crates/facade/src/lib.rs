@@ -7,7 +7,8 @@
 //! * [`repr`] — tree representations and their normalization (Section 3),
 //! * [`clustering`] — the `O(log D)`-round hierarchical clustering (Section 4),
 //! * [`core`] — the DP framework and solver (Definition 1, Section 5),
-//! * [`incremental`] — batched input updates re-solved on the cached clustering,
+//! * [`incremental`] — batched input *and* structural (link/cut) updates re-solved
+//!   on the cached clustering,
 //! * [`server`] — the multi-tenant serving layer (snapshot persistence,
 //!   memory-budgeted plan cache, admission batching, per-tenant metrics),
 //! * [`problems`] — the Table-1 problem library,
@@ -35,7 +36,9 @@ pub use tree_dp_core::{
     prepare, ClusterDp, DpSolution, PreparedTree, Snapshot, SnapshotError, SolvePlan, SolverStore,
     StateDp, StateEngine,
 };
-pub use tree_dp_incremental::{IncrementalSolver, UpdateStats};
+pub use tree_dp_incremental::{
+    IncrementalSolver, StructuralBatch, StructuralError, StructuralOp, StructuralStats, UpdateStats,
+};
 pub use tree_dp_server::{
     CacheStats, Request, Response, ServerConfig, ServerError, TenantMetrics, TenantSpec,
     TreeDpServer,

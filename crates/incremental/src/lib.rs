@@ -30,6 +30,15 @@
 //! unchanged (which is why the problem's `Summary` and `Label` types must be
 //! [`PartialEq`]).
 //!
+//! Beyond input changes, [`IncrementalSolver::apply_structural`] accepts batched
+//! **structural** updates — `link(parent, child)` adds a new leaf, `cut(child)` removes
+//! a whole subtree. A batch that stays within the clustering's degree and cluster-size
+//! bounds is repaired *locally*: a fourth phase, **`inc-struct`**, routes the batch and
+//! splices the affected cached views, plan skeletons, and records in place (two routing
+//! rounds), after which the same dirty-root-path machinery re-solves only the patched
+//! clusters. Batches that would overflow a bound degrade to an honest full re-prepare
+//! and re-solve (`stats.degraded` reports which path ran).
+//!
 //! ```
 //! use mpc_engine::{MpcConfig, MpcContext};
 //! use tree_dp_core::{prepare, StateEngine};
@@ -66,6 +75,8 @@
 #![warn(missing_docs)]
 
 mod solver;
+mod structural;
 mod topology;
 
 pub use solver::{IncrementalSolver, UpdateStats};
+pub use structural::{StructuralBatch, StructuralError, StructuralOp, StructuralStats};

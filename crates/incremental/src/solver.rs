@@ -1,13 +1,19 @@
 //! The incremental solver: initial cached solve plus batched re-solves along dirty
 //! root-paths (see the crate docs for the three-phase round structure).
 
+use crate::structural::{StructuralBatch, StructuralError, StructuralOp, StructuralStats};
 use crate::topology::Topology;
 use mpc_engine::par::{par_map, worth_parallelizing};
 use mpc_engine::{DistVec, MpcContext, Words};
-use std::collections::{BTreeMap, BTreeSet};
-use tree_clustering::ElementId;
-use tree_dp_core::{ClusterDp, DpSolution, Payload, PreparedTree, SolverStore};
-use tree_repr::NodeId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use tree_clustering::{
+    is_aux_node, plan_repair, ClusteringRepair, EdgeKind, ElementId, ElementKind, RepairOutcome,
+    TopologyOp, VIRTUAL_NODE,
+};
+use tree_dp_core::{
+    prepare, ClusterDp, ClusterView, DpSolution, Member, Payload, PreparedTree, SolverStore,
+};
+use tree_repr::{DirectedEdge, ListOfEdges, NodeId, TreeInput};
 
 /// What one update batch cost and touched.
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,6 +53,9 @@ where
     num_layers: u32,
     top_cluster: ElementId,
     root: NodeId,
+    /// The input assigned to auxiliary degree-reduction nodes, retained so the
+    /// degraded structural path can re-prepare and re-solve without asking the caller.
+    aux_input: P::NodeInput,
 }
 
 impl<P: ClusterDp> IncrementalSolver<P>
@@ -78,10 +87,13 @@ where
         aux_input: P::NodeInput,
         edge_inputs: &DistVec<(NodeId, P::EdgeInput)>,
     ) -> Self {
-        let (_, store) =
-            prepared
-                .plan(ctx)
-                .solve_with_store(ctx, &problem, node_inputs, aux_input, edge_inputs);
+        let (_, store) = prepared.plan(ctx).solve_with_store(
+            ctx,
+            &problem,
+            node_inputs,
+            aux_input.clone(),
+            edge_inputs,
+        );
         let topo = Topology::build(&store);
         Self {
             problem,
@@ -90,6 +102,7 @@ where
             num_layers: prepared.num_layers(),
             top_cluster: prepared.clustering.top_cluster,
             root: prepared.clustering.root,
+            aux_input,
         }
     }
 
@@ -109,6 +122,7 @@ where
         store: SolverStore<P>,
         top_cluster: ElementId,
         root: NodeId,
+        aux_input: P::NodeInput,
     ) -> Self {
         let topo = Topology::build(&store);
         let num_layers = store.num_layers();
@@ -119,6 +133,7 @@ where
             num_layers,
             top_cluster,
             root,
+            aux_input,
         }
     }
 
@@ -162,7 +177,6 @@ where
     ) -> UpdateStats {
         let rounds_before = ctx.metrics().rounds;
         let words_before = ctx.metrics().total_words_sent;
-        let parallel = ctx.config().parallel;
         let mut stats = UpdateStats {
             batch_size: node_updates.len() + edge_updates.len(),
             ..UpdateStats::default()
@@ -216,6 +230,26 @@ where
                 charge_routing_round(ctx, batch_words, "inc-dirty/route");
             }
         });
+
+        self.resolve_dirty(ctx, pending_dirty, &mut stats);
+
+        stats.rounds = ctx.metrics().rounds - rounds_before;
+        stats.words_sent = ctx.metrics().total_words_sent - words_before;
+        stats
+    }
+
+    /// Phases 2 and 3 of a batch: re-summarize bottom-up along the dirty root-paths
+    /// (`inc-up`) and re-label the affected top-down frontier (`inc-down`). Shared by
+    /// input-update batches ([`apply_batch`](Self::apply_batch)) and locally repaired
+    /// structural batches ([`apply_structural`](Self::apply_structural)), which differ
+    /// only in how the initial dirty set is seeded.
+    fn resolve_dirty(
+        &mut self,
+        ctx: &mut MpcContext,
+        mut pending_dirty: BTreeMap<u32, BTreeSet<ElementId>>,
+        stats: &mut UpdateStats,
+    ) {
+        let parallel = ctx.config().parallel;
 
         // ---- phase 2: bottom-up along the dirty root-paths -------------------------
         let mut dirty_per_layer: Vec<BTreeSet<ElementId>> =
@@ -351,10 +385,272 @@ where
                 }
             }
         });
+    }
 
+    /// Apply an ordered batch of structural `link`/`cut` operations and re-solve.
+    ///
+    /// The batch is planned against the cached clustering
+    /// ([`tree_clustering::plan_repair`], host-side, 0 rounds). When the repair stays
+    /// within the clustering bounds, the new `inc-struct` phase charges one routing
+    /// round for the batch broadcast and one for the spliced records, the cached
+    /// clustering / plan / store are patched in place (`prepared` is updated too, so
+    /// its cached [`SolvePlan`] keeps matching), and the existing dirty-root-path
+    /// machinery re-solves the affected clusters — `O(1)` rounds total. When a link
+    /// would overflow a degree or cluster-size bound, the batch *degrades*: the
+    /// original tree is reconstructed, mutated, fully re-prepared, and re-solved (the
+    /// honest `O(log D)` price), with `stats.degraded = true`.
+    ///
+    /// The batch is atomic: an invalid op rejects the whole batch with
+    /// [`StructuralError::Invalid`] and nothing changes. After a successful return the
+    /// solver's labels are identical to a fresh solve on the mutated tree.
+    // mpc-cost: rounds(prepare)
+    pub fn apply_structural(
+        &mut self,
+        ctx: &mut MpcContext,
+        prepared: &mut PreparedTree,
+        batch: &StructuralBatch<P>,
+    ) -> Result<StructuralStats, StructuralError> {
+        let rounds_before = ctx.metrics().rounds;
+        let words_before = ctx.metrics().total_words_sent;
+        let mut stats = StructuralStats {
+            batch_size: batch.len(),
+            ..StructuralStats::default()
+        };
+        if batch.is_empty() {
+            return Ok(stats);
+        }
+
+        let topo_ops: Vec<TopologyOp> = batch.ops().iter().map(|op| op.topology()).collect();
+        let edges_host: Vec<(DirectedEdge, EdgeKind)> = prepared.edges.iter().copied().collect();
+        let repair = match plan_repair(&prepared.clustering, &edges_host, &topo_ops)? {
+            RepairOutcome::Repaired(repair) => repair,
+            RepairOutcome::Degrade(_) => {
+                self.degrade_rebuild(ctx, prepared, batch, &topo_ops)?;
+                stats.degraded = true;
+                stats.rounds = ctx.metrics().rounds - rounds_before;
+                stats.words_sent = ctx.metrics().total_words_sent - words_before;
+                return Ok(stats);
+            }
+        };
+        stats.removed_nodes = repair.removed_nodes.len();
+        stats.added_leaves = repair.added_leaves.len();
+        stats.patched_clusters = repair.patches.len();
+
+        // Inputs of the surviving new leaves, for the store splice.
+        let mut leaf_inputs: BTreeMap<NodeId, (P::NodeInput, P::EdgeInput)> = BTreeMap::new();
+        for op in batch.ops() {
+            if let StructuralOp::Link {
+                child,
+                node_input,
+                edge_input,
+                ..
+            } = op
+            {
+                leaf_inputs.insert(*child, (node_input.clone(), edge_input.clone()));
+            }
+        }
+
+        // ---- inc-struct: route the batch, splice every cached representation -------
+        ctx.phase("inc-struct", |ctx| {
+            // The batch travels to the machines holding the affected views (the
+            // addresses are known from the cached clustering, exactly like inc-dirty).
+            let batch_words: usize = batch
+                .ops()
+                .iter()
+                .map(|op| match op {
+                    StructuralOp::Link {
+                        node_input,
+                        edge_input,
+                        ..
+                    } => 3 + node_input.words() + edge_input.words(),
+                    StructuralOp::Cut { .. } => 2,
+                })
+                .sum();
+            charge_routing_round(ctx, batch_words, "inc-struct/route");
+
+            // Host-side surgery on the pre-placed records; the spliced volume is what
+            // actually moves between machines (removed records are dropped in place).
+            self.splice_store(&repair, &leaf_inputs);
+            prepared.apply_structural_repair(ctx, &repair);
+            if !repair.is_noop() {
+                charge_routing_round(ctx, repair.splice_words(), "inc-struct/splice");
+            }
+        });
+        self.topo = Topology::build(&self.store);
+
+        // ---- re-solve: every patched cluster is dirty at its own layer -------------
+        let mut pending_dirty: BTreeMap<u32, BTreeSet<ElementId>> = BTreeMap::new();
+        for (cid, patch) in &repair.patches {
+            pending_dirty.entry(patch.layer).or_default().insert(*cid);
+        }
+        let mut upd = UpdateStats::default();
+        self.resolve_dirty(ctx, pending_dirty, &mut upd);
+        stats.resummarized = upd.resummarized;
+        stats.relabeled = upd.relabeled;
         stats.rounds = ctx.metrics().rounds - rounds_before;
         stats.words_sent = ctx.metrics().total_words_sent - words_before;
-        stats
+        Ok(stats)
+    }
+
+    /// Splice a planned repair into the solver's cached records, mirroring
+    /// [`SolvePlan::apply_repair`](tree_dp_core::SolvePlan::apply_repair) member for
+    /// member so the store and the plan skeletons can never drift apart.
+    fn splice_store(
+        &mut self,
+        repair: &ClusteringRepair,
+        leaf_inputs: &BTreeMap<NodeId, (P::NodeInput, P::EdgeInput)>,
+    ) {
+        // Drop every record of the removed span.
+        for &id in &repair.removed_elements {
+            self.store.remove_payload(id);
+            if let Some(&layer) = self.topo.cluster_layer.get(&id) {
+                self.store.remove_view(layer, id);
+            }
+        }
+        for &child in &repair.removed_nodes {
+            self.store.remove_label(child);
+        }
+
+        // Patch the surviving views.
+        let mut new_payloads: Vec<(ElementId, P::NodeInput)> = Vec::new();
+        for (&cid, patch) in &repair.patches {
+            let view = self
+                .store
+                .view_mut(patch.layer, cid)
+                .expect("patched cluster has a cached view");
+            if patch.clear_in_edge {
+                view.kind = ElementKind::ClusterIndeg0;
+                view.in_edge = None;
+                view.attach = None;
+                view.in_kind = EdgeKind::Original;
+                view.in_input = None;
+            }
+            if !patch.removed_members.is_empty() {
+                splice_view_member_removals(view, &patch.removed_members);
+            }
+            for leaf in &patch.added {
+                let (node_input, edge_input) = leaf_inputs
+                    .get(&leaf.id)
+                    .expect("every added leaf came from a link op")
+                    .clone();
+                let parent_idx = view
+                    .members
+                    .iter()
+                    .position(|m| m.element.id == leaf.out_edge.parent)
+                    .expect("link parent is a member of the absorbing cluster");
+                let idx = view.members.len();
+                view.members.push(Member {
+                    element: *leaf,
+                    payload: Payload::Input(node_input.clone()),
+                    out_kind: EdgeKind::Original,
+                    out_input: edge_input,
+                    parent: Some(parent_idx),
+                    children: Vec::new(),
+                });
+                view.members[parent_idx].children.push(idx);
+                new_payloads.push((leaf.id, node_input));
+            }
+        }
+        for (id, input) in new_payloads {
+            self.store.set_payload(id, Payload::Input(input));
+        }
+
+        // Rewrite the member copies of demoted clusters in their parents' views
+        // (matched by id: the parent view's indexes may have shifted above).
+        for &cid in &repair.demoted {
+            let Some(site) = self.topo.member_site.get(&cid).copied() else {
+                continue;
+            };
+            if let Some(parent_view) = self.store.view_mut(site.layer, site.cluster) {
+                if let Some(m) = parent_view.members.iter_mut().find(|m| m.element.id == cid) {
+                    m.element.kind = ElementKind::ClusterIndeg0;
+                    m.element.in_edge = None;
+                }
+            }
+        }
+    }
+
+    /// The degraded structural path: reconstruct the original tree, apply the batch
+    /// host-side, fully re-prepare, and re-solve with the inputs recovered from the
+    /// cached records. Replaces `prepared` and the solver's state wholesale; the
+    /// stale cached plan is superseded by the fresh one built during the re-solve.
+    fn degrade_rebuild(
+        &mut self,
+        ctx: &mut MpcContext,
+        prepared: &mut PreparedTree,
+        batch: &StructuralBatch<P>,
+        topo_ops: &[TopologyOp],
+    ) -> Result<(), StructuralError> {
+        // 1. The mutated original tree.
+        let mut edges = prepared.original_edge_list();
+        apply_ops_to_original_edges(&mut edges, topo_ops);
+        let live_children: BTreeSet<NodeId> = edges.iter().map(|e| e.child).collect();
+
+        // 2. Recover the current inputs from the cached views: every original node
+        //    appears exactly once as a member of its absorbing cluster's view, holding
+        //    its node input and the input of its outgoing edge.
+        let mut node_inputs: Vec<(NodeId, P::NodeInput)> = Vec::new();
+        let mut edge_inputs: Vec<(NodeId, P::EdgeInput)> = Vec::new();
+        for layer in 1..=self.num_layers {
+            for (_, view) in self.store.views_at(layer) {
+                for m in &view.members {
+                    if m.element.kind != ElementKind::Node || is_aux_node(m.element.id) {
+                        continue;
+                    }
+                    if let Payload::Input(input) = &m.payload {
+                        node_inputs.push((m.element.id, input.clone()));
+                    }
+                    if m.out_kind == EdgeKind::Original && m.element.out_edge.parent != VIRTUAL_NODE
+                    {
+                        edge_inputs.push((m.element.out_edge.child, m.out_input.clone()));
+                    }
+                }
+            }
+        }
+        // The root survives every batch (cutting it is rejected) but is no edge's
+        // child, so keep it explicitly.
+        let root = prepared.clustering.root;
+        node_inputs.retain(|(id, _)| *id == root || live_children.contains(id));
+        edge_inputs.retain(|(child, _)| live_children.contains(child));
+        for op in batch.ops() {
+            if let StructuralOp::Link {
+                child,
+                node_input,
+                edge_input,
+                ..
+            } = op
+            {
+                if live_children.contains(child) {
+                    node_inputs.push((*child, node_input.clone()));
+                    edge_inputs.push((*child, edge_input.clone()));
+                }
+            }
+        }
+
+        // 3. Re-prepare with the same threshold and re-solve from scratch.
+        let threshold = prepared.clustering.threshold;
+        let new_prepared = prepare(
+            ctx,
+            TreeInput::ListOfEdges(ListOfEdges(edges)),
+            Some(threshold),
+        )
+        .map_err(|e| StructuralError::Prepare(e.to_string()))?;
+        let node_dv = ctx.from_vec(node_inputs);
+        let edge_dv = ctx.from_vec(edge_inputs);
+        let (_, store) = new_prepared.plan(ctx).solve_with_store(
+            ctx,
+            &self.problem,
+            &node_dv,
+            self.aux_input.clone(),
+            &edge_dv,
+        );
+        self.store = store;
+        self.topo = Topology::build(&self.store);
+        self.num_layers = new_prepared.num_layers();
+        self.top_cluster = new_prepared.clustering.top_cluster;
+        self.root = new_prepared.clustering.root;
+        *prepared = new_prepared;
+        Ok(())
     }
 
     /// The wrapped problem.
@@ -413,6 +709,70 @@ fn mark_label_readers(
 ) {
     for &(cluster, layer) in topo.label_readers.get(&child).into_iter().flatten() {
         pending_relabel.entry(layer).or_default().insert(cluster);
+    }
+}
+
+/// Drop a downward-closed set of members from a cached cluster view, remapping the
+/// parent/children/top/attach indexes onto the compacted member list — the
+/// [`ClusterView`] twin of the plan-skeleton splice. The removed set is downward-closed
+/// in the member tree, so every survivor's parent survives and the top member always
+/// survives.
+fn splice_view_member_removals<P: ClusterDp>(
+    view: &mut ClusterView<P>,
+    removed: &BTreeSet<ElementId>,
+) {
+    let mut remap: Vec<Option<usize>> = Vec::with_capacity(view.members.len());
+    let mut kept = 0usize;
+    for m in &view.members {
+        if removed.contains(&m.element.id) {
+            remap.push(None);
+        } else {
+            remap.push(Some(kept));
+            kept += 1;
+        }
+    }
+    let old = std::mem::take(&mut view.members);
+    view.members = old
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, mut m)| {
+            remap[i]?;
+            m.parent = m.parent.map(|p| {
+                remap[p]
+                    .expect("parent of a surviving member survives (removal is downward-closed)")
+            });
+            m.children = m.children.iter().filter_map(|&c| remap[c]).collect();
+            Some(m)
+        })
+        .collect();
+    view.top = remap[view.top].expect("the top member never lies in the removed span");
+    view.attach = view.attach.and_then(|a| remap[a]);
+}
+
+/// Apply a validated topology batch to an *original* (pre-degree-reduction) edge list,
+/// in op order: links append a leaf edge, cuts remove the whole subtree below the cut
+/// child. Host-side; used only by the degraded re-prepare path.
+fn apply_ops_to_original_edges(edges: &mut Vec<DirectedEdge>, ops: &[TopologyOp]) {
+    for op in ops {
+        match *op {
+            TopologyOp::Link { parent, child } => edges.push(DirectedEdge::new(child, parent)),
+            TopologyOp::Cut { child } => {
+                let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+                for e in edges.iter() {
+                    children.entry(e.parent).or_default().push(e.child);
+                }
+                let mut removed = BTreeSet::from([child]);
+                let mut queue = VecDeque::from([child]);
+                while let Some(x) = queue.pop_front() {
+                    for &y in children.get(&x).map(Vec::as_slice).unwrap_or(&[]) {
+                        if removed.insert(y) {
+                            queue.push_back(y);
+                        }
+                    }
+                }
+                edges.retain(|e| !removed.contains(&e.child));
+            }
+        }
     }
 }
 
@@ -660,6 +1020,242 @@ mod tests {
         assert_eq!(stats.rounds, 0);
         assert_eq!(stats.words_sent, 0);
         assert_eq!(stats.resummarized, 0);
+    }
+
+    /// Compare the incremental solver's state against a fresh prepare+solve of the
+    /// mutated original tree, restricted to the original edges (the two sides may
+    /// differ in auxiliary structure).
+    fn assert_matches_fresh(
+        ctx: &mut MpcContext,
+        inc: &IncrementalSolver<StateEngine<MaxWeightIndependentSet>>,
+        mutated_edges: &[DirectedEdge],
+        weight_of: impl Fn(u64) -> i64,
+        what: &str,
+    ) {
+        let fresh_prepared = prepare(
+            ctx,
+            TreeInput::ListOfEdges(ListOfEdges(mutated_edges.to_vec())),
+            Some(4),
+        )
+        .unwrap();
+        let children: BTreeSet<u64> = mutated_edges.iter().map(|e| e.child).collect();
+        let mut ids: BTreeSet<u64> = children.clone();
+        ids.extend(mutated_edges.iter().map(|e| e.parent));
+        let fresh_inputs = ctx.from_vec(ids.iter().map(|&v| (v, weight_of(v))).collect::<Vec<_>>());
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let fresh = fresh_prepared.solve(
+            ctx,
+            &StateEngine::new(MaxWeightIndependentSet),
+            &fresh_inputs,
+            0,
+            &no_edges,
+        );
+        let fresh_labels: BTreeMap<u64, usize> = fresh
+            .labels
+            .iter()
+            .filter(|(c, _)| children.contains(c))
+            .cloned()
+            .collect();
+        let inc_labels: BTreeMap<u64, usize> = inc
+            .labels()
+            .iter()
+            .filter(|(c, _)| children.contains(c))
+            .map(|(c, l)| (*c, *l))
+            .collect();
+        assert_eq!(inc_labels, fresh_labels, "{what}: labels");
+        assert_eq!(inc.root_summary(), &fresh.root_summary, "{what}: summary");
+        assert_eq!(inc.root_label(), &fresh.root_label, "{what}: root label");
+    }
+
+    #[test]
+    fn structural_batch_repairs_locally_and_matches_fresh_prepare() {
+        let tree = shapes::path(60);
+        let mut ctx = ctx_for(tree.len());
+        let mut prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(4),
+        )
+        .unwrap();
+        let weights: Vec<i64> = (0..tree.len() as i64).map(|v| 1 + (v * 7) % 13).collect();
+        let inputs = ctx.from_vec(
+            weights
+                .iter()
+                .enumerate()
+                .map(|(v, &w)| (v as u64, w))
+                .collect::<Vec<_>>(),
+        );
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let mut inc = IncrementalSolver::new(
+            &mut ctx,
+            &prepared,
+            StateEngine::new(MaxWeightIndependentSet),
+            &inputs,
+            0,
+            &no_edges,
+        );
+
+        // Cut the tail of the path and hang a fresh 2-leaf chain below node 5.
+        let batch: StructuralBatch<StateEngine<MaxWeightIndependentSet>> = StructuralBatch::new()
+            .cut(40)
+            .link(5, 1000, 9, ())
+            .link(1000, 1001, 4, ());
+        let mut mutated = prepared.original_edge_list();
+        apply_ops_to_original_edges(
+            &mut mutated,
+            &batch
+                .ops()
+                .iter()
+                .map(|op| op.topology())
+                .collect::<Vec<_>>(),
+        );
+        let stats = inc
+            .apply_structural(&mut ctx, &mut prepared, &batch)
+            .unwrap();
+        assert!(!stats.degraded, "a tail cut plus two links repairs locally");
+        assert_eq!(stats.removed_nodes, 20);
+        assert_eq!(stats.added_leaves, 2);
+        assert!(stats.rounds > 0);
+        let weight_of = |v: u64| -> i64 {
+            if v == 1000 {
+                9
+            } else if v == 1001 {
+                4
+            } else {
+                weights[v as usize]
+            }
+        };
+        assert_matches_fresh(
+            &mut ctx,
+            &inc,
+            &mutated,
+            weight_of,
+            "after structural batch",
+        );
+
+        // Weight updates keep working on the spliced state — including on a new leaf.
+        inc.update_node_inputs(&mut ctx, &[(7, 21), (1001, 11)]);
+        let weight_of = |v: u64| -> i64 {
+            match v {
+                7 => 21,
+                1000 => 9,
+                1001 => 11,
+                _ => weights[v as usize],
+            }
+        };
+        assert_matches_fresh(
+            &mut ctx,
+            &inc,
+            &mutated,
+            weight_of,
+            "after follow-up update",
+        );
+    }
+
+    #[test]
+    fn overflowing_batch_degrades_and_matches_fresh_prepare() {
+        let tree = shapes::path(12);
+        let mut ctx = ctx_for(tree.len());
+        let mut prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(2),
+        )
+        .unwrap();
+        let inputs = ctx.from_vec(
+            (0..tree.len())
+                .map(|v| (v as u64, 1i64 + v as i64))
+                .collect::<Vec<_>>(),
+        );
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let mut inc = IncrementalSolver::new(
+            &mut ctx,
+            &prepared,
+            StateEngine::new(MaxWeightIndependentSet),
+            &inputs,
+            0,
+            &no_edges,
+        );
+
+        // Two extra children below node 3 exceed the degree bound (threshold 2):
+        // the batch is valid but must degrade to a full re-prepare.
+        let batch: StructuralBatch<StateEngine<MaxWeightIndependentSet>> = StructuralBatch::new()
+            .link(3, 100, 5, ())
+            .link(3, 101, 6, ());
+        let mut mutated = prepared.original_edge_list();
+        apply_ops_to_original_edges(
+            &mut mutated,
+            &batch
+                .ops()
+                .iter()
+                .map(|op| op.topology())
+                .collect::<Vec<_>>(),
+        );
+        let stats = inc
+            .apply_structural(&mut ctx, &mut prepared, &batch)
+            .unwrap();
+        assert!(stats.degraded);
+        let weight_of = |v: u64| -> i64 {
+            match v {
+                100 => 5,
+                101 => 6,
+                _ => 1 + v as i64,
+            }
+        };
+        assert_matches_fresh(&mut ctx, &inc, &mutated, weight_of, "after degrade");
+
+        // The replaced prepared tree keeps serving weight updates.
+        inc.update_node_inputs(&mut ctx, &[(100, 40)]);
+        let weight_of = |v: u64| -> i64 {
+            match v {
+                100 => 40,
+                101 => 6,
+                _ => 1 + v as i64,
+            }
+        };
+        assert_matches_fresh(&mut ctx, &inc, &mutated, weight_of, "update after degrade");
+    }
+
+    #[test]
+    fn invalid_structural_batch_is_rejected_atomically() {
+        let tree = shapes::path(16);
+        let mut ctx = ctx_for(tree.len());
+        let mut prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(4),
+        )
+        .unwrap();
+        let inputs = ctx.from_vec(
+            (0..tree.len())
+                .map(|v| (v as u64, 1i64))
+                .collect::<Vec<_>>(),
+        );
+        let no_edges = ctx.from_vec(Vec::<(u64, ())>::new());
+        let mut inc = IncrementalSolver::new(
+            &mut ctx,
+            &prepared,
+            StateEngine::new(MaxWeightIndependentSet),
+            &inputs,
+            0,
+            &no_edges,
+        );
+        let before_labels = inc.labels().clone();
+        let before_summary = inc.root_summary().clone();
+
+        // A valid link followed by a cut of the root: rejected as a whole.
+        let batch: StructuralBatch<StateEngine<MaxWeightIndependentSet>> =
+            StructuralBatch::new().link(4, 200, 3, ()).cut(0);
+        let err = inc
+            .apply_structural(&mut ctx, &mut prepared, &batch)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StructuralError::Invalid(tree_clustering::RepairError::CutRoot)
+        );
+        assert_eq!(inc.labels(), &before_labels, "nothing was applied");
+        assert_eq!(inc.root_summary(), &before_summary);
+        assert!(inc.label(200).is_none());
     }
 
     #[test]

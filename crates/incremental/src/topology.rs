@@ -49,6 +49,10 @@ pub(crate) struct Topology {
     /// A label produced at layer `ℓ` is only ever read at layers `< ℓ` (the top-down
     /// invariant of Definition 9), which is what makes one descending pass sufficient.
     pub label_readers: BTreeMap<NodeId, Vec<(ElementId, u32)>>,
+    /// Cluster id → the layer its own view is processed at. The structural splice uses
+    /// this reverse index to address the cached views of removed clusters directly
+    /// (views are keyed by `(layer, cluster)` in the store).
+    pub cluster_layer: BTreeMap<ElementId, u32>,
 }
 
 impl Topology {
@@ -61,9 +65,11 @@ impl Topology {
             out_edge_sites: BTreeMap::new(),
             in_edge_sites: BTreeMap::new(),
             label_readers: BTreeMap::new(),
+            cluster_layer: BTreeMap::new(),
         };
         for layer in 1..=store.num_layers() {
             for (&cid, view) in store.views_at(layer) {
+                topo.cluster_layer.insert(cid, layer);
                 topo.cluster_site.insert(
                     cid,
                     ClusterSite {

@@ -14,6 +14,18 @@
 //! plans that were expensive to build. The entry being inserted is never its own
 //! victim, and a single plan larger than the whole budget stays resident alone
 //! (evicting it immediately would make every query a miss for nothing).
+//!
+//! ## Tiny-budget semantics
+//!
+//! A budget smaller than every individual plan (including budget 0) degenerates
+//! gracefully: the most recently inserted plan stays resident — over budget, alone —
+//! and every other entry is evicted. At most **one** over-budget plan is ever
+//! resident; inserting for another tenant evicts it. This is deliberate: a cache that
+//! held nothing would turn every query into a rebuild without saving the memory the
+//! resident plan already spent at build time. Accounting cannot drift on this path:
+//! there is no stored byte counter to underflow or double-count —
+//! [`resident_words`](PlanCache::resident_words) recomputes the sum over the live
+//! entries on every call.
 
 use crate::metrics::CacheStats;
 use crate::TenantId;
@@ -116,10 +128,17 @@ impl PlanCache {
             last_used: self.clock,
         };
         self.entries.insert(id.clone(), entry);
+        self.evict_to_budget(&id)
+    }
 
+    /// Evict until the budget holds, never victimizing `protect` (see module docs —
+    /// including the tiny-budget semantics: `protect` may stay resident over budget
+    /// when it is the only entry left).
+    fn evict_to_budget(&mut self, protect: &str) -> Vec<TenantId> {
         let mut evicted = Vec::new();
         while self.resident_words() > self.budget_words && self.entries.len() > 1 {
-            match self.pick_victim(&id) {
+            // mpc-lint: allow(round-blowup) — host-side cache bookkeeping: each iteration removes one resident plan, so the loop is bounded by the cache occupancy and charges no exchanges itself
+            match self.pick_victim(protect) {
                 Some(victim) => {
                     self.entries.remove(&victim);
                     self.evictions += 1;
@@ -135,6 +154,34 @@ impl PlanCache {
     // mpc-cost: rounds(const)
     pub fn remove(&mut self, id: &str) {
         self.entries.remove(id);
+    }
+
+    /// Take `id`'s resident plan *out* of the cache for in-place surgery, returning
+    /// it with the build-rounds it was inserted with. Not an eviction and not a miss:
+    /// no counter moves. The caller is expected to hand the plan back through
+    /// [`put_entry`](Self::put_entry) (structural-repair handshake) — or drop it, if
+    /// the repair degraded and the plan is stale.
+    // mpc-cost: rounds(const)
+    pub fn take_entry(&mut self, id: &str) -> Option<(SolvePlan, u64)> {
+        self.entries.remove(id).map(|e| (e.plan, e.build_rounds))
+    }
+
+    /// Re-admit a plan taken with [`take_entry`](Self::take_entry) (possibly spliced
+    /// in the meantime, so its word size is re-measured). Enforces the budget exactly
+    /// like [`insert`](Self::insert) but does **not** add `build_rounds` to the
+    /// cumulative miss cost — those rounds were charged when the plan was first
+    /// built, and a splice is not a rebuild.
+    // mpc-cost: rounds(const)
+    pub fn put_entry(&mut self, id: TenantId, plan: SolvePlan, build_rounds: u64) -> Vec<TenantId> {
+        self.clock += 1;
+        let entry = CacheEntry {
+            words: plan.resident_words(),
+            plan,
+            build_rounds,
+            last_used: self.clock,
+        };
+        self.entries.insert(id.clone(), entry);
+        self.evict_to_budget(&id)
     }
 
     /// Among the [`LRU_WINDOW`] least-recently-used entries other than `protect`,
@@ -173,5 +220,98 @@ impl PlanCache {
             resident_plans: self.resident_plans(),
             budget_words: self.budget_words,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_engine::{MpcConfig, MpcContext};
+    use tree_dp_core::prepare;
+    use tree_gen::shapes;
+    use tree_repr::{ListOfEdges, TreeInput};
+
+    fn small_plan() -> SolvePlan {
+        let tree = shapes::path(24);
+        let mut ctx = MpcContext::new(
+            MpcConfig::new(64, 0.5)
+                .with_memory_slack(512.0)
+                .with_bandwidth_slack(512.0),
+        );
+        let prepared = prepare(
+            &mut ctx,
+            TreeInput::ListOfEdges(ListOfEdges::from_tree(&tree)),
+            Some(4),
+        )
+        .unwrap();
+        prepared.plan_uncached(&mut ctx)
+    }
+
+    #[test]
+    fn budget_zero_keeps_exactly_the_latest_plan_resident() {
+        let plan = small_plan();
+        let words = plan.resident_words();
+        assert!(words > 0);
+        let mut cache = PlanCache::new(0);
+
+        // A single over-budget plan stays resident alone.
+        let evicted = cache.insert("a".to_string(), plan.clone(), 10);
+        assert!(evicted.is_empty());
+        assert_eq!(cache.resident_plans(), 1);
+        assert_eq!(cache.resident_words(), words);
+        assert!(cache.lookup("a"));
+
+        // Inserting for another tenant evicts it: never two over-budget residents.
+        let evicted = cache.insert("b".to_string(), plan.clone(), 10);
+        assert_eq!(evicted, vec!["a".to_string()]);
+        assert_eq!(cache.resident_plans(), 1);
+        assert!(!cache.lookup("a"));
+        assert!(cache.lookup("b"));
+    }
+
+    #[test]
+    fn budget_below_smallest_plan_never_drifts_accounting() {
+        let plan = small_plan();
+        let words = plan.resident_words();
+        let mut cache = PlanCache::new(words.saturating_sub(1));
+
+        // insert → evict → insert cycles: the recomputed word count always equals the
+        // sum over live entries (no stored counter to underflow or double-count).
+        for round in 0..4 {
+            let id = if round % 2 == 0 { "a" } else { "b" };
+            cache.insert(id.to_string(), plan.clone(), 5);
+            assert_eq!(cache.resident_plans(), 1, "round {round}");
+            assert_eq!(cache.resident_words(), words, "round {round}");
+        }
+        assert_eq!(cache.stats().evictions, 3);
+
+        // Re-inserting under the same id replaces the entry without double-counting.
+        cache.insert("b".to_string(), plan.clone(), 5);
+        assert_eq!(cache.resident_plans(), 1);
+        assert_eq!(cache.resident_words(), words);
+    }
+
+    #[test]
+    fn take_and_put_entry_round_trip_without_counter_movement() {
+        let plan = small_plan();
+        let mut cache = PlanCache::new(usize::MAX);
+        cache.insert("a".to_string(), plan, 7);
+        let (hits, misses) = (cache.stats().hits, cache.stats().misses);
+        let build_rounds_before = cache.stats().build_rounds;
+
+        let (taken, rounds) = cache.take_entry("a").expect("resident");
+        assert_eq!(rounds, 7);
+        assert_eq!(cache.resident_plans(), 0);
+        let evicted = cache.put_entry("a".to_string(), taken, rounds);
+        assert!(evicted.is_empty());
+        assert!(cache.plan("a").is_some());
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, hits);
+        assert_eq!(stats.misses, misses);
+        assert_eq!(stats.evictions, 0);
+        // A splice re-admission is not a rebuild: miss cost does not grow.
+        assert_eq!(stats.build_rounds, build_rounds_before);
+        assert!(cache.take_entry("missing").is_none());
     }
 }

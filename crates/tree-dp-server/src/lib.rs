@@ -10,8 +10,10 @@
 //!   with cost-aware LRU eviction; a miss re-charges the full plan-build rounds,
 //!   making the memory/latency trade measurable ([`CacheStats::build_rounds`]).
 //! * [`Request`]/[`Response`] — admission batching: per flush and tenant, all weight
-//!   updates fold into one incremental `apply_batch`, all queries into one
-//!   `solve_many` over the cached plan.
+//!   updates fold into one incremental `apply_batch`, all structural link/cut
+//!   requests into one `apply_structural` (the cached plan is spliced in place and
+//!   re-admitted under the budget), all queries into one `solve_many` over the
+//!   cached plan.
 //! * [`TreeDpServer::snapshot_tenant`] / [`TreeDpServer::restore_tenant`] — tenant
 //!   persistence on the hand-rolled binary codec of
 //!   [`tree_dp_core::snapshot`]: kill a server, restore the bytes elsewhere, and

@@ -16,6 +16,9 @@ pub struct TenantMetrics {
     pub queries: u64,
     /// Update requests folded through the incremental solver.
     pub updates: u64,
+    /// Structural requests (link/cut batches) folded through the incremental
+    /// solver.
+    pub structural: u64,
     /// MPC rounds charged on this tenant's context by serving traffic
     /// (admission, plan rebuilds, query evals, and incremental updates).
     pub rounds_charged: u64,
@@ -36,6 +39,7 @@ impl Snapshot for TenantMetrics {
     fn encode(&self, w: &mut SnapshotWriter) {
         w.put_u64(self.queries);
         w.put_u64(self.updates);
+        w.put_u64(self.structural);
         w.put_u64(self.rounds_charged);
         w.put_u64(self.words_sent);
         w.put_u64(self.plan_hits);
@@ -47,6 +51,7 @@ impl Snapshot for TenantMetrics {
         Ok(TenantMetrics {
             queries: r.take_u64()?,
             updates: r.take_u64()?,
+            structural: r.take_u64()?,
             rounds_charged: r.take_u64()?,
             words_sent: r.take_u64()?,
             plan_hits: r.take_u64()?,

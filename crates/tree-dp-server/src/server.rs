@@ -8,8 +8,12 @@
 //!    initial solve, and stand up an [`IncrementalSolver`] over the solve's store.
 //! 2. **Serve** ([`TreeDpServer::submit`] + [`TreeDpServer::flush`]): queued
 //!    requests are coalesced per tenant — all weight updates of a flush fold into
-//!    *one* `apply_batch` call, all queries into *one* [`SolvePlan::solve_many`]
-//!    call over the cached plan. A flush that finds the tenant's plan evicted
+//!    *one* `apply_batch` call, all structural (link/cut) requests into *one*
+//!    [`IncrementalSolver::apply_structural`] call, and all queries into *one*
+//!    [`SolvePlan::solve_many`] call over the cached plan. A structural batch takes
+//!    the resident plan out of the cache, splices it in place alongside the
+//!    clustering repair, and re-admits it under the budget (a degrade re-admits the
+//!    freshly rebuilt plan instead). A flush that finds the tenant's plan evicted
 //!    transparently rebuilds it first (re-charging the full `plan-build` rounds).
 //! 3. **Persist** ([`TreeDpServer::snapshot_tenant`] /
 //!    [`TreeDpServer::restore_tenant`]): a tenant serializes to a self-contained
@@ -18,9 +22,10 @@
 //!    with bit-identical labels and optima. Restored tenants re-enter with a cold
 //!    plan cache; their first query is an honest miss.
 //!
-//! Within one flush, a tenant's updates apply before its queries (the queries then
-//! see the updated incremental state); across tenants, groups are processed in
-//! first-submission order. Responses always come back in submission order.
+//! Within one flush, a tenant's weight updates apply first, then its structural
+//! batch, then its queries (the queries see the updated *and* repaired state);
+//! across tenants, groups are processed in first-submission order. Responses
+//! always come back in submission order.
 
 use crate::cache::PlanCache;
 use crate::metrics::TenantMetrics;
@@ -31,15 +36,18 @@ use tree_dp_core::{
     open, prepare, seal, ClusterDp, DpSolution, PipelineError, PreparedTree, Snapshot,
     SnapshotError, SolverStore,
 };
-use tree_dp_incremental::{IncrementalSolver, UpdateStats};
+use tree_dp_incremental::{
+    IncrementalSolver, StructuralBatch, StructuralError, StructuralStats, UpdateStats,
+};
 use tree_repr::{NodeId, TreeInput};
 
 /// Tenants are addressed by plain string ids.
 pub type TenantId = String;
 
 /// Snapshot payload kind of a serialized tenant (layered on the core codec's
-/// header; see [`tree_dp_core::seal`]).
-pub const KIND_TENANT: u32 = 100;
+/// header; see [`tree_dp_core::seal`]). Bumped 100 → 101 when
+/// [`TenantMetrics`] grew its `structural` counter.
+pub const KIND_TENANT: u32 = 101;
 
 /// Why a serving-layer operation failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +60,8 @@ pub enum ServerError {
     Admission(String),
     /// A tenant snapshot failed to decode.
     Snapshot(SnapshotError),
+    /// A structural batch was rejected (invalid op or failed degrade re-prepare).
+    Structural(StructuralError),
     /// An internal invariant did not hold (never expected; returned instead of
     /// panicking, per the repo's panic policy).
     Internal(&'static str),
@@ -64,6 +74,7 @@ impl std::fmt::Display for ServerError {
             ServerError::DuplicateTenant(id) => write!(f, "tenant {id:?} already admitted"),
             ServerError::Admission(msg) => write!(f, "admission failed: {msg}"),
             ServerError::Snapshot(e) => write!(f, "tenant snapshot: {e}"),
+            ServerError::Structural(e) => write!(f, "{e}"),
             ServerError::Internal(what) => write!(f, "internal serving error: {what}"),
         }
     }
@@ -139,6 +150,12 @@ pub enum Request<P: ClusterDp> {
         /// Edge-input changes, keyed by the edge's child endpoint.
         edge_updates: Vec<(NodeId, P::EdgeInput)>,
     },
+    /// Change the tenant's tree itself: batched `link`/`cut` operations. All
+    /// structural requests of one flush fold into a single
+    /// [`IncrementalSolver::apply_structural`] call, applied after the flush's
+    /// weight updates and before its queries (ops concatenate in submission order;
+    /// the folded batch stays atomic — one invalid op rejects them all).
+    Structural(StructuralBatch<P>),
 }
 
 /// The answer to one [`Request`], in submission order.
@@ -148,6 +165,9 @@ pub enum Response<P: ClusterDp> {
     /// The folded statistics of the update batch this request was part of (shared
     /// by every update of the same tenant in the same flush).
     Update(UpdateStats),
+    /// The folded statistics of the structural batch this request was part of
+    /// (shared by every structural request of the same tenant in the same flush).
+    Structural(StructuralStats),
     /// The request could not be served.
     Rejected(ServerError),
 }
@@ -246,6 +266,7 @@ where
             store,
             prepared.clustering.top_cluster,
             prepared.clustering.root,
+            spec.aux_input.clone(),
         );
 
         let evicted = self.cache.insert(id.clone(), plan, r2 - r1);
@@ -333,7 +354,8 @@ where
             .collect()
     }
 
-    /// Serve one tenant's share of a flush: fold updates, ensure the plan is
+    /// Serve one tenant's share of a flush: fold updates, apply the folded
+    /// structural batch (plan handshake with the cache), ensure the plan is
     /// resident, batch-evaluate queries, account metrics.
     fn serve_group(
         cache: &mut PlanCache,
@@ -345,6 +367,8 @@ where
         let mut node_updates: BTreeMap<NodeId, P::NodeInput> = BTreeMap::new();
         let mut edge_updates: BTreeMap<NodeId, P::EdgeInput> = BTreeMap::new();
         let mut update_positions: Vec<usize> = Vec::new();
+        let mut structural: StructuralBatch<P> = StructuralBatch::new();
+        let mut structural_positions: Vec<usize> = Vec::new();
         let mut queries: Vec<QueryItem<P>> = Vec::new();
         for (pos, req) in items {
             match req {
@@ -355,6 +379,12 @@ where
                     node_updates.extend(nu);
                     edge_updates.extend(eu);
                     update_positions.push(pos);
+                }
+                Request::Structural(batch) => {
+                    for op in batch.into_ops() {
+                        structural.push(op);
+                    }
+                    structural_positions.push(pos);
                 }
                 Request::Query {
                     node_inputs,
@@ -381,7 +411,51 @@ where
             }
         }
 
-        // Stage 2: queries over the cached plan, rebuilding on a miss.
+        // Stage 2: one folded structural batch. The resident plan (if any) is taken
+        // *out* of the cache and installed on the prepared tree so the repair can
+        // splice its skeleton in place; afterwards the plan — spliced on a local
+        // repair, freshly rebuilt on a degrade, untouched on a rejection — goes back
+        // through `put_entry`, which re-applies the budget.
+        if !structural_positions.is_empty() {
+            let evicted = if let Some(tenant) = tenants.get_mut(id) {
+                let taken = cache.take_entry(id);
+                let build_rounds = taken.as_ref().map_or(0, |(_, r)| *r);
+                if let Some((plan, _)) = taken {
+                    tenant.prepared.install_plan(plan);
+                }
+                match tenant.solver.apply_structural(
+                    &mut tenant.ctx,
+                    &mut tenant.prepared,
+                    &structural,
+                ) {
+                    Ok(stats) => {
+                        tenant.metrics.structural += structural_positions.len() as u64;
+                        for pos in structural_positions {
+                            responses[pos] = Some(Response::Structural(stats));
+                        }
+                    }
+                    Err(e) => {
+                        for pos in structural_positions {
+                            responses[pos] =
+                                Some(Response::Rejected(ServerError::Structural(e.clone())));
+                        }
+                    }
+                }
+                match tenant.prepared.take_plan() {
+                    Some(plan) => cache.put_entry(id.to_string(), plan, build_rounds),
+                    None => Vec::new(),
+                }
+            } else {
+                Vec::new()
+            };
+            for ev in &evicted {
+                if let Some(t) = tenants.get_mut(ev) {
+                    t.metrics.evictions += 1;
+                }
+            }
+        }
+
+        // Stage 3: queries over the cached plan, rebuilding on a miss.
         if !queries.is_empty() {
             let evicted = if cache.lookup(id) {
                 if let Some(tenant) = tenants.get_mut(id) {
@@ -556,6 +630,7 @@ where
             store,
             prepared.clustering.top_cluster,
             prepared.clustering.root,
+            aux_input.clone(),
         );
         self.tenants.insert(
             id.clone(),

@@ -123,6 +123,7 @@ fn main() {
             match resp {
                 Response::Solution(_) => queries += 1,
                 Response::Update(UpdateStats { .. }) => updates += 1,
+                Response::Structural(_) => updates += 1,
                 Response::Rejected(e) => panic!("unexpected rejection: {e}"),
             }
         }

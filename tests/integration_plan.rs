@@ -381,9 +381,9 @@ fn multi_bench_rounds_are_assembly_plus_two_evaluations() {
         .collect();
     assert_eq!(
         nums.len(),
-        9,
+        11,
         "baseline line must carry prepare/max_is/min_vc/plan_build/plan_eval/plan_rebuild/\
-         clustering/cluster-sizes/cluster-paths"
+         clustering/cluster-sizes/cluster-paths/struct_single/struct_batch"
     );
     assert!(
         assembly <= nums[3],

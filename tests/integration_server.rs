@@ -94,6 +94,7 @@ fn expect_solution(resp: &Response<MaxIs>) -> (i64, BTreeMap<u64, usize>) {
             (best, sol.labels.iter().cloned().collect())
         }
         Response::Update(_) => panic!("expected a solution, got update stats"),
+        Response::Structural(_) => panic!("expected a solution, got structural stats"),
         Response::Rejected(e) => panic!("expected a solution, got rejection: {e}"),
     }
 }
@@ -102,6 +103,7 @@ fn expect_update(resp: &Response<MaxIs>) -> mpc_tree_dp::UpdateStats {
     match resp {
         Response::Update(stats) => *stats,
         Response::Solution(_) => panic!("expected update stats, got a solution"),
+        Response::Structural(_) => panic!("expected update stats, got structural stats"),
         Response::Rejected(e) => panic!("expected update stats, got rejection: {e}"),
     }
 }

@@ -174,6 +174,7 @@ fn solver_store_round_trips_into_incremental_solver() {
         store,
         prepared.clustering.top_cluster,
         prepared.clustering.root,
+        0,
     );
     assert_eq!(restored.root_summary(), solver.root_summary());
     assert_eq!(restored.labels(), solver.labels());
@@ -316,6 +317,48 @@ fn codec_primitive_surface_round_trips() {
     assert!(matches!(r.take_bool(), Err(SnapshotError::Malformed(_))));
     let r = SnapshotReader::new(&[0, 0]);
     assert!(matches!(r.finish(), Err(SnapshotError::Malformed(_))));
+}
+
+/// Length prefixes are validated against the remaining payload *before* any
+/// allocation happens: a snapshot claiming a near-`usize::MAX` element count is a
+/// typed [`SnapshotError::Malformed`] — never an OOM abort or capacity panic.
+#[test]
+fn oversized_length_prefixes_are_malformed_not_oom() {
+    use mpc_tree_dp::core::{seal, SnapshotReader, SnapshotWriter, KIND_STORE};
+    use mpc_tree_dp::Snapshot;
+
+    // Eight bytes of payload claiming ~usize::MAX/2 elements: every collection
+    // decoder must reject the prefix up front.
+    let mut w = SnapshotWriter::new();
+    w.put_usize(usize::MAX / 2);
+    w.put_u64(1);
+    let bytes = w.into_bytes();
+    let oversized = SnapshotError::Malformed("length prefix exceeds buffer");
+    let mut r = SnapshotReader::new(&bytes);
+    assert_eq!(
+        <Vec<u64> as Snapshot>::decode(&mut r).unwrap_err(),
+        oversized
+    );
+    let mut r = SnapshotReader::new(&bytes);
+    assert_eq!(String::decode(&mut r).unwrap_err(), oversized);
+    let mut r = SnapshotReader::new(&bytes);
+    assert_eq!(
+        <BTreeMap<u64, u64> as Snapshot>::decode(&mut r).unwrap_err(),
+        oversized
+    );
+    let mut r = SnapshotReader::new(&bytes);
+    assert_eq!(
+        <mpc_tree_dp::DistVec<u64> as Snapshot>::decode(&mut r).unwrap_err(),
+        oversized
+    );
+
+    // End to end: a well-framed container whose payload leads with the hostile
+    // prefix still decodes to a typed error at the top-level entry points.
+    let mut w = SnapshotWriter::new();
+    w.put_usize(usize::MAX / 2);
+    w.put_u64(1);
+    let framed = seal(KIND_STORE, w);
+    assert!(SolverStore::<MaxIs>::from_snapshot(&framed).is_err());
 }
 
 /// Byte-for-byte determinism: encoding the same value twice gives identical bytes.
